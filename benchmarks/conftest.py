@@ -1,0 +1,52 @@
+"""Benchmark harness configuration.
+
+The shared underlying datasets (live deployment, case study, crawl,
+temporal study) are built once per session by fixtures; the benchmarked
+functions regenerate each table/figure from them.  Set
+``REPRO_BENCH_SCALE=test`` for a fast smoke run, ``paper`` for the full
+Sect. 6/7 sizes.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import registry
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def strict(scale):
+    """Paper-shape assertions need enough data: off at test scale."""
+    return scale != "test"
+
+
+@pytest.fixture(scope="session")
+def live_data(scale):
+    return registry.live_dataset(scale)
+
+
+@pytest.fixture(scope="session")
+def case_data(scale, live_data):
+    return registry.case_study_data(scale)
+
+
+@pytest.fixture(scope="session")
+def crawl_data(scale, live_data):
+    return registry.crawl_dataset(scale)
+
+
+@pytest.fixture(scope="session")
+def temporal_data(scale, live_data):
+    return registry.temporal_data(scale)
+
+
+def run_once(benchmark, fn):
+    """Benchmark a harness exactly once (datasets are heavyweight)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,46 @@
+"""Benchmarks: the design-choice ablations DESIGN.md calls out."""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_ablation_dispatch_policy(benchmark, scale):
+    """Least-jobs dispatch beats round robin on heterogeneous servers
+    (the Sect. 3.4 argument for the job-shop heuristic)."""
+    result = run_once(benchmark, lambda: ablations.run_dispatch_ablation(scale))
+    print("\n" + result.render())
+    assert result.improvement() > 1.1
+    assert (result.least_jobs.max_daily_requests
+            >= result.round_robin.max_daily_requests)
+
+
+def test_ablation_doppelganger(benchmark, scale):
+    """Doppelgangers shield most server-side pollution (Sect. 3.6.2)."""
+    result = run_once(
+        benchmark, lambda: ablations.run_doppelganger_ablation(scale)
+    )
+    print("\n" + result.render())
+    assert result.pollution_reduction() > 0.5
+    # the budget still allows the tolerable 25% exposure
+    assert result.polluting_visits_with >= 1
+
+
+def test_ablation_secure_kmeans(benchmark, scale):
+    """The secure protocol pays a large constant factor for privacy but
+    computes the identical clustering (Sect. 3.8)."""
+    result = run_once(
+        benchmark, lambda: ablations.run_secure_kmeans_ablation(scale)
+    )
+    print("\n" + result.render())
+    assert result.identical_output
+    assert result.overhead() > 10
+
+
+def test_ablation_diffstorage(benchmark, scale, live_data):
+    """DiffStorage saves most of the HTML storage (App. 10.5)."""
+    result = run_once(
+        benchmark, lambda: ablations.run_diffstorage_ablation(scale)
+    )
+    print("\n" + result.render())
+    assert result.savings() > 0.5

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 10 (max/min ratio vs minimum price).
+
+Paper: ratios up to ×2.5 for products under €1k, up to ×1.7 between
+€1k–€10k, and at most ≈×1.3 above €10k — relative spreads shrink with
+price.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig10_ratio
+
+
+def test_fig10_ratio_vs_price(benchmark, scale, live_data):
+    result = run_once(benchmark, lambda: fig10_ratio.run(scale))
+    print("\n" + result.render())
+
+    assert len(result.points) >= 20
+    cheap = result.max_ratio_in_band(1.0, 1_000.0)
+    expensive = result.max_ratio_in_band(10_000.0, 100_000.0)
+    # cheap products reach big ratios
+    assert cheap >= 1.3
+    # the expensive band's extreme is smaller than the cheap band's
+    if expensive > 1.0:  # the band is populated (IQ280 spotlight)
+        assert expensive < cheap
+        assert expensive <= 1.5

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Fig. 12 (per-country case studies).
+
+Paper: chegg spreads 3–7% in ES/GB/DE; jcpenney below 2% except exactly
+7% in the UK; amazon's in-country values sit on the VAT scales of the
+four countries; in-country differences are clearly smaller than the
+cross-country spreads of Figs. 9/11.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig12_country_cases
+from repro.net.geo import GeoDatabase
+
+
+def test_fig12_country_cases(benchmark, scale, case_data, strict):
+    result = run_once(benchmark, lambda: fig12_country_cases.run(scale))
+    print("\n" + result.render())
+
+    # jcpenney UK: the famous 7% gap
+    uk_max = result.max_diff("jcpenney.com", "GB")
+    if strict:
+        assert 0.06 <= uk_max <= 0.08
+    # jcpenney elsewhere: small differences (<2%)
+    for country in ("ES", "FR", "DE"):
+        assert result.max_diff("jcpenney.com", country) < 0.025
+
+    # chegg: scattered 3–7% where it tests, nothing in France
+    assert result.diffs("chegg.com", "FR") == []
+    es_diffs = result.diffs("chegg.com", "ES")
+    if es_diffs:
+        assert 0.02 <= max(es_diffs) <= 0.085
+
+    # amazon: any in-country gap matches a VAT rate of that country
+    geodb = GeoDatabase()
+    for country in ("ES", "FR", "GB", "DE"):
+        rates = geodb.country(country).vat_rates
+        for diff in result.diffs("amazon.com", country):
+            assert any(abs(diff - r) < 0.015 for r in rates), (country, diff)

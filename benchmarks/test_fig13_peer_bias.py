@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Fig. 13 (per-peer bias on jcpenney.com).
+
+Paper: France shows small (<2%) differences with no peer bias; the UK
+shows ~7% differences with most peers consistently low and a couple
+consistently high — the signature of sticky A/B buckets.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig13_peer_bias
+
+
+def test_fig13_peer_bias(benchmark, scale, case_data, strict):
+    result = run_once(benchmark, lambda: fig13_peer_bias.run(scale))
+    print("\n" + result.render())
+
+    # France: small and unbiased.  Under the zero-heavy A/B null a peer
+    # can land all-zero by chance, so the strong no-bias evidence is the
+    # absence of consistently-HIGH peers (an all-high run is vanishingly
+    # unlikely without sticky buckets).
+    fr_max = result.max_diff(result.france)
+    assert fr_max < 0.025
+    fr_verdicts = result.biased_peers(result.france, min_obs=4)
+    assert "high" not in set(fr_verdicts.values())
+
+    if strict:
+        # UK: ~7% gap with consistently-biased peers
+        uk_max = result.max_diff(result.uk)
+        assert 0.06 <= uk_max <= 0.08
+        verdicts = result.biased_peers(result.uk, min_obs=4)
+        assert verdicts  # some peers are consistently high or low
+        assert set(verdicts.values()) <= {"high", "low"}

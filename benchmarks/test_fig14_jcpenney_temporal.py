@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Fig. 14 (jcpenney.com temporal trends).
+
+Paper: most products drift cheaper through successive small drops over
+20 days while a few show large jumps; the average daily fluctuation is
+≈3.7%, and summing the per-product regression deltas yields an overall
+revenue increase if the jumped products sell.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig14_15_temporal
+
+
+def test_fig14_jcpenney_temporal(benchmark, scale, temporal_data, strict):
+    result = run_once(benchmark, lambda: fig14_15_temporal.run(scale))
+    print("\n" + result.jcpenney.render())
+
+    jcp = result.jcpenney
+    directions = jcp.directions()
+    assert 0.0 < jcp.mean_fluctuation < 0.09
+    if strict:
+        # price movement exists in both directions across the catalog
+        assert directions["decreasing"] >= 1
+        # some product took a large jump at least once over the window
+        jumped = any(
+            max(b.maximum for b in t.daily_boxes)
+            > 1.2 * min(b.minimum for b in t.daily_boxes)
+            for t in jcp.trends
+        )
+        assert jumped

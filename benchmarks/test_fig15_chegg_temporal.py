@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Fig. 15 (chegg.com temporal trends).
+
+Paper: prices drift slowly up or down with rare, small jumps; the
+average daily fluctuation (≈8.3%) is *higher* than jcpenney's (≈3.7%)
+even though the day-to-day trend is smoother.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig14_15_temporal
+
+
+def test_fig15_chegg_temporal(benchmark, scale, temporal_data):
+    result = run_once(benchmark, lambda: fig14_15_temporal.run(scale))
+    print("\n" + result.chegg.render())
+
+    chegg = result.chegg
+    # chegg fluctuates more within a day than jcpenney (8.3% vs 3.7%)
+    assert chegg.mean_fluctuation > result.jcpenney.mean_fluctuation
+    assert 0.02 < chegg.mean_fluctuation < 0.20
+    # smooth drift: no abrupt 35%+ jump across consecutive daily medians
+    for trend in chegg.trends:
+        medians = [b.median for b in trend.daily_boxes]
+        steps = [
+            abs(medians[i] / medians[i - 1] - 1.0)
+            for i in range(1, len(medians))
+            if medians[i - 1] > 0
+        ]
+        assert all(s < 0.35 for s in steps)

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate the Fig. 2 result page.
+
+Paper: one price check rendered with every variant converted to the
+requested currency (EUR), identical values for same-country variants,
+and a red asterisk on rows whose currency came from an ambiguous
+symbol.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig2_result_page
+
+
+def test_fig2_result_page(benchmark, scale):
+    result = run_once(benchmark, lambda: fig2_result_page.run(scale))
+    page = result.render()
+    print("\n" + page)
+
+    assert "You" in page
+    assert "Variant" in page
+    # a geo-currency store shows many currencies across the IPC fleet
+    assert len(result.currencies_observed) >= 5
+    # same-country PPC variants show OS/browser labels like the figure
+    assert "Chrome" in page or "Firefox" in page
+    # every row was converted into the requested currency
+    for row in result.check.valid_rows():
+        assert row.converted_value is not None

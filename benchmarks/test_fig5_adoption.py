@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 5 (downloads & active users over time).
+
+Paper: three major download spikes following press events, with the
+active-user count building up after each spike.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig5_adoption
+from repro.workloads.deployment import PRESS_EVENTS
+
+
+def test_fig5_adoption(benchmark, scale):
+    result = run_once(benchmark, lambda: fig5_adoption.run(scale))
+    print("\n" + result.render())
+
+    series = result.series
+    spikes = series.spike_days()
+    # one spike near each press event
+    for event_day, _ in PRESS_EVENTS:
+        assert any(abs(d - event_day) <= 4 for d in spikes), event_day
+    # active users grow substantially after the big spike
+    assert series.active_users[250] > 5 * series.active_users[40]
+    # downloads decay back toward the baseline between events
+    assert series.daily_downloads[150] < series.daily_downloads[182] / 5

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Fig. 8(a) (silhouette vs profile-domain list).
+
+Paper: "Alexa top Domains" yields higher silhouette scores than "Users
+top Domains", and clustering quality drops as m grows.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import fig8_clustering
+
+
+def test_fig8a_silhouette_domains(benchmark, scale, live_data, strict):
+    result = run_once(benchmark, lambda: fig8_clustering.run_fig8a(scale))
+    print("\n" + result.render())
+
+    pairs = [
+        (u, a)
+        for u, a in zip(result.user_top_scores, result.alexa_top_scores)
+        if not (math.isnan(u) or math.isnan(a))
+    ]
+    assert pairs
+    if strict:
+        # Alexa top wins on average (the paper's selection argument)
+        mean_user = sum(u for u, _ in pairs) / len(pairs)
+        mean_alexa = sum(a for _, a in pairs) / len(pairs)
+        assert mean_alexa >= mean_user
+        # quality does not improve as m grows
+        alexa = [a for _, a in pairs]
+        assert alexa[-1] <= max(alexa[:2]) + 0.05

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 8(b) (silhouette vs number of clusters).
+
+Paper: the silhouette climbs to ≈0.6 by k≈40 and flattens — small k
+already captures the clustering structure, so ~40 doppelgangers
+suffice for ~500 users (k capped at 10% of the user count).
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import fig8_clustering
+
+
+def test_fig8b_silhouette_k(benchmark, scale, live_data):
+    result = run_once(benchmark, lambda: fig8_clustering.run_fig8b(scale))
+    print("\n" + result.render())
+
+    scores = [(k, s) for k, s in zip(result.k_values, result.scores)
+              if not math.isnan(s)]
+    assert len(scores) >= 3
+    best = max(s for _, s in scores)
+    assert best > 0.1  # real clustering structure found
+    # a small k already reaches most of the attainable quality
+    knee = result.knee_k(fraction=0.9)
+    assert knee is not None
+    assert knee <= 40

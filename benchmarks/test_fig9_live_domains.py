@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Fig. 9 (live-dataset domains with differences).
+
+Paper: 76 of 1994 checked domains (≈3.8%) show a price difference;
+medians sit in the 20–30% band for several domains with a couple near
+40% (abercrombie, jcpenney).
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig9_live_domains
+
+
+def test_fig9_live_domains(benchmark, scale, live_data, strict):
+    result = run_once(benchmark, lambda: fig9_live_domains.run(scale))
+    print("\n" + result.render())
+
+    assert result.stats
+    if strict:
+        # a minority of domains fiddle with prices
+        assert 0.0 < result.diff_fraction < 0.6
+    # the calibrated heavyweights rank among the top diff domains
+    top_domains = {s.domain for s in result.stats[:12]}
+    assert top_domains & {
+        "steampowered.com", "abercrombie.com", "jcpenney.com",
+        "digitalrev.com", "luisaviaroma.com", "overstock.com",
+    }
+    # spreads are substantial: at least one domain with median ≥ 15%
+    assert any(s.spread_stats.median >= 0.15 for s in result.stats)
+    # ... but medians are not absurd (currency/tax noise is excluded)
+    assert all(s.spread_stats.median < 3.0 for s in result.stats)

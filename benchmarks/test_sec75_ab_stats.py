@@ -1,0 +1,38 @@
+"""Benchmark: regenerate the Sect. 7.5 statistical analysis.
+
+Paper: pairwise KS tests cannot distinguish the measurement points'
+price distributions (p > 0.55), each point sees the higher price with
+≈50% probability, the best multi-linear regression reaches only
+R² ≈ 0.431 with no significant OS/browser/time feature, and random
+forest importances stay low → A/B testing, not PDI-PD.
+"""
+
+from conftest import run_once
+
+from repro.experiments import sec75_ab_stats
+
+
+def test_sec75_ab_stats(benchmark, scale, temporal_data, strict):
+    result = run_once(benchmark, lambda: sec75_ab_stats.run(scale))
+    print("\n" + result.render())
+
+    assert set(result.verdicts) == {"jcpenney.com", "chegg.com"}
+    if not strict:
+        return
+    # the paper's conclusion: both retailers are A/B testing
+    assert result.all_ab_testing()
+    for domain, verdict in result.verdicts.items():
+        # distributions agree across measurement points (Bonferroni
+        # across the dozens of pairwise tests)
+        if verdict.min_ks_p is not None:
+            assert verdict.min_ks_p > 0.05 / max(1, verdict.n_ks_pairs), domain
+        # no OS/browser/time feature explains prices
+        assert verdict.significant_features == [] or verdict.regression_r2 < 0.3
+        # every point has the same chance to see the higher price — no
+        # measurement point is systematically favoured (the paper's
+        # ≈50%-each observation, under our zero-heavy A/B calibration
+        # the common probability sits lower but stays uniform)
+        probs = list(verdict.higher_price_probabilities.values())
+        if probs:
+            assert max(probs) - min(probs) < 0.25, domain
+            assert all(p <= 0.85 for p in probs), domain

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate the Sect. 7.6 Alexa top-400 sweep.
+
+Paper: beyond the 3 domains already identified, none of the 400 most
+popular e-commerce sites returns different prices to distinct users
+within the same country.
+"""
+
+from conftest import run_once
+
+from repro.experiments import sec76_alexa400
+
+
+def test_sec76_alexa400(benchmark, scale, live_data):
+    result = run_once(benchmark, lambda: sec76_alexa400.run(scale))
+    print("\n" + result.render())
+
+    assert result.n_requests >= result.n_domains  # every domain covered
+    # the headline negative result: no within-country differences
+    assert result.domains_with_in_country_difference() == []

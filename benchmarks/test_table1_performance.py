@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table 1 (system performance analysis).
+
+Paper: old ≈2 min @5 tasks (3600/day) → ≈5 min @10 (2880/day);
+new ≈1 min @5 (7200/day), ≈1.5 min @10 (9600/day), 38400/day on 4
+servers.  We do not match absolute seconds; the orderings and
+degradation shape must hold.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table1_performance
+
+
+def test_table1_performance(benchmark, scale):
+    result = run_once(benchmark, lambda: table1_performance.run(scale))
+    print("\n" + result.render())
+
+    rows = result.rows
+    old5, old10, new5, new10, new4s = rows
+
+    # response-time shape
+    assert 1.5 <= old5.response_minutes <= 3.0
+    assert old10.response_minutes / old5.response_minutes > 2.0
+    assert new5.response_minutes < old5.response_minutes
+    assert new10.response_minutes < old10.response_minutes / 2.5
+    assert new4s.response_minutes <= 2.0
+
+    # throughput shape: old degrades with load, new scales out
+    assert old10.max_daily_requests < old5.max_daily_requests
+    assert new10.max_daily_requests > new5.max_daily_requests
+    assert new4s.max_daily_requests > 3 * new10.max_daily_requests

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table 2 (top-10 countries by requests).
+
+Paper: Spain (2554) far ahead, then France, USA, Switzerland, … over 55
+countries.  The reproduced shape: Spain first with a heavy lead, the
+paper's top-10 countries well represented, many countries in the tail.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table2_countries
+
+
+def test_table2_countries(benchmark, scale, live_data, strict):
+    result = run_once(benchmark, lambda: table2_countries.run(scale))
+    print("\n" + result.render())
+
+    assert result.top10[0][0] == "ES"
+    counts = dict(result.top10)
+    if strict:
+        # Spain dominates the runner-up clearly (paper: 2554 vs 917)
+        runner_up = result.top10[1][1]
+        assert counts["ES"] >= 1.5 * runner_up
+    # the paper's heavy countries appear in the top ranks
+    top_codes = {c for c, _ in result.top10}
+    assert {"ES", "FR"} <= top_codes
+    if strict:
+        assert result.n_countries >= 10

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table 3 (extreme price differences).
+
+Paper: relative extremes between ×2.03 and ×2.55 across clothing /
+games / books domains; absolute extremes up to €1201; and the >€10k
+absolute gap on the Phase One IQ280 camera.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table3_extremes
+
+
+def test_table3_extremes(benchmark, scale, live_data, strict):
+    result = run_once(benchmark, lambda: table3_extremes.run(scale))
+    print("\n" + result.render())
+
+    assert result.rows
+    top = result.rows[0]
+    # substantial relative extremes (paper: ×2.55 at the top)
+    assert top.relative_times >= (1.8 if strict else 1.5)
+    # at least one large absolute difference (paper: up to €1201)
+    assert any(r.absolute_eur >= 200.0 for r in result.rows)
+    # the famous camera case: more than €10k between extremes
+    assert result.iq280_absolute_eur is not None
+    assert result.iq280_absolute_eur > 5_000.0

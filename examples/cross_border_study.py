@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""A small cross-border measurement study (the Sect. 6/7 workflow).
+
+Stands up the paper's calibrated retailer roster (digitalrev,
+steampowered, abercrombie, …), runs a crawl from Spain against every
+domain, and prints the Fig. 9/10/Table 3-style analyses:
+
+* per-domain request counts and normalized-spread box statistics,
+* the most extreme relative/absolute differences,
+* which countries are the most expensive / cheapest,
+* the Phase One IQ280 case (>€10k between extremes).
+
+Run with:  python examples/cross_border_study.py
+"""
+
+from repro.analysis.pricediff import (
+    country_extremes,
+    domain_diff_stats,
+    extreme_differences,
+)
+from repro.analysis.reports import format_table
+from repro.core.sheriff import PriceSheriff, SheriffWorld
+from repro.workloads.crawlstudy import CrawlStudy
+from repro.workloads.stores import build_named_stores
+
+
+def main() -> None:
+    world = SheriffWorld.create(seed=11)
+    stores = build_named_stores(world)
+    sheriff = PriceSheriff(world, n_measurement_servers=2)
+    study = CrawlStudy(world, sheriff)
+
+    domains = ["digitalrev.com", "steampowered.com", "abercrombie.com",
+               "luisaviaroma.com", "overstock.com", "suitsupply.com"]
+    print(f"crawling {len(domains)} retailers from Spain ...")
+    results = study.crawl_domains(domains, products_per_domain=4,
+                                  repetitions=3)
+    # one dedicated look at the famous camera
+    iq280_url = stores["digitalrev.com"].product_url("digitalrev-iq280")
+    results.append(study.backend.addons[-1].check_price(iq280_url))
+
+    print()
+    stats = domain_diff_stats(results)
+    print(format_table(
+        [(s.domain, s.n_requests, s.n_with_difference,
+          f"{100 * s.spread_stats.median:.1f}%",
+          f"{100 * s.spread_stats.maximum:.1f}%")
+         for s in stats],
+        headers=("Domain", "Requests", "With diff", "Median", "Max"),
+        title="Per-domain price differences (crawled from Spain)",
+    ))
+
+    print()
+    extremes = extreme_differences(results, top=5)
+    print(format_table(
+        [(e.domain, round(e.relative_times, 2), round(e.absolute_eur, 2))
+         for e in extremes],
+        headers=("Domain", "Relative (times)", "Absolute (EUR)"),
+        title="Most extreme differences",
+    ))
+
+    print()
+    expensive, cheapest = country_extremes(results)
+    print("most expensive countries:",
+          ", ".join(c for c, _ in expensive.most_common(5)))
+    print("cheapest countries:      ",
+          ", ".join(c for c, _ in cheapest.most_common(5)))
+
+    iq280 = [r for r in results if "digitalrev-iq280" in r.url]
+    if iq280:
+        prices = iq280[-1].eur_prices()
+        print()
+        print(f"Phase One IQ280: min €{min(prices):,.0f}  "
+              f"max €{max(prices):,.0f}  "
+              f"spread €{max(prices) - min(prices):,.0f}")
+
+
+if __name__ == "__main__":
+    main()

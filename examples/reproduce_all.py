@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Builds the shared datasets once (live deployment, systematic crawl,
+four-country case study, temporal study) and prints each experiment's
+rendered rows/series.  This is the same code the benchmark harness
+runs; use it when you want the outputs without pytest.
+
+Usage:  python examples/reproduce_all.py [test|default|paper]
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    ablations,
+    fig2_result_page,
+    fig5_adoption,
+    fig8_clustering,
+    fig9_live_domains,
+    fig10_ratio,
+    fig11_crawl,
+    fig12_country_cases,
+    fig13_peer_bias,
+    fig14_15_temporal,
+    sec75_ab_stats,
+    sec76_alexa400,
+    table1_performance,
+    table2_countries,
+    table3_extremes,
+    table4_country_rank,
+    table5_percentages,
+)
+
+EXPERIMENTS = [
+    ("Table 1", lambda s: table1_performance.run(s)),
+    ("Table 2", lambda s: table2_countries.run(s)),
+    ("Table 3", lambda s: table3_extremes.run(s)),
+    ("Table 4", lambda s: table4_country_rank.run(s)),
+    ("Table 5", lambda s: table5_percentages.run(s)),
+    ("Fig. 2", lambda s: fig2_result_page.run(s)),
+    ("Fig. 5", lambda s: fig5_adoption.run(s)),
+    ("Fig. 8(a)", lambda s: fig8_clustering.run_fig8a(s)),
+    ("Fig. 8(b)", lambda s: fig8_clustering.run_fig8b(s)),
+    ("Fig. 8(c)", lambda s: fig8_clustering.run_fig8c(s)),
+    ("Fig. 9", lambda s: fig9_live_domains.run(s)),
+    ("Fig. 10", lambda s: fig10_ratio.run(s)),
+    ("Fig. 11", lambda s: fig11_crawl.run(s)),
+    ("Fig. 12", lambda s: fig12_country_cases.run(s)),
+    ("Fig. 13", lambda s: fig13_peer_bias.run(s)),
+    ("Figs. 14-15", lambda s: fig14_15_temporal.run(s)),
+    ("Sect. 7.5", lambda s: sec75_ab_stats.run(s)),
+    ("Sect. 7.6", lambda s: sec76_alexa400.run(s)),
+    ("Ablation: dispatch", lambda s: ablations.run_dispatch_ablation(s)),
+    ("Ablation: doppelganger",
+     lambda s: ablations.run_doppelganger_ablation(s)),
+    ("Ablation: secure k-means",
+     lambda s: ablations.run_secure_kmeans_ablation(s)),
+    ("Ablation: DiffStorage",
+     lambda s: ablations.run_diffstorage_ablation(s)),
+]
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "default"
+    total_start = time.time()
+    for name, runner in EXPERIMENTS:
+        started = time.time()
+        result = runner(scale)
+        elapsed = time.time() - started
+        print(f"\n{'=' * 72}\n{name}  ({elapsed:.1f}s)\n{'=' * 72}")
+        print(result.render())
+    print(f"\nall experiments regenerated in "
+          f"{time.time() - total_start:.0f}s at scale={scale!r}")
+
+
+if __name__ == "__main__":
+    main()

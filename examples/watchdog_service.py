@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Running the $heriff as an actual watchdog service.
+
+The paper's pitch is "watchdog value": continuous transparency
+software, not one-shot measurements.  This example keeps a watchlist of
+products and re-checks them daily; the retailer behaves for a week,
+then turns on cross-border discrimination, then escalates — and the
+watchdog raises exactly the right alerts:
+
+* day 8: ``variation-detected`` the first cycle after prices diverge;
+* day 12: ``spread-change`` when the multiplier is raised;
+* a per-product audit trail of (day, classification, spread).
+
+Run with:  python examples/watchdog_service.py
+"""
+
+import random
+
+from repro.core.sheriff import PriceSheriff, SheriffWorld
+from repro.core.watchdog import Watchdog
+from repro.web.catalog import make_catalog
+from repro.web.pricing import CountryMultiplierPricing, PricingPolicy
+from repro.web.store import EStore
+
+
+class ScheduledDiscrimination(PricingPolicy):
+    """Honest at first; starts discriminating on a given day."""
+
+    def __init__(self, start_day: int, escalate_day: int) -> None:
+        self.start_day = start_day
+        self.escalate_day = escalate_day
+        self._mild = CountryMultiplierPricing({"JP": 1.2, "CA": 1.15})
+        self._harsh = CountryMultiplierPricing({"JP": 1.6, "CA": 1.4})
+
+    def adjustments(self, product, ctx):
+        if ctx.day >= self.escalate_day:
+            return self._harsh.adjustments(product, ctx)
+        if ctx.day >= self.start_day:
+            return self._mild.adjustments(product, ctx)
+        return []
+
+
+def main() -> None:
+    world = SheriffWorld.create(seed=23)
+    store = EStore(
+        domain="shifty.example", country_code="ES",
+        catalog=make_catalog("shifty.example", size=4, rng=random.Random(4)),
+        pricing=ScheduledDiscrimination(start_day=8, escalate_day=12),
+        geodb=world.geodb, rates=world.rates,
+    )
+    world.internet.register(store)
+    sheriff = PriceSheriff(world, n_measurement_servers=1)
+    monitor = sheriff.install_addon(world.make_browser("ES", "Madrid"))
+
+    watchdog = Watchdog(monitor, world.geodb)
+    url = store.product_url(store.catalog.products[0].product_id)
+    watchdog.add_watch(url, label="the product everyone buys")
+
+    print("watching", url)
+    for day in range(15):
+        alerts = watchdog.run_cycle()
+        for alert in alerts:
+            print(f"day {day:2d}  ALERT  {alert.describe()}")
+        world.clock.advance_days(1)
+
+    print("\naudit trail:")
+    for time, classification, spread in watchdog.history(url):
+        day = int(time // 86_400)
+        print(f"  day {day:2d}: {classification:<16} "
+              f"spread {100 * spread:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Analysis: the statistics behind Sects. 6 and 7 of the paper.
+
+* :mod:`repro.analysis.pricediff` — per-domain request/spread statistics
+  (Figs. 9/11), max-over-min ratios vs price (Fig. 10), country extremes
+  (Table 4), extreme differences (Table 3), in-country percentages
+  (Table 5), per-peer bias distributions (Fig. 13);
+* :mod:`repro.analysis.stats` — pairwise Kolmogorov–Smirnov tests,
+  linear/multi-linear regression with significance, a from-scratch
+  random forest with feature importances, ROC-AUC, and the combined
+  A/B-vs-PDI-PD verdict of Sect. 7.5;
+* :mod:`repro.analysis.temporal` — daily price series, regression trend
+  lines, revenue deltas, and daily fluctuation (Figs. 14/15);
+* :mod:`repro.analysis.reports` — table/series rendering for the
+  benchmark harnesses.
+"""
+
+from repro.analysis.pricediff import (
+    BoxStats,
+    DomainDiffStats,
+    box_stats,
+    country_extremes,
+    domain_diff_stats,
+    extreme_differences,
+    peer_bias_distributions,
+    ratio_vs_min_price,
+    within_country_percentages,
+)
+from repro.analysis.stats import (
+    ABTestVerdict,
+    RandomForest,
+    ab_test_verdict,
+    ks_pairwise,
+    linear_regression,
+    roc_auc,
+)
+from repro.analysis.temporal import (
+    TemporalTrend,
+    daily_fluctuation,
+    daily_series,
+    revenue_delta,
+    trend_for_product,
+)
+from repro.analysis.reports import format_table, format_percent
+
+__all__ = [
+    "BoxStats",
+    "DomainDiffStats",
+    "box_stats",
+    "country_extremes",
+    "domain_diff_stats",
+    "extreme_differences",
+    "peer_bias_distributions",
+    "ratio_vs_min_price",
+    "within_country_percentages",
+    "ABTestVerdict",
+    "RandomForest",
+    "ab_test_verdict",
+    "ks_pairwise",
+    "linear_regression",
+    "roc_auc",
+    "TemporalTrend",
+    "daily_fluctuation",
+    "daily_series",
+    "revenue_delta",
+    "trend_for_product",
+    "format_table",
+    "format_percent",
+]

@@ -1,0 +1,28 @@
+"""Browser substrate: cookie jar, history, cache, sandboxing, user agents.
+
+Stands in for Firefox/Chrome plus the WebExtension APIs the add-on uses
+(cookie service, history service, cache service, HTTP(S) connection
+monitoring).  The :class:`~repro.browser.sandbox.Sandbox` reproduces the
+client-side pollution prevention of Sect. 3.6.1: a remote page request
+executes against a snapshot of the browser state and every trace of it —
+cookies set by the page or its trackers, history entries, cache entries —
+is discarded afterwards.
+"""
+
+from repro.browser.cookies import CookieJar
+from repro.browser.history import BrowserHistory, HistoryEntry
+from repro.browser.fingerprint import UserAgent, all_user_agents, user_agent
+from repro.browser.browser import Browser
+from repro.browser.sandbox import Sandbox, SandboxedFetchResult
+
+__all__ = [
+    "CookieJar",
+    "BrowserHistory",
+    "HistoryEntry",
+    "UserAgent",
+    "all_user_agents",
+    "user_agent",
+    "Browser",
+    "Sandbox",
+    "SandboxedFetchResult",
+]

@@ -1,0 +1,65 @@
+"""User agents: the OS × browser matrix of the Sect. 7.5 experiments.
+
+The paper controls for desktop OS and browser by running "all possible
+combinations of popular operating systems and browsers using the
+phantomJS headless browser": Windows 7, Mac OSX and Linux crossed with
+Chrome, Firefox and Safari.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+OSES = ("Windows 7", "Mac OSX", "Linux")
+BROWSERS = ("Chrome", "Firefox", "Safari")
+
+
+@dataclass(frozen=True)
+class UserAgent:
+    """One OS/browser combination with its UA string."""
+
+    os: str
+    browser: str
+
+    @property
+    def string(self) -> str:
+        os_token = {
+            "Windows 7": "Windows NT 6.1; Win64; x64",
+            "Mac OSX": "Macintosh; Intel Mac OS X 10_11",
+            "Linux": "X11; Linux x86_64",
+        }[self.os]
+        browser_token = {
+            "Chrome": "AppleWebKit/537.36 (KHTML, like Gecko) Chrome/50.0 Safari/537.36",
+            "Firefox": "Gecko/20100101 Firefox/45.0",
+            "Safari": "AppleWebKit/601.5 (KHTML, like Gecko) Version/9.1 Safari/601.5",
+        }[self.browser]
+        return f"Mozilla/5.0 ({os_token}) {browser_token}"
+
+
+def all_user_agents() -> List[UserAgent]:
+    """Every OS × browser combination, in deterministic order."""
+    return [UserAgent(os=o, browser=b) for o in OSES for b in BROWSERS]
+
+
+def user_agent(os: str, browser: str) -> UserAgent:
+    if os not in OSES:
+        raise ValueError(f"unknown OS {os!r}")
+    if browser not in BROWSERS:
+        raise ValueError(f"unknown browser {browser!r}")
+    return UserAgent(os=os, browser=browser)
+
+
+def parse_user_agent(ua_string: str) -> Tuple[str, str]:
+    """Best-effort inverse of :attr:`UserAgent.string` (for store logs)."""
+    os = "Linux"
+    if "Windows" in ua_string:
+        os = "Windows 7"
+    elif "Macintosh" in ua_string:
+        os = "Mac OSX"
+    browser = "Safari"
+    if "Chrome" in ua_string:
+        browser = "Chrome"
+    elif "Firefox" in ua_string:
+        browser = "Firefox"
+    return os, browser

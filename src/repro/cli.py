@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro …``.
+
+Gives the library a tool-shaped front door:
+
+* ``demo``        — the quickstart price check on a small world;
+* ``reproduce``   — regenerate one (or all) tables/figures;
+* ``perf``        — print Table 1 from the performance model;
+* ``geoblock``    — scan a demo URL for geoblocking;
+* ``panels``      — render the Fig. 7 / Fig. 16 monitoring panels.
+
+Everything runs against the simulated world; the CLI exists so the
+reproduction can be driven without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence
+
+EXPERIMENT_CHOICES = (
+    "table1", "table2", "table3", "table4", "table5",
+    "fig2", "fig5", "fig8a", "fig8b", "fig8c", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14-15", "sec75", "sec76", "all",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Price $heriff — SIGCOMM'17 reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a demo price check")
+    demo.add_argument("--country", default="ES",
+                      help="initiator country (ISO code)")
+    demo.add_argument("--currency", default="EUR",
+                      help="currency the result page converts into")
+
+    reproduce = sub.add_parser("reproduce",
+                               help="regenerate a table/figure (or all)")
+    reproduce.add_argument("experiment", choices=EXPERIMENT_CHOICES)
+    reproduce.add_argument("--scale", default="test",
+                           choices=("test", "default", "paper"))
+    reproduce.add_argument("--out", default=None,
+                           help="also write a markdown report to this path")
+
+    sub.add_parser("perf", help="print Table 1 from the queueing model")
+
+    sub.add_parser("geoblock", help="demo geoblocking scan")
+
+    sub.add_parser("panels", help="render the admin monitoring panels")
+
+    watch = sub.add_parser("watch", help="demo watchdog monitoring run")
+    watch.add_argument("--days", type=int, default=12,
+                       help="how many daily cycles to simulate")
+
+    return parser
+
+
+def _demo_world():
+    from repro.core.sheriff import PriceSheriff, SheriffWorld
+    from repro.web.catalog import make_catalog
+    from repro.web.pricing import CountryMultiplierPricing
+    from repro.web.store import EStore
+
+    world = SheriffWorld.create(seed=7)
+    store = EStore(
+        domain="demo-store.example", country_code="US",
+        catalog=make_catalog("demo-store.example", size=5,
+                             rng=random.Random(1)),
+        pricing=CountryMultiplierPricing({"CA": 1.3, "JP": 1.15}),
+        geodb=world.geodb, rates=world.rates, currency_strategy="geo",
+    )
+    world.internet.register(store)
+    sheriff = PriceSheriff(world, n_measurement_servers=1)
+    return world, sheriff, store
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    world, sheriff, store = _demo_world()
+    addon = sheriff.install_addon(world.make_browser(args.country))
+    for _ in range(2):  # a couple of same-country peers
+        sheriff.install_addon(world.make_browser(args.country))
+    result = addon.check_price(
+        store.product_url(store.catalog.products[0].product_id),
+        requested_currency=args.currency,
+    )
+    print(result.render_result_page())
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        fig2_result_page, fig5_adoption, fig8_clustering, fig9_live_domains,
+        fig10_ratio, fig11_crawl, fig12_country_cases, fig13_peer_bias,
+        fig14_15_temporal, sec75_ab_stats, sec76_alexa400,
+        table1_performance, table2_countries, table3_extremes,
+        table4_country_rank, table5_percentages,
+    )
+
+    runners = {
+        "table1": lambda s: table1_performance.run(s),
+        "table2": lambda s: table2_countries.run(s),
+        "table3": lambda s: table3_extremes.run(s),
+        "table4": lambda s: table4_country_rank.run(s),
+        "table5": lambda s: table5_percentages.run(s),
+        "fig2": lambda s: fig2_result_page.run(s),
+        "fig5": lambda s: fig5_adoption.run(s),
+        "fig8a": lambda s: fig8_clustering.run_fig8a(s),
+        "fig8b": lambda s: fig8_clustering.run_fig8b(s),
+        "fig8c": lambda s: fig8_clustering.run_fig8c(s),
+        "fig9": lambda s: fig9_live_domains.run(s),
+        "fig10": lambda s: fig10_ratio.run(s),
+        "fig11": lambda s: fig11_crawl.run(s),
+        "fig12": lambda s: fig12_country_cases.run(s),
+        "fig13": lambda s: fig13_peer_bias.run(s),
+        "fig14-15": lambda s: fig14_15_temporal.run(s),
+        "sec75": lambda s: sec75_ab_stats.run(s),
+        "sec76": lambda s: sec76_alexa400.run(s),
+    }
+    selected = (
+        list(runners.items())
+        if args.experiment == "all"
+        else [(args.experiment, runners[args.experiment])]
+    )
+    sections = []
+    for name, runner in selected:
+        rendered = runner(args.scale).render()
+        if len(selected) > 1:
+            print(f"\n=== {name} ===")
+        print(rendered)
+        sections.append((name, rendered))
+    if args.out:
+        from repro.analysis.report_writer import write_markdown_report
+
+        path = write_markdown_report(sections, args.out, scale=args.scale)
+        print(f"\nreport written to {path}")
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.experiments import table1_performance
+
+    print(table1_performance.run("test").render())
+    return 0
+
+
+def _cmd_geoblock(args: argparse.Namespace) -> int:
+    from repro.core.sheriff import PriceSheriff, SheriffWorld
+    from repro.extensions.geoblock import GeoblockScanner
+    from repro.web.catalog import make_catalog
+    from repro.web.pricing import UniformPricing
+    from repro.web.store import EStore
+
+    world = SheriffWorld.create(seed=9)
+    store = EStore(
+        domain="regional.example", country_code="US",
+        catalog=make_catalog("regional.example", size=3,
+                             rng=random.Random(2)),
+        pricing=UniformPricing(), geodb=world.geodb, rates=world.rates,
+        blocked_countries=("DE", "FR"),
+    )
+    world.internet.register(store)
+    sheriff = PriceSheriff(world, n_measurement_servers=1)
+    scanner = GeoblockScanner(sheriff)
+    report = scanner.scan(
+        store.product_url(store.catalog.products[0].product_id)
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_panels(args: argparse.Namespace) -> int:
+    from repro.core.admin import AdminConsole
+
+    world, sheriff, _ = _demo_world()
+    sheriff.install_addon(world.make_browser("ES", "Madrid"))
+    sheriff.install_addon(world.make_browser("FR", "Paris"))
+    console = AdminConsole(sheriff)
+    print(console.servers_panel())
+    print()
+    print(console.peers_panel())
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.core.watchdog import Watchdog
+    from repro.web.pricing import CountryMultiplierPricing, PricingPolicy
+
+    class TurnsBadOnDay8(PricingPolicy):
+        def adjustments(self, product, ctx):
+            if ctx.day >= 8:
+                return CountryMultiplierPricing(
+                    {"JP": 1.3}
+                ).adjustments(product, ctx)
+            return []
+
+    world, sheriff, store = _demo_world()
+    store.pricing = TurnsBadOnDay8()
+    monitor = sheriff.install_addon(world.make_browser("ES", "Madrid"))
+    watchdog = Watchdog(monitor, world.geodb)
+    url = store.product_url(store.catalog.products[0].product_id)
+    watchdog.add_watch(url)
+    print(f"watching {url} for {args.days} days")
+    for day in range(args.days):
+        for alert in watchdog.run_cycle():
+            print(f"day {day:2d}  ALERT  {alert.describe()}")
+        world.clock.advance_days(1)
+    print("done;", len(watchdog.history(url)), "observations recorded")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "reproduce": _cmd_reproduce,
+        "perf": _cmd_perf,
+        "geoblock": _cmd_geoblock,
+        "panels": _cmd_panels,
+        "watch": _cmd_watch,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

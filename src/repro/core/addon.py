@@ -1,0 +1,204 @@
+"""The browser add-on (Sect. 3.1.2; App. 10.5).
+
+Five modules, as in the implementation appendix:
+
+* **View** — the result page (delegated to
+  :meth:`repro.core.pricecheck.PriceCheckResult.render_result_page`);
+* **Collector** — detects third-party domains on the current page,
+  builds the Tags Path from the user's price selection, and runs the
+  request protocol against the Coordinator and Measurement server;
+* **Peer handler** — the P2P side
+  (:class:`repro.clients.ppc.PeerProxyClient`), registered with the
+  overlay under this add-on's peer ID;
+* **Sandbox** — remote page requests execute via
+  :func:`repro.browser.sandbox.sandboxed_fetch` inside the peer handler;
+* **Controller** — the orchestration entry points exposed here.
+
+The human act of highlighting the price is simulated by
+:meth:`SheriffAddon.select_price_element`, which picks the price markup
+inside the product block the way a user's cursor would.  Everything
+downstream of the selection is the real algorithm.
+
+Privacy: "No information leaves the browser unless the user explicitly
+opts in" — history donation and profile encryption check the consent
+flag, and an add-on installed without consent is not activated at all.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import List, Optional, Sequence, Tuple
+
+from repro.browser.browser import Browser
+from repro.browser.fingerprint import parse_user_agent
+from repro.core.aggregator import Aggregator
+from repro.core.coordinator import Coordinator, RequestTicket
+from repro.core.measurement import MeasurementServer, PriceCheckJob
+from repro.core.pricecheck import PriceCheckResult
+from repro.core.tagspath import TagsPath, build_tags_path
+from repro.currency.detect import detect_price
+from repro.net.p2p import PeerOverlay, make_peer_id
+from repro.web.html import Element, find_all, parse
+from repro.web.store import PRICE_CLASSES
+
+
+class ConsentRequired(RuntimeError):
+    """The add-on was installed but the user never gave consent."""
+
+
+class PriceSelectionError(ValueError):
+    """No plausible price element could be selected on the page."""
+
+
+class SheriffAddon:
+    """One installed add-on instance (Firefox/Chrome equivalent)."""
+
+    def __init__(
+        self,
+        browser: Browser,
+        coordinator: Coordinator,
+        aggregator: Aggregator,
+        overlay: PeerOverlay,
+        measurement_lookup,
+        consent: bool = True,
+        peer_id: Optional[str] = None,
+        history_donation_opt_in: bool = False,
+        serve_as_ppc: bool = True,
+        anonymity=None,
+    ) -> None:
+        self.browser = browser
+        self.coordinator = coordinator
+        self.aggregator = aggregator
+        self.overlay = overlay
+        self._measurement_lookup = measurement_lookup
+        self.consent = consent
+        self.history_donation_opt_in = history_donation_opt_in
+        self.peer_id = peer_id or make_peer_id()
+        # imported here to avoid a core ↔ clients import cycle
+        from repro.clients.ppc import PeerProxyClient
+
+        self.peer_handler = PeerProxyClient(
+            peer_id=self.peer_id,
+            browser=browser,
+            coordinator=coordinator,
+            aggregator=aggregator,
+            anonymity=anonymity,
+        )
+        self.checks_initiated = 0
+        self.serve_as_ppc = serve_as_ppc
+        if consent and serve_as_ppc:
+            # The add-on announces itself to the Coordinator on startup.
+            overlay.register(self.peer_id, browser.location, self.peer_handler.handle)
+
+    # -- consent ---------------------------------------------------------------
+    def _require_consent(self) -> None:
+        if not self.consent:
+            raise ConsentRequired(
+                "the add-on is not activated: the user did not consent"
+            )
+
+    def uninstall(self) -> None:
+        self.overlay.unregister(self.peer_id)
+        self.consent = False
+
+    # -- Collector: price selection & tags path --------------------------------
+    @staticmethod
+    def select_price_element(root: Element) -> Element:
+        """Simulate the user highlighting the product price.
+
+        The cursor lands on the price markup inside the main product
+        block — the first price-classed span within a ``product`` div.
+        """
+        products = find_all(root, cls="product")
+        search_roots: Sequence[Element] = products if products else [root]
+        for scope in search_roots:
+            for cls in PRICE_CLASSES:
+                spans = find_all(scope, tag="span", cls=cls)
+                if spans:
+                    return spans[0]
+        raise PriceSelectionError("no price element found on the page")
+
+    def build_selection(self, html: str) -> Tuple[TagsPath, str]:
+        """Parse the current page, select the price, build the Tags Path.
+
+        The selected text is validated the way the real add-on validates
+        it (length cap, at least one digit, sanitization) — invalid
+        selections raise before anything leaves the browser.
+        """
+        root = parse(html)
+        element = self.select_price_element(root)
+        text = element.text().strip()
+        detect_price(text)  # raises CurrencyDetectionError when invalid
+        return build_tags_path(root, element), text
+
+    # -- Controller: the price check entry point -----------------------------
+    def check_price(self, url: str, requested_currency: str = "EUR") -> PriceCheckResult:
+        """Run a full price check (steps 1–5 of Fig. 1).
+
+        The navigation to the product page is a *real* visit — the user
+        is shopping; only tunneled requests are sandboxed.
+        """
+        self._require_consent()
+        # Admission first: if the domain is not whitelisted or the URL is
+        # PII-blacklisted, the system "will not fetch the content"
+        # (Sect. 2.3) — nothing is navigated for a rejected request.
+        ticket, ppc_ids = self.coordinator.new_request(  # steps 1.x / 2
+            self.peer_id, url, self.browser.location
+        )
+        try:
+            response = self.browser.visit(url)  # step 1: navigate + select
+            tags_path, _ = self.build_selection(response.html)
+        except Exception:
+            # release the assigned job so the server's counter stays true
+            self.coordinator.job_completed(ticket.job_id)
+            raise
+        server: MeasurementServer = self._measurement_lookup(ticket.server_name)
+        os_name, browser_name = parse_user_agent(self.browser.agent.string)
+        job = PriceCheckJob(  # step 3
+            job_id=ticket.job_id,
+            url=url,
+            tags_path=tags_path,
+            requested_currency=requested_currency,
+            initiator_peer_id=self.peer_id,
+            initiator_html=response.html,
+            initiator_location=self.browser.location,
+            initiator_os=os_name,
+            initiator_browser=browser_name,
+            ppc_ids=ppc_ids,
+            third_party_domains=response.tracker_domains,
+        )
+        result = server.handle_price_check(job)  # steps 3.1–5
+        self.checks_initiated += 1
+        return result
+
+    # -- history donation (requirement 3 of Sect. 2.2) --------------------------
+    def donated_history_counts(self) -> Counter:
+        """Domain-level history sample, only with explicit opt-in."""
+        self._require_consent()
+        if not self.history_donation_opt_in:
+            raise ConsentRequired("the user did not opt in to donate history")
+        return self.browser.browsing_profile_counts()
+
+    def encrypted_profile(
+        self,
+        scheme,
+        public_keys: Sequence[int],
+        reference_domains: Sequence[str],
+        rng: random.Random,
+        quantization: int = 100,
+    ):
+        """Encrypt this user's profile vector for the secure clustering.
+
+        Unlike history donation, this never reveals the cleartext
+        profile to anyone — consent to participate suffices.
+        """
+        self._require_consent()
+        from repro.crypto.secure_kmeans import ProfileClient
+        from repro.profiles.vector import profile_from_counts
+
+        profile = profile_from_counts(
+            self.browser.browsing_profile_counts(), reference_domains, quantization
+        )
+        client = ProfileClient(self.peer_id, list(profile.quantized), quantization)
+        return client.encrypt_profile(scheme, public_keys, rng)

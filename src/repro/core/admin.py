@@ -1,0 +1,84 @@
+"""The administrator's console (App. 10.2.1 + Figs. 7/16).
+
+"First, one needs to setup a new Measurement server.  Then, she needs
+to register it with the system by using the Coordinator's web
+interface.  The Coordinator executes some internal tests to confirm
+that the new machine is actually running the Measurement server code.
+If the new machine passes the tests, the Coordinator includes it in the
+request distribution protocol…  To remove a Measurement server, one can
+use the same web interface.  As soon as the selected Measurement server
+has no pending jobs, it can be removed."
+
+:class:`AdminConsole` wraps a deployment with exactly that workflow:
+attach runs the probe (a canned price-extraction self-test) before the
+server joins dispatch; detach refuses while jobs are pending; the two
+monitoring panels render on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.measurement import MeasurementServer
+from repro.core.monitoring import peers_panel, servers_panel
+
+
+class ProbeFailed(RuntimeError):
+    """The machine is not running (working) Measurement server code."""
+
+
+class AdminConsole:
+    """The Coordinator's web interface, as a library object."""
+
+    def __init__(self, sheriff) -> None:
+        self._sheriff = sheriff
+
+    # -- attach / detach ---------------------------------------------------
+    def attach_measurement_server(self, name: str) -> MeasurementServer:
+        """Set up, probe, and (only then) register a new server."""
+        sheriff = self._sheriff
+        server = MeasurementServer(
+            name=name,
+            coordinator=sheriff.coordinator,
+            db=sheriff.db,
+            rates=sheriff.world.rates,
+            ipcs=sheriff.ipcs,
+            overlay=sheriff.overlay,
+            clock=sheriff.world.clock,
+            diffstore=sheriff.diffstore,
+        )
+        self.probe(server)
+        sheriff.measurement_servers[name] = server
+        sheriff.distributor.register_server(
+            name,
+            url=f"10.250.0.{len(sheriff.measurement_servers)}",
+            port=80,
+            now=sheriff.world.clock.now,
+        )
+        return server
+
+    def detach_measurement_server(self, name: str) -> None:
+        """Remove a server once it has no pending jobs."""
+        self._sheriff.remove_measurement_server(name)
+
+    # -- the internal probe --------------------------------------------------
+    @staticmethod
+    def probe(server: MeasurementServer) -> None:
+        """Confirm the machine runs working Measurement server code.
+
+        The probe exercises the two pipelines a Measurement server must
+        have: Tags Path price extraction and currency detection +
+        conversion, on a canned page with a known answer.  Any deviation
+        raises :class:`ProbeFailed`.
+        """
+        if not server.self_test():
+            raise ProbeFailed(
+                f"machine {server.name!r} failed the Measurement server probe"
+            )
+
+    # -- panels ------------------------------------------------------------------
+    def servers_panel(self) -> str:
+        return servers_panel(self._sheriff.distributor)
+
+    def peers_panel(self, self_peer_id: str = "") -> str:
+        return peers_panel(self._sheriff.overlay, self_peer_id)

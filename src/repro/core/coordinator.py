@@ -1,0 +1,207 @@
+"""The Coordinator (Sect. 3.1.1, 3.2, 3.4).
+
+The Coordinator is the front door of the back-end.  For every price
+check request it:
+
+1. validates the target against the whitelist (and the PII URL
+   blacklist), logging rejected requests for manual inspection;
+2. mints a globally unique job ID and assigns the job to the online
+   Measurement server with the fewest pending jobs (Fig. 6);
+3. hands the selected Measurement server the list of PPCs residing in
+   the initiator's location (step 1.1 of Fig. 1) — same city first,
+   padded with same-country peers, never including the initiator.
+
+It also runs three monitoring subsystems (Measurement servers, PPCs,
+doppelganger clients), serves doppelganger client-side state against
+256-bit bearer tokens (through an anonymity channel, so it cannot map
+peers to doppelgangers), and hosts the doppelganger manager.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dispatch import RequestDistributor, ServerRecord
+from repro.core.whitelist import Whitelist
+from repro.net.geo import GeoDatabase, Location
+from repro.net.p2p import PeerOverlay
+from repro.profiles.doppelganger import DoppelgangerManager
+from repro.web.internet import parse_url
+
+
+class RequestRejected(Exception):
+    """The price check request was refused (whitelist / blacklist)."""
+
+    def __init__(self, url: str, reason: str) -> None:
+        super().__init__(f"request for {url} rejected: {reason}")
+        self.url = url
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class RequestTicket:
+    """What the add-on receives in step 2 of Fig. 6."""
+
+    job_id: str
+    server_name: str
+    server_url: str
+    server_port: int
+
+
+@dataclass
+class JobRecord:
+    job_id: str
+    peer_id: str
+    url: str
+    domain: str
+    server_name: str
+    completed: bool = False
+
+
+class Coordinator:
+    """Whitelisting, job dispatch, peer tracking, doppelganger serving."""
+
+    def __init__(
+        self,
+        whitelist: Whitelist,
+        distributor: RequestDistributor,
+        overlay: PeerOverlay,
+        geodb: GeoDatabase,
+        clock,
+        dopp_manager: Optional[DoppelgangerManager] = None,
+        max_ppcs_per_request: int = 5,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.whitelist = whitelist
+        self.distributor = distributor
+        self.overlay = overlay
+        self.geodb = geodb
+        self.clock = clock
+        self.dopp_manager = dopp_manager
+        self.max_ppcs_per_request = max_ppcs_per_request
+        self._rng = rng if rng is not None else random.Random(1099)
+        self._job_seq = itertools.count(1)
+        self.jobs: Dict[str, JobRecord] = {}
+
+    # -- PPC tracking ----------------------------------------------------------
+    def select_ppcs(self, initiator_peer_id: str, location: Location) -> List[str]:
+        """PPC IDs in the initiator's location (step 1.1 of Fig. 1).
+
+        Same-city peers take priority; within each tier the choice is
+        randomized so that repeated checks spread over the peer pool
+        (Sect. 7.1: repetitions are timed "to maximize the number of
+        different PPCs used").
+        """
+        same_city = [
+            p.peer_id
+            for p in self.overlay.peers_in_city(location.country, location.city)
+            if p.peer_id != initiator_peer_id
+        ]
+        same_country = [
+            p.peer_id
+            for p in self.overlay.peers_in_country(location.country)
+            if p.peer_id != initiator_peer_id and p.peer_id not in same_city
+        ]
+        self._rng.shuffle(same_city)
+        self._rng.shuffle(same_country)
+        return (same_city + same_country)[: self.max_ppcs_per_request]
+
+    # -- the request protocol (Fig. 6) ------------------------------------------
+    def new_request(
+        self, peer_id: str, url: str, location: Location
+    ) -> Tuple[RequestTicket, List[str]]:
+        """Steps 1–2 of the distribution protocol.
+
+        Raises :class:`RequestRejected` for non-whitelisted domains or
+        PII-blacklisted URLs.  Returns the ticket plus the PPC list that
+        is forwarded to the selected Measurement server.
+        """
+        domain, path = parse_url(url)
+        allowed, reason = self.whitelist.check(url, domain, path, self.clock.now)
+        if not allowed:
+            raise RequestRejected(url, reason)
+        job_id = f"job-{next(self._job_seq)}"
+        server = self.distributor.assign_job(job_id)
+        self.jobs[job_id] = JobRecord(
+            job_id=job_id, peer_id=peer_id, url=url, domain=domain,
+            server_name=server.name,
+        )
+        ppcs = self.select_ppcs(peer_id, location)
+        return (
+            RequestTicket(
+                job_id=job_id,
+                server_name=server.name,
+                server_url=server.url,
+                server_port=server.port,
+            ),
+            ppcs,
+        )
+
+    def job_completed(self, job_id: str) -> None:
+        """Step 4: the Measurement server reports completion."""
+        record = self.jobs.get(job_id)
+        if record is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        if not record.completed:
+            record.completed = True
+            self.distributor.complete_job(job_id)
+
+    # -- doppelganger state service (steps 3.3/3.4 of Fig. 1) -------------------
+    def doppelganger_client_state(self, token: str) -> Dict[str, Dict[str, str]]:
+        """Bearer-token state request, arriving via an anonymity network.
+
+        The Coordinator grants the client-side state "only to those who
+        submit the correct token" — it never learns which peer asked.
+        """
+        if self.dopp_manager is None:
+            raise RuntimeError("no doppelganger manager configured")
+        return self.dopp_manager.client_state_for(token)
+
+    #: network identities seen on doppelganger state requests — with the
+    #: anonymity channel in place these are exit-relay names, never peers
+    state_request_sources: List[str]
+
+    def handle_anonymous_state_request(self, request) -> Dict[str, Dict[str, str]]:
+        """Serve a state request delivered over the anonymity network.
+
+        ``request`` is an :class:`repro.net.anonymity.AnonymousRequest`;
+        the payload carries only the bearer token.  The source identity
+        available to the Coordinator is the exit relay.
+        """
+        if not hasattr(self, "state_request_sources"):
+            self.state_request_sources = []
+        self.state_request_sources.append(request.exit_relay)
+        token = request.payload.decode("utf-8")
+        return self.doppelganger_client_state(token)
+
+    def record_doppelganger_serve(self, token: str, domain: str) -> Optional[str]:
+        """Account one doppelganger use; returns the fresh token if the
+        budget triggered a regeneration, else None."""
+        if self.dopp_manager is None:
+            raise RuntimeError("no doppelganger manager configured")
+        dopp = self.dopp_manager.get(token)
+        cluster = dopp.cluster_index
+        self.dopp_manager.record_serve(token, domain)
+        fresh = self.dopp_manager.id_for_cluster(cluster)
+        return fresh if fresh != token else None
+
+    def update_doppelganger_state(
+        self, token: str, client_state: Dict[str, Dict[str, str]]
+    ) -> None:
+        """Persist the client-side state a PPC accumulated for a dopp."""
+        if self.dopp_manager is None:
+            raise RuntimeError("no doppelganger manager configured")
+        try:
+            self.dopp_manager.get(token).client_state = client_state
+        except KeyError:
+            pass  # the doppelganger was regenerated meanwhile
+
+    # -- monitoring --------------------------------------------------------------
+    def pending_jobs(self) -> int:
+        return self.distributor.pending_jobs
+
+    def open_jobs(self) -> List[JobRecord]:
+        return [j for j in self.jobs.values() if not j.completed]

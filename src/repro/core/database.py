@@ -1,0 +1,129 @@
+"""The shared Database server (Sect. 3.1.1 and App. 10.2.1).
+
+The paper's first design ran one RDBMS per Measurement server and hit
+consistency problems; the deployed system centralizes a single MySQL
+instance on a dedicated node, tuned with a warm connection-thread pool
+and stored procedures.  This module models that server:
+
+* named tables with insert/scan plus "stored procedures" — the canned
+  queries the Measurement servers issue;
+* a bounded connection pool whose acquisition statistics feed the
+  Table-1 performance model (the old architecture's contention is one
+  of the two reasons its response time blows up near 10 parallel tasks).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+TABLES = (
+    "users",
+    "requests",
+    "responses",
+    "rejected_requests",
+    "history_donations",
+)
+
+
+class ConnectionPoolExhausted(RuntimeError):
+    """All pooled connections are in use."""
+
+
+class DatabaseServer:
+    """In-process stand-in for the dedicated MySQL node."""
+
+    def __init__(self, max_connections: int = 32) -> None:
+        self._tables: Dict[str, List[Dict[str, Any]]] = {t: [] for t in TABLES}
+        self._ids = itertools.count(1)
+        self.max_connections = max_connections
+        self._connections_in_use = 0
+        self.peak_connections = 0
+        self.query_count = 0
+
+    # -- connection pool ----------------------------------------------------
+    @contextmanager
+    def connection(self) -> Iterator["DatabaseServer"]:
+        if self._connections_in_use >= self.max_connections:
+            raise ConnectionPoolExhausted(
+                f"all {self.max_connections} connections busy"
+            )
+        self._connections_in_use += 1
+        self.peak_connections = max(self.peak_connections, self._connections_in_use)
+        try:
+            yield self
+        finally:
+            self._connections_in_use -= 1
+
+    # -- generic table access -----------------------------------------------
+    def _table(self, name: str) -> List[Dict[str, Any]]:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"unknown table {name!r}") from None
+
+    def insert(self, table: str, row: Dict[str, Any]) -> int:
+        self.query_count += 1
+        row = dict(row)
+        row_id = next(self._ids)
+        row["_id"] = row_id
+        self._table(table).append(row)
+        return row_id
+
+    def scan(
+        self, table: str, where: Optional[Callable[[Dict[str, Any]], bool]] = None
+    ) -> List[Dict[str, Any]]:
+        self.query_count += 1
+        rows = self._table(table)
+        if where is None:
+            return [dict(r) for r in rows]
+        return [dict(r) for r in rows if where(r)]
+
+    def count(self, table: str) -> int:
+        return len(self._table(table))
+
+    # -- stored procedures -------------------------------------------------
+    def sp_record_request(
+        self,
+        job_id: str,
+        user_id: str,
+        url: str,
+        domain: str,
+        time: float,
+    ) -> int:
+        return self.insert(
+            "requests",
+            {"job_id": job_id, "user_id": user_id, "url": url,
+             "domain": domain, "time": time},
+        )
+
+    def sp_record_response(self, job_id: str, **fields: Any) -> int:
+        row = {"job_id": job_id}
+        row.update(fields)
+        return self.insert("responses", row)
+
+    def sp_responses_for_job(self, job_id: str) -> List[Dict[str, Any]]:
+        return self.scan("responses", lambda r: r["job_id"] == job_id)
+
+    def sp_requests_by_domain(self) -> Counter:
+        self.query_count += 1
+        counts: Counter = Counter()
+        for row in self._tables["requests"]:
+            counts[row["domain"]] += 1
+        return counts
+
+    def sp_requests_by_user(self) -> Counter:
+        self.query_count += 1
+        counts: Counter = Counter()
+        for row in self._tables["requests"]:
+            counts[row["user_id"]] += 1
+        return counts
+
+    def sp_all_requests(self) -> List[Dict[str, Any]]:
+        return self.scan("requests")
+
+    def sp_all_responses(self) -> List[Dict[str, Any]]:
+        return self.scan("responses")

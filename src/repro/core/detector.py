@@ -1,0 +1,121 @@
+"""Structural classification of observed price variations (Sect. 2).
+
+Given the rows of one or more price checks for a product, this module
+answers the structural questions the paper's taxonomy asks:
+
+* is there any price difference at all (beyond a tolerance that absorbs
+  rounding and currency-conversion noise)?
+* is it *cross-border* (location-based PD) or does it appear *within* a
+  single country (candidate PDI-PD or A/B testing)?
+* is an in-country gap exactly explained by the country's VAT scale —
+  the amazon.com signature of Sect. 7.3?
+
+Whether a within-country variation is PDI-PD or A/B testing is a
+*statistical* question answered by :mod:`repro.analysis.stats` over many
+observations; this module handles the per-check structural part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.pricecheck import ResultRow
+from repro.net.geo import GeoDatabase
+
+#: spreads below this are treated as noise (rounding, converters).
+DEFAULT_TOLERANCE = 0.005
+#: how close a gap must be to a VAT rate to count as VAT-explained.
+VAT_MATCH_EPSILON = 0.01
+
+
+@dataclass
+class PriceVariationReport:
+    """Structural verdict for one product's observations."""
+
+    n_points: int
+    overall_spread: float  # (max-min)/min across all points
+    cross_country_spread: float  # spread of per-country medians
+    within_country_spread: Dict[str, float]  # country → in-country spread
+    vat_explained: Dict[str, bool]  # country → gap sits on the VAT scale
+    classification: str  # "none" | "location" | "within-country"
+
+    def worst_within_country(self) -> Optional[Tuple[str, float]]:
+        if not self.within_country_spread:
+            return None
+        country = max(self.within_country_spread, key=self.within_country_spread.get)
+        return country, self.within_country_spread[country]
+
+
+def _spread(values: Sequence[float]) -> float:
+    values = [v for v in values if v is not None]
+    if len(values) < 2:
+        return 0.0
+    low = min(values)
+    if low <= 0:
+        return 0.0
+    return (max(values) - low) / low
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def gap_matches_vat(
+    gap: float, country: str, geodb: GeoDatabase, epsilon: float = VAT_MATCH_EPSILON
+) -> bool:
+    """Does a relative price gap sit on one of the country's VAT rates?"""
+    try:
+        rates = geodb.country(country).vat_rates
+    except KeyError:
+        return False
+    return any(rate > 0 and abs(gap - rate) <= epsilon for rate in rates)
+
+
+def analyze_rows(
+    rows: Iterable[ResultRow],
+    geodb: GeoDatabase,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> PriceVariationReport:
+    """Classify the price variation across a set of measurement points."""
+    valid = [r for r in rows if r.ok and r.amount_eur is not None]
+    by_country: Dict[str, List[float]] = {}
+    for row in valid:
+        by_country.setdefault(row.country, []).append(row.amount_eur)
+
+    overall = _spread([r.amount_eur for r in valid])
+    country_medians = [_median(v) for v in by_country.values() if v]
+    cross = _spread(country_medians) if len(country_medians) >= 2 else 0.0
+
+    within: Dict[str, float] = {}
+    vat_explained: Dict[str, bool] = {}
+    for country, values in by_country.items():
+        spread = _spread(values)
+        if spread > tolerance:
+            within[country] = spread
+            vat_explained[country] = gap_matches_vat(spread, country, geodb)
+
+    if within:
+        classification = "within-country"
+    elif cross > tolerance:
+        classification = "location"
+    elif overall > tolerance:
+        # differences exist but only between single-point countries —
+        # still a location effect.
+        classification = "location"
+    else:
+        classification = "none"
+
+    return PriceVariationReport(
+        n_points=len(valid),
+        overall_spread=overall,
+        cross_country_spread=cross,
+        within_country_spread=within,
+        vat_explained=vat_explained,
+        classification=classification,
+    )

@@ -1,0 +1,148 @@
+"""The price check request distribution protocol (Sect. 3.4, App. 10.3).
+
+The Coordinator tracks every Measurement server in the *Measurement
+server list* — URL, port, online status, pending-job counter, and a
+heartbeat timestamp — and assigns each new request to the online server
+with the fewest pending jobs.  That beats round robin under
+heterogeneous servers, the argument the paper makes via the job-shop
+problem; ``policy="round_robin"`` is retained for the ablation
+benchmark.
+
+"Absence of heartbeat messages for a specified time threshold results in
+the Measurement server being marked as offline."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class NoServerAvailable(RuntimeError):
+    """No online Measurement server can take the job."""
+
+
+@dataclass
+class ServerRecord:
+    """One row of the Measurement server list (bottom of Fig. 6)."""
+
+    name: str
+    url: str
+    port: int
+    online: bool = True
+    jobs: int = 0
+    timestamp: float = 0.0
+
+    def panel_row(self) -> Dict[str, object]:
+        """One row of the Fig. 7 monitoring panel."""
+        return {
+            "Worker": self.url,
+            "Port": self.port,
+            "Status": "online" if self.online else "offline",
+            "Jobs": self.jobs,
+        }
+
+
+class RequestDistributor:
+    """Coordinator-side server registry and job assignment."""
+
+    def __init__(
+        self,
+        policy: str = "least_jobs",
+        heartbeat_timeout: float = 30.0,
+    ) -> None:
+        if policy not in ("least_jobs", "round_robin"):
+            raise ValueError(f"unknown dispatch policy {policy!r}")
+        self.policy = policy
+        self.heartbeat_timeout = heartbeat_timeout
+        self._servers: Dict[str, ServerRecord] = {}
+        self._rr = itertools.count()
+        self._job_server: Dict[str, str] = {}
+        self.assignments = 0
+        self.completions = 0
+
+    # -- registry ------------------------------------------------------------
+    def register_server(
+        self, name: str, url: str, port: int = 80, now: float = 0.0
+    ) -> ServerRecord:
+        if name in self._servers:
+            raise ValueError(f"server {name!r} already registered")
+        record = ServerRecord(name=name, url=url, port=port, timestamp=now)
+        self._servers[name] = record
+        return record
+
+    def remove_server(self, name: str) -> None:
+        record = self._servers.get(name)
+        if record is not None and record.jobs > 0:
+            raise RuntimeError(
+                f"server {name!r} still has {record.jobs} pending jobs"
+            )
+        self._servers.pop(name, None)
+
+    def server(self, name: str) -> ServerRecord:
+        try:
+            return self._servers[name]
+        except KeyError:
+            raise KeyError(f"unknown server {name!r}") from None
+
+    def servers(self) -> List[ServerRecord]:
+        return list(self._servers.values())
+
+    # -- heartbeats -------------------------------------------------------------
+    def heartbeat(self, name: str, now: float) -> None:
+        record = self.server(name)
+        record.timestamp = now
+        record.online = True
+
+    def expire_stale(self, now: float) -> List[str]:
+        """Mark servers offline whose heartbeat is older than the timeout."""
+        expired = []
+        for record in self._servers.values():
+            if record.online and now - record.timestamp > self.heartbeat_timeout:
+                record.online = False
+                expired.append(record.name)
+        return expired
+
+    # -- assignment ---------------------------------------------------------------
+    def _online(self) -> List[ServerRecord]:
+        return [s for s in self._servers.values() if s.online]
+
+    def select_server(self) -> ServerRecord:
+        online = self._online()
+        if not online:
+            raise NoServerAvailable("no online Measurement server")
+        if self.policy == "round_robin":
+            return online[next(self._rr) % len(online)]
+        return min(online, key=lambda s: s.jobs)
+
+    def assign_job(self, job_id: str) -> ServerRecord:
+        """Pick a server for a new job and bump its pending counter."""
+        record = self.select_server()
+        record.jobs += 1
+        self._job_server[job_id] = record.name
+        self.assignments += 1
+        return record
+
+    def complete_job(self, job_id: str) -> None:
+        """Step 4 of Fig. 6: the server reports the job finished."""
+        name = self._job_server.pop(job_id, None)
+        if name is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        record = self._servers.get(name)
+        if record is not None and record.jobs > 0:
+            record.jobs -= 1
+        self.completions += 1
+
+    def reconcile_lost_job(self, job_id: str) -> None:
+        """Corrective measure for completion messages lost to the network
+        (App. 10.3): drop the job without a completion report."""
+        self.complete_job(job_id)
+
+    @property
+    def pending_jobs(self) -> int:
+        return sum(s.jobs for s in self._servers.values())
+
+    def monitoring_rows(self) -> List[Dict[str, object]]:
+        """The Fig. 7 panel: every server with status and pending jobs."""
+        return [s.panel_row() for s in self._servers.values()]

@@ -1,0 +1,420 @@
+"""The Measurement server (Sect. 3.1.1, 3.2; App. 10.5).
+
+One server handles one price-check job end to end:
+
+1. fan the page request out to **all** IPCs (step 3.1) and to the PPC
+   list the Coordinator selected (step 3.2) — in the simulation these
+   fetches happen at the same simulated instant, which is exactly the
+   paper's requirement that all vantage points fetch "at the same time
+   in order to factor out temporal price variations";
+2. run the Tags Path extractor over every returned page;
+3. run the currency detection/conversion algorithm, converting
+   everything into the currency requested by the initiating user;
+4. persist the results through the shared Database server, storing the
+   initiator page in full and every other page as a diff (DiffStorage);
+5. report completion to the Coordinator and return the result rows.
+
+Per the production note in Sect. 5, a per-proxy timeout bounds how long
+a slow (PlanetLab) node can hold up a job; in the simulation the
+slowdown factor stands in for wall-clock delay and responses from nodes
+whose slowdown exceeds the timeout budget are dropped the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.coordinator import Coordinator
+from repro.core.database import DatabaseServer
+from repro.core.diffstorage import DiffStorage
+from repro.core.pricecheck import PriceCheckResult, ResultRow
+from repro.core.tagspath import TagsPath, extract_price_text
+from repro.currency.detect import Confidence, CurrencyDetectionError, detect_price
+from repro.currency.rates import ExchangeRateProvider, UnknownCurrencyError
+from repro.net.events import Clock
+from repro.net.geo import Location
+from repro.net.p2p import PeerOverlay
+from repro.web.internet import parse_url
+
+if TYPE_CHECKING:  # avoid a core ↔ clients import cycle at runtime
+    from repro.clients.ipc import InfrastructureProxyClient
+
+
+@dataclass
+class PriceCheckJob:
+    """What the add-on sends in step 3 of Fig. 6 (plus server context)."""
+
+    job_id: str
+    url: str
+    tags_path: TagsPath
+    requested_currency: str
+    initiator_peer_id: str
+    initiator_html: str
+    initiator_location: Location
+    initiator_os: str
+    initiator_browser: str
+    ppc_ids: Sequence[str] = ()
+    third_party_domains: Tuple[str, ...] = ()
+
+
+class MeasurementServer:
+    """One price-check worker of the back-end."""
+
+    #: proxies slower than this factor are treated as timed out (the
+    #: production system kills proxy requests after 2 minutes, Sect. 5).
+    PROXY_SLOWDOWN_TIMEOUT = 4.0
+
+    def __init__(
+        self,
+        name: str,
+        coordinator: Coordinator,
+        db: DatabaseServer,
+        rates: ExchangeRateProvider,
+        ipcs: Sequence["InfrastructureProxyClient"],
+        overlay: PeerOverlay,
+        clock: Clock,
+        diffstore: Optional[DiffStorage] = None,
+    ) -> None:
+        self.name = name
+        self.coordinator = coordinator
+        self.db = db
+        self.rates = rates
+        self.ipcs = list(ipcs)
+        self.overlay = overlay
+        self.clock = clock
+        self.diffstore = diffstore if diffstore is not None else DiffStorage()
+        self.jobs_processed = 0
+
+    # -- price extraction + conversion on one page -----------------------------
+    def _row_from_page(
+        self,
+        job: PriceCheckJob,
+        html: str,
+        kind: str,
+        proxy_id: str,
+        location_fields: Tuple[str, str, str],
+        ua: Tuple[Optional[str], Optional[str]] = (None, None),
+        used_doppelganger: bool = False,
+    ) -> ResultRow:
+        country, region, city = location_fields
+        base = dict(
+            kind=kind, proxy_id=proxy_id, country=country, region=region,
+            city=city, ua_os=ua[0], ua_browser=ua[1],
+            used_doppelganger=used_doppelganger,
+        )
+        text = extract_price_text(html, job.tags_path)
+        if text is None:
+            return ResultRow(
+                original_text=None, detected_amount=None, detected_currency=None,
+                converted_value=None, amount_eur=None,
+                error="price not found on page", **base,
+            )
+        try:
+            detected = detect_price(text)
+        except CurrencyDetectionError as exc:
+            return ResultRow(
+                original_text=text, detected_amount=None, detected_currency=None,
+                converted_value=None, amount_eur=None, error=str(exc), **base,
+            )
+        if detected.amount is None:
+            return ResultRow(
+                original_text=text, detected_amount=None,
+                detected_currency=detected.currency, converted_value=None,
+                amount_eur=None, error="no numeric amount", **base,
+            )
+        converted = eur = None
+        if detected.currency is not None:
+            try:
+                converted = self.rates.convert(
+                    detected.amount, detected.currency,
+                    job.requested_currency, self.clock.now,
+                )
+                eur = self.rates.to_eur(detected.amount, detected.currency, self.clock.now)
+            except UnknownCurrencyError:
+                pass
+        return ResultRow(
+            original_text=text,
+            detected_amount=detected.amount,
+            detected_currency=detected.currency,
+            converted_value=None if converted is None else round(converted, 2),
+            amount_eur=None if eur is None else round(eur, 2),
+            low_confidence=detected.confidence is Confidence.LOW,
+            currency_candidates=tuple(detected.candidates),
+            error=None if converted is not None else "unknown currency",
+            **base,
+        )
+
+    #: a locale-based candidate must land within this factor of the
+    #: anchor price to be trusted; beyond it we fall back to the
+    #: scale-closest candidate.
+    RECONCILE_LOCALE_FACTOR = 2.0
+
+    def _reconcile_ambiguous_rows(self, rows: List[ResultRow],
+                                  requested_currency: str) -> List[ResultRow]:
+        """Job-level disambiguation of symbol-only currencies (Sect. 3.5).
+
+        ``$`` could be a dozen dollars and ``¥`` two currencies.  The
+        Measurement server holds the whole job, so it can reconcile:
+
+        * rows whose currency was detected unambiguously anchor the
+          product's price scale (their median EUR value);
+        * for each ambiguous row, prefer the *vantage point's national
+          currency* when it is a candidate AND its implied EUR value
+          sits within ``RECONCILE_LOCALE_FACTOR`` of the anchor —
+          retailers that geo-localize currencies quote in the visitor's
+          money, but a cross-border markup can legitimately exceed the
+          anchor, hence the tolerance rather than equality;
+        * otherwise pick the candidate whose implied value is closest
+          to the anchor on a log scale;
+        * with no anchor at all (a store showing the same bare symbol
+          to everyone), keep the detector's default guess — consistent
+          across all rows, so no *relative* difference is fabricated.
+
+        Rows keep their low-confidence flag either way: the result page
+        still shows the red asterisk.
+        """
+        import math
+        from dataclasses import replace
+
+        anchors = [
+            r.amount_eur for r in rows
+            if r.ok and not r.low_confidence and r.amount_eur is not None
+        ]
+        if not anchors:
+            return rows
+        anchors.sort()
+        anchor = anchors[len(anchors) // 2]
+        if anchor <= 0:
+            return rows
+
+        out: List[ResultRow] = []
+        for row in rows:
+            if (
+                not row.low_confidence
+                or row.detected_amount is None
+                or len(row.currency_candidates) < 2
+            ):
+                out.append(row)
+                continue
+            try:
+                locale_code = self.coordinator.geodb.country(row.country).currency
+            except KeyError:
+                locale_code = None
+
+            def eur_for(code: str) -> Optional[float]:
+                try:
+                    return self.rates.to_eur(
+                        row.detected_amount, code, self.clock.now
+                    )
+                except UnknownCurrencyError:
+                    return None
+
+            chosen = None
+            if locale_code in row.currency_candidates:
+                value = eur_for(locale_code)
+                if value is not None and value > 0 and (
+                    max(value / anchor, anchor / value)
+                    <= self.RECONCILE_LOCALE_FACTOR
+                ):
+                    chosen = locale_code
+            if chosen is None:
+                best = None
+                for code in row.currency_candidates:
+                    value = eur_for(code)
+                    if value is None or value <= 0:
+                        continue
+                    distance = abs(math.log(value / anchor))
+                    if best is None or distance < best[0]:
+                        best = (distance, code)
+                chosen = best[1] if best is not None else row.detected_currency
+            if chosen == row.detected_currency:
+                out.append(row)
+                continue
+            eur = eur_for(chosen)
+            converted = self.rates.convert(
+                row.detected_amount, chosen, requested_currency, self.clock.now
+            )
+            out.append(replace(
+                row,
+                detected_currency=chosen,
+                amount_eur=None if eur is None else round(eur, 2),
+                converted_value=round(converted, 2),
+            ))
+        return out
+
+    # -- the registration probe (App. 10.2.1) ------------------------------
+    def self_test(self) -> bool:
+        """Prove this machine runs working Measurement server code.
+
+        Runs the two critical pipelines on a canned page with a known
+        answer: Tags Path extraction must find the product price (not
+        the decoy) and currency detection must convert USD 699 into the
+        exact EUR value of the current rate table.
+        """
+        from repro.core.tagspath import TagsPath
+        from repro.net.geo import Location
+
+        html = (
+            "<html><head><title>probe</title></head><body>"
+            '<div class="banner"><span class="price">$9</span></div>'
+            '<div class="product"><span class="price">USD699</span></div>'
+            "</body></html>"
+        )
+        job = PriceCheckJob(
+            job_id="probe", url="http://probe.internal/product/x",
+            tags_path=TagsPath(entries=("html", "body", "div.product"),
+                               target="span.price"),
+            requested_currency="EUR",
+            initiator_peer_id="probe",
+            initiator_html=html,
+            initiator_location=Location(country="ES", region="Spain",
+                                        city="Madrid", ip="10.0.0.1"),
+            initiator_os="Linux", initiator_browser="Firefox",
+        )
+        row = self._row_from_page(
+            job, html, kind="You", proxy_id="probe",
+            location_fields=("ES", "Spain", "Madrid"),
+        )
+        if not row.ok or row.detected_currency != "USD":
+            return False
+        expected = round(self.rates.to_eur(699.0, "USD", self.clock.now), 2)
+        return row.converted_value == expected
+
+    # -- progressive delivery (the AJAX polling of Sect. 3.2) -------------------
+    #
+    # "At this point the browser executes AJAX requests to the
+    # Measurement server to receive any result updates until the
+    # measurement server replies with a 'request finish' response."
+    # start_price_check() registers the job and processes proxies in
+    # stages; poll() hands back rows produced since the last poll plus
+    # the finished flag.  handle_price_check() is the blocking wrapper.
+
+    def start_price_check(self, job: PriceCheckJob) -> str:
+        """Begin a job whose rows are delivered incrementally."""
+        if not hasattr(self, "_progressive"):
+            self._progressive: Dict[str, Dict[str, Any]] = {}
+        result = self._process_job(job)
+        self._progressive[job.job_id] = {
+            "result": result,
+            "delivered": 0,
+        }
+        return job.job_id
+
+    def poll(self, job_id: str):
+        """One AJAX poll: (new rows since last poll, finished flag)."""
+        state = getattr(self, "_progressive", {}).get(job_id)
+        if state is None:
+            raise KeyError(f"unknown or finished job {job_id!r}")
+        result: PriceCheckResult = state["result"]
+        delivered = state["delivered"]
+        # deliver rows in proxy-arrival order, a few per poll (IPCs and
+        # PPCs respond at different speeds in the real system)
+        batch = result.rows[delivered: delivered + 8]
+        state["delivered"] = delivered + len(batch)
+        finished = state["delivered"] >= len(result.rows)
+        if finished:
+            del self._progressive[job_id]  # 'request finish'
+        return list(batch), finished
+
+    # -- the job ------------------------------------------------------------------
+    def handle_price_check(self, job: PriceCheckJob) -> PriceCheckResult:
+        """Blocking entry point: process and return the full result."""
+        return self._process_job(job)
+
+    def _process_job(self, job: PriceCheckJob) -> PriceCheckResult:
+        domain, _ = parse_url(job.url)
+        result = PriceCheckResult(
+            job_id=job.job_id,
+            url=job.url,
+            domain=domain,
+            requested_currency=job.requested_currency,
+            time=self.clock.now,
+            third_party_domains=tuple(job.third_party_domains),
+        )
+
+        # The initiator's own observation ("You").
+        self.diffstore.store_reference(job.job_id, job.initiator_html)
+        loc = job.initiator_location
+        result.rows.append(
+            self._row_from_page(
+                job, job.initiator_html, kind="You",
+                proxy_id=job.initiator_peer_id,
+                location_fields=(loc.country, loc.region, loc.city),
+                ua=(job.initiator_os, job.initiator_browser),
+            )
+        )
+
+        # Step 3.1: all IPCs fetch the page.
+        for ipc in self.ipcs:
+            if ipc.slowdown > self.PROXY_SLOWDOWN_TIMEOUT:
+                continue  # the 2-minute proxy timeout fired
+            fetch = ipc.fetch(job.url)
+            self.diffstore.store_response(job.job_id, ipc.ipc_id, fetch.html)
+            result.rows.append(
+                self._row_from_page(
+                    job, fetch.html, kind="IPC", proxy_id=ipc.ipc_id,
+                    location_fields=(
+                        fetch.location.country, fetch.location.region,
+                        fetch.location.city,
+                    ),
+                    ua=(fetch.ua_os, fetch.ua_browser),
+                )
+            )
+
+        # Step 3.2: the selected PPCs fetch the page.
+        for peer_id in job.ppc_ids:
+            try:
+                channel = self.overlay.connect(peer_id)
+                reply = channel.send({"type": "remote_page_request", "url": job.url})
+            except ConnectionError:
+                continue  # peer left; the request simply has fewer points
+            if "error" in reply:
+                continue
+            self.diffstore.store_response(job.job_id, peer_id, reply["html"])
+            result.rows.append(
+                self._row_from_page(
+                    job, reply["html"], kind="PPC", proxy_id=peer_id,
+                    location_fields=(
+                        reply["country"], reply["region"], reply["city"],
+                    ),
+                    ua=(reply.get("os"), reply.get("browser")),
+                    used_doppelganger=reply.get("used_doppelganger", False),
+                )
+            )
+
+        result.rows = self._reconcile_ambiguous_rows(
+            result.rows, job.requested_currency
+        )
+        self._persist(job, result)
+        self.coordinator.job_completed(job.job_id)
+        self.jobs_processed += 1
+        return result
+
+    # -- persistence ---------------------------------------------------------------
+    def _persist(self, job: PriceCheckJob, result: PriceCheckResult) -> None:
+        with self.db.connection() as db:
+            db.sp_record_request(
+                job_id=job.job_id,
+                user_id=job.initiator_peer_id,
+                url=job.url,
+                domain=result.domain,
+                time=self.clock.now,
+            )
+            for row in result.rows:
+                db.sp_record_response(
+                    job_id=job.job_id,
+                    proxy_id=row.proxy_id,
+                    kind=row.kind,
+                    country=row.country,
+                    region=row.region,
+                    city=row.city,
+                    original_text=row.original_text,
+                    amount=row.detected_amount,
+                    currency=row.detected_currency,
+                    amount_eur=row.amount_eur,
+                    low_confidence=row.low_confidence,
+                    used_doppelganger=row.used_doppelganger,
+                    error=row.error,
+                    time=self.clock.now,
+                )

@@ -1,0 +1,48 @@
+"""Monitoring panels (Fig. 7 and Fig. 16) rendered as text tables.
+
+The real system exposes two real-time web interfaces: the Measurement
+servers panel (status + pending jobs per server) and the peer-proxy
+panel (peer ID, IP, country, region, city).  These renderers produce the
+same tables for terminals, tests, and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.dispatch import RequestDistributor
+from repro.net.p2p import PeerOverlay
+
+
+def render_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
+    """Align a list of dict rows into a fixed-width text table."""
+    widths = {c: len(c) for c in columns}
+    for row in rows:
+        for c in columns:
+            widths[c] = max(widths[c], len(str(row.get(c, ""))))
+    header = "  ".join(f"{c:<{widths[c]}}" for c in columns)
+    sep = "-" * len(header)
+    lines = [header, sep]
+    for row in rows:
+        lines.append("  ".join(f"{str(row.get(c, '')):<{widths[c]}}" for c in columns))
+    return "\n".join(lines)
+
+
+def servers_panel(distributor: RequestDistributor) -> str:
+    """The Fig. 7 'Available Sheriff servers and jobs' panel."""
+    rows = distributor.monitoring_rows()
+    table = render_table(rows, columns=("Worker", "Port", "Status", "Jobs"))
+    return "Available Sheriff servers and jobs.\n" + table
+
+
+def peers_panel(overlay: PeerOverlay, self_peer_id: str = "") -> str:
+    """The Fig. 16 peer-proxy monitoring panel."""
+    rows: List[Dict[str, object]] = []
+    for row in overlay.monitoring_rows():
+        row = dict(row)
+        row["Select"] = "SELF" if row["Peer ID"] == self_peer_id else ""
+        rows.append(row)
+    table = render_table(
+        rows, columns=("Peer ID", "IP", "Country", "Region", "City", "Select")
+    )
+    return "Online peer proxies.\n" + table

@@ -1,0 +1,77 @@
+"""Saving and loading price-check datasets.
+
+The live system keeps everything in the shared MySQL instance; a
+library user wants to snapshot a measurement campaign to disk and
+re-run the Sect. 6/7 analyses later without re-simulating.  Results
+round-trip through plain JSON (one object per price check), so datasets
+are diffable and language-neutral.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from repro.core.pricecheck import PriceCheckResult, ResultRow
+
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: PriceCheckResult) -> Dict[str, Any]:
+    """One price check → a JSON-ready dict."""
+    return {
+        "job_id": result.job_id,
+        "url": result.url,
+        "domain": result.domain,
+        "requested_currency": result.requested_currency,
+        "time": result.time,
+        "third_party_domains": list(result.third_party_domains),
+        "rows": [asdict(row) for row in result.rows],
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> PriceCheckResult:
+    result = PriceCheckResult(
+        job_id=data["job_id"],
+        url=data["url"],
+        domain=data["domain"],
+        requested_currency=data["requested_currency"],
+        time=data["time"],
+        third_party_domains=tuple(data.get("third_party_domains", ())),
+    )
+    rows = []
+    for row in data.get("rows", []):
+        row = dict(row)
+        # JSON has no tuples; restore the dataclass's tuple fields
+        row["currency_candidates"] = tuple(row.get("currency_candidates", ()))
+        rows.append(ResultRow(**row))
+    result.rows = rows
+    return result
+
+
+def save_results(
+    results: Sequence[PriceCheckResult],
+    path: Union[str, Path],
+) -> int:
+    """Write a dataset to disk; returns the number of checks written."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "n_results": len(results),
+        "results": [result_to_dict(r) for r in results],
+    }
+    Path(path).write_text(json.dumps(payload))
+    return len(results)
+
+
+def load_results(path: Union[str, Path]) -> List[PriceCheckResult]:
+    """Read a dataset written by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported dataset format version {version!r} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    return [result_from_dict(d) for d in payload.get("results", [])]

@@ -1,0 +1,330 @@
+"""The Price $heriff facade: wiring a full deployment.
+
+:class:`SheriffWorld` bundles the simulated environment (geo database,
+exchange rates, clock, tracker ecosystem, internet) and
+:class:`PriceSheriff` stands up the seven components of Fig. 1 on top of
+it: Coordinator, Aggregator, Database server, Measurement servers, the
+IPC fleet, the P2P overlay of add-ons, and the doppelganger machinery.
+
+Typical use (see ``examples/quickstart.py``)::
+
+    world = SheriffWorld.create(seed=7)
+    ...register stores on world.internet...
+    sheriff = PriceSheriff(world)
+    addon = sheriff.install_addon(browser)
+    result = addon.check_price("http://store.example/product/p-1")
+    print(result.render_result_page())
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.browser.browser import Browser
+from repro.browser.fingerprint import UserAgent
+from repro.clients.ipc import DEFAULT_IPC_SITES, build_default_ipcs
+from repro.core.addon import SheriffAddon
+from repro.core.aggregator import Aggregator
+from repro.core.coordinator import Coordinator
+from repro.core.database import DatabaseServer
+from repro.core.diffstorage import DiffStorage
+from repro.core.dispatch import RequestDistributor
+from repro.core.measurement import MeasurementServer
+from repro.core.pricecheck import PriceCheckResult
+from repro.core.whitelist import Whitelist
+from repro.crypto.group import SchnorrGroup, TEST_GROUP
+from repro.crypto.secure_kmeans import KMeansCoordinator
+from repro.currency.rates import ExchangeRateProvider
+from repro.net.anonymity import AnonymityNetwork
+from repro.net.events import Clock
+from repro.net.geo import GeoDatabase
+from repro.net.p2p import PeerOverlay
+from repro.profiles.doppelganger import Doppelganger, DoppelgangerManager
+from repro.profiles.vector import ProfileVector
+from repro.web.internet import Internet
+from repro.web.trackers import TrackerEcosystem
+
+
+@dataclass
+class SheriffWorld:
+    """The simulated environment a deployment runs in."""
+
+    geodb: GeoDatabase
+    rates: ExchangeRateProvider
+    clock: Clock
+    ecosystem: TrackerEcosystem
+    internet: Internet
+    rng: random.Random
+
+    @classmethod
+    def create(cls, seed: int = 2017, rate_drift: float = 0.0) -> "SheriffWorld":
+        return cls(
+            geodb=GeoDatabase(),
+            rates=ExchangeRateProvider(drift=rate_drift),
+            clock=Clock(),
+            ecosystem=TrackerEcosystem(),
+            internet=Internet(),
+            rng=random.Random(seed),
+        )
+
+    def make_browser(
+        self,
+        country: str,
+        city: Optional[str] = None,
+        agent: Optional[UserAgent] = None,
+        location=None,
+    ) -> Browser:
+        """A user browser located in the given country/city.
+
+        Passing an explicit ``location`` reuses it instead of allocating
+        a fresh IP — a machine that resets its browser profile keeps its
+        address.
+        """
+        if location is None:
+            location = self.geodb.make_location(country, city)
+        return Browser(
+            internet=self.internet,
+            ecosystem=self.ecosystem,
+            clock=self.clock,
+            location=location,
+            agent=agent,
+        )
+
+
+@dataclass
+class ClusteringOutcome:
+    """Result of one doppelganger clustering round."""
+
+    mapping: Dict[str, int]
+    doppelgangers: List[Doppelganger]
+    centroids: List[ProfileVector]
+    k: int
+
+
+class PriceSheriff:
+    """A complete $heriff deployment over a :class:`SheriffWorld`."""
+
+    def __init__(
+        self,
+        world: SheriffWorld,
+        whitelist_domains: Optional[Sequence[str]] = None,
+        n_measurement_servers: int = 2,
+        ipc_sites: Sequence[Tuple[str, str, float]] = DEFAULT_IPC_SITES,
+        dispatch_policy: str = "least_jobs",
+        crypto_group: Optional[SchnorrGroup] = None,
+        max_ppcs_per_request: int = 5,
+        overlay: Optional[PeerOverlay] = None,
+    ) -> None:
+        self.world = world
+        if whitelist_domains is None:
+            # default: sanction every e-commerce store currently online
+            whitelist_domains = [s.domain for s in world.internet.stores()]
+        self.whitelist = Whitelist(whitelist_domains)
+        self.db = DatabaseServer()
+        self.diffstore = DiffStorage()
+        # A crawling back-end can share the PPC network of the live
+        # deployment by passing the live overlay (Sect. 7.1).
+        self.overlay = overlay if overlay is not None else PeerOverlay()
+        self.distributor = RequestDistributor(policy=dispatch_policy)
+        self.dopp_manager = DoppelgangerManager(
+            internet=world.internet,
+            ecosystem=world.ecosystem,
+            clock=world.clock,
+            geodb=world.geodb,
+            rng=world.rng,
+        )
+        self.coordinator = Coordinator(
+            whitelist=self.whitelist,
+            distributor=self.distributor,
+            overlay=self.overlay,
+            geodb=world.geodb,
+            clock=world.clock,
+            dopp_manager=self.dopp_manager,
+            max_ppcs_per_request=max_ppcs_per_request,
+        )
+        self.crypto_group = crypto_group if crypto_group is not None else TEST_GROUP
+        self.aggregator = Aggregator(group=self.crypto_group, rng=world.rng)
+        # doppelganger state requests are onion-routed (Sect. 3.7)
+        self.anonymity = AnonymityNetwork(n_relays=3)
+
+        self.ipcs = build_default_ipcs(
+            internet=world.internet,
+            ecosystem=world.ecosystem,
+            clock=world.clock,
+            geodb=world.geodb,
+            sites=ipc_sites,
+        )
+        self.measurement_servers: Dict[str, MeasurementServer] = {}
+        for i in range(n_measurement_servers):
+            self.add_measurement_server(f"ms-{i}")
+        self.addons: List[SheriffAddon] = []
+
+    # -- elasticity: attach/detach Measurement servers ----------------------
+    def add_measurement_server(self, name: str) -> MeasurementServer:
+        server = MeasurementServer(
+            name=name,
+            coordinator=self.coordinator,
+            db=self.db,
+            rates=self.world.rates,
+            ipcs=self.ipcs,
+            overlay=self.overlay,
+            clock=self.world.clock,
+            diffstore=self.diffstore,
+        )
+        self.measurement_servers[name] = server
+        self.distributor.register_server(
+            name, url=f"10.250.0.{len(self.measurement_servers)}", port=80,
+            now=self.world.clock.now,
+        )
+        return server
+
+    def remove_measurement_server(self, name: str) -> None:
+        self.distributor.remove_server(name)  # refuses while jobs pending
+        self.measurement_servers.pop(name, None)
+
+    def measurement_server(self, name: str) -> MeasurementServer:
+        return self.measurement_servers[name]
+
+    def tick_heartbeats(self) -> None:
+        for name in self.measurement_servers:
+            self.distributor.heartbeat(name, self.world.clock.now)
+
+    # -- users ------------------------------------------------------------------
+    def install_addon(
+        self,
+        browser: Browser,
+        consent: bool = True,
+        history_donation_opt_in: bool = False,
+        peer_id: Optional[str] = None,
+        serve_as_ppc: bool = True,
+    ) -> SheriffAddon:
+        addon = SheriffAddon(
+            browser=browser,
+            coordinator=self.coordinator,
+            aggregator=self.aggregator,
+            overlay=self.overlay,
+            measurement_lookup=self.measurement_server,
+            consent=consent,
+            peer_id=peer_id,
+            history_donation_opt_in=history_donation_opt_in,
+            serve_as_ppc=serve_as_ppc,
+            anonymity=self.anonymity,
+        )
+        self.addons.append(addon)
+        return addon
+
+    def check_price(
+        self, addon: SheriffAddon, url: str, requested_currency: str = "EUR"
+    ) -> PriceCheckResult:
+        return addon.check_price(url, requested_currency)
+
+    # -- doppelganger clustering (Sect. 3.7/3.8 + Sect. 4) --------------------
+    def default_k(self, n_participants: int) -> int:
+        """k = min(40, 10% of users) — the Sect. 4 operating point."""
+        return max(1, min(40, n_participants // 10 if n_participants >= 10 else 1))
+
+    def choose_k_from_donors(
+        self,
+        reference_domains: Sequence[str],
+        cap: Optional[int] = None,
+    ) -> int:
+        """Pick k by silhouette over *donated* cleartext histories.
+
+        The Sect. 4 evaluation runs on the profiles of users who opted
+        in to donate history — the Coordinator never sees the others'
+        cleartext.  Falls back to the 10%-cap default when too few
+        donors exist.
+        """
+        from repro.profiles.kmeans import choose_k
+        from repro.profiles.vector import profile_from_counts
+
+        participants = [a for a in self.addons if a.consent]
+        if cap is None:
+            cap = self.default_k(len(participants))
+        donors = [
+            a for a in participants if a.history_donation_opt_in
+        ]
+        if len(donors) < 8:
+            return cap
+        points = {
+            a.peer_id: list(
+                profile_from_counts(
+                    a.donated_history_counts(), reference_domains
+                ).frequencies
+            )
+            for a in donors
+        }
+        return choose_k(points, cap=cap)
+
+    def _sparse_random_centroids(
+        self, k: int, m: int, quantization: int
+    ) -> List[List[int]]:
+        """Private initialization: the Coordinator cannot sample client
+        points (it never sees them), so it draws sparse random profiles."""
+        rng = self.world.rng
+        centroids = []
+        for _ in range(k):
+            centroids.append([
+                rng.randint(0, quantization) if rng.random() < 0.25 else 0
+                for _ in range(m)
+            ])
+        return centroids
+
+    def run_doppelganger_clustering(
+        self,
+        reference_domains: Sequence[str],
+        k: Optional[int] = None,
+        quantization: int = 100,
+        halt_threshold: float = 0.02,
+        max_iterations: int = 10,
+        n_workers: int = 1,
+        initial_centroids: Optional[Sequence[Sequence[int]]] = None,
+    ) -> ClusteringOutcome:
+        """One full clustering round + doppelganger (re)build."""
+        participants = [a for a in self.addons if a.consent]
+        if not participants:
+            raise RuntimeError("no consenting add-ons to cluster")
+        if k is None:
+            # silhouette sweep over donated histories, under the 10% cap
+            k = self.choose_k_from_donors(reference_domains)
+
+        crypto_coordinator = KMeansCoordinator(
+            self.crypto_group, m=len(reference_domains),
+            value_bound=quantization, rng=self.world.rng, n_workers=n_workers,
+        )
+        self.aggregator.begin_collection(crypto_coordinator, n_workers=n_workers)
+        for addon in participants:
+            ciphertext = addon.encrypted_profile(
+                crypto_coordinator.scheme, crypto_coordinator.public_keys,
+                reference_domains, self.world.rng, quantization,
+            )
+            self.aggregator.submit_encrypted_profile(addon.peer_id, ciphertext)
+
+        if initial_centroids is None:
+            initial_centroids = self._sparse_random_centroids(
+                k, len(reference_domains), quantization
+            )
+        crypto_coordinator.set_centroids(initial_centroids)
+        mapping = self.aggregator.run_clustering(
+            halt_threshold=halt_threshold, max_iterations=max_iterations
+        )
+
+        centroids = [
+            ProfileVector(
+                domains=tuple(reference_domains),
+                frequencies=tuple(v / quantization for v in centroid),
+                quantized=tuple(centroid),
+                quantization=quantization,
+            )
+            for centroid in crypto_coordinator.centroids
+        ]
+        doppelgangers = self.dopp_manager.build_from_centroids(centroids)
+        self.aggregator.set_doppelganger_ids(
+            {d.cluster_index: d.dopp_id for d in doppelgangers}
+        )
+        return ClusteringOutcome(
+            mapping=mapping, doppelgangers=doppelgangers,
+            centroids=centroids, k=k,
+        )

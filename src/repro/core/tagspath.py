@@ -1,0 +1,161 @@
+"""Tags Path construction and remote price extraction (Sect. 3.3).
+
+The add-on records the path of HTML tags from the *bottom* of the
+document up to the price element the user highlighted — in the paper's
+example: ``Bottom, </html>, </body>, </div>, <span class="price">``.
+The Measurement server replays that path on pages fetched by other proxy
+clients to locate the same price.
+
+Remote pages are never byte-identical: ads rotate, the related-products
+strip changes length, and the page may contain several price-looking
+elements.  Extraction therefore scores every candidate element whose
+signature matches the path's target by the longest-common-subsequence
+similarity between its own bottom-up closing-tag path and the recorded
+one, and picks the best match.  This captures the paper's remark that
+the simplified example "does not capture the complexity involved in
+extracting a product price when the HTML code includes multiple product
+prices and when the result varies between remote page requests".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.web.html import Element, HTMLParseError, VOID_TAGS, iter_elements, parse
+
+#: cap on recorded path length; pages deeper than this are truncated at
+#: the bottom end (the entries nearest the target are the discriminative
+#: ones, but the paper's algorithm records from the bottom, so we keep
+#: the bottom-most entries and drop the middle).
+MAX_PATH_ENTRIES = 400
+
+
+class TagsPathError(ValueError):
+    """Raised when a Tags Path cannot be built for the selection."""
+
+
+@dataclass(frozen=True)
+class TagsPath:
+    """The bottom-up closing-tag path plus the target's signature."""
+
+    entries: Tuple[str, ...]  # closing-tag signatures, bottom-most first
+    target: str  # signature of the selected element
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def _event_stream(root: Element) -> List[Tuple[str, Element]]:
+    """Flatten the tree into (event, element) pairs in document order."""
+    events: List[Tuple[str, Element]] = []
+
+    def walk(element: Element) -> None:
+        events.append(("open", element))
+        for child in element.children:
+            if isinstance(child, Element):
+                walk(child)
+        if element.tag not in VOID_TAGS:
+            events.append(("close", element))
+
+    walk(root)
+    return events
+
+
+def _path_for(root: Element, target: Element) -> Tuple[str, ...]:
+    """Closing-tag signatures after target's open tag, bottom-most first."""
+    events = _event_stream(root)
+    open_index = None
+    for i, (kind, element) in enumerate(events):
+        if kind == "open" and element is target:
+            open_index = i
+            break
+    if open_index is None:
+        raise TagsPathError("selected element is not part of the document")
+    closings = [
+        element.signature()
+        for kind, element in events[open_index + 1:]
+        if kind == "close" and element is not target
+    ]
+    closings.reverse()  # bottom of the document first, like the paper
+    if len(closings) > MAX_PATH_ENTRIES:
+        closings = closings[:MAX_PATH_ENTRIES]
+    return tuple(closings)
+
+
+def build_tags_path(root: Element, target: Element) -> TagsPath:
+    """Record the Tags Path for a user-selected element."""
+    return TagsPath(entries=_path_for(root, target), target=target.signature())
+
+
+def _lcs_length(a: Tuple[str, ...], b: Tuple[str, ...]) -> int:
+    """Classic O(len(a)·len(b)) longest common subsequence length."""
+    if not a or not b:
+        return 0
+    prev = [0] * (len(b) + 1)
+    for x in a:
+        curr = [0]
+        for j, y in enumerate(b, start=1):
+            if x == y:
+                curr.append(prev[j - 1] + 1)
+            else:
+                curr.append(max(prev[j], curr[-1]))
+        prev = curr
+    return prev[-1]
+
+
+def _common_suffix(a: Tuple[str, ...], b: Tuple[str, ...]) -> int:
+    """Length of the shared tail — the entries *adjacent to the target*."""
+    n = 0
+    for x, y in zip(reversed(a), reversed(b)):
+        if x != y:
+            break
+        n += 1
+    return n
+
+
+def _similarity(recorded: Tuple[str, ...], candidate: Tuple[str, ...]) -> float:
+    """Score a candidate's path against the recorded one.
+
+    The entries nearest the target (the path's *suffix*, since paths run
+    bottom-of-document → target) encode the element's local context —
+    e.g. ``…, div.product, div.description`` for the real product price
+    versus ``…, div.item`` for a related-products decoy.  Those entries
+    are the discriminative ones, so the shared suffix dominates the
+    score; the normalized LCS over the full path breaks ties among
+    candidates with equal local context.
+    """
+    longest = max(len(recorded), len(candidate))
+    if longest == 0:
+        return 1.0
+    lcs = _lcs_length(recorded, candidate) / longest
+    suffix = _common_suffix(recorded, candidate)
+    return suffix + lcs
+
+
+def extract_price_element(root: Element, path: TagsPath) -> Optional[Element]:
+    """Locate the element the Tags Path points at in a (variant) page."""
+    candidates = [e for e in iter_elements(root) if e.signature() == path.target]
+    if not candidates:
+        return None
+    if len(candidates) == 1:
+        return candidates[0]
+    best, best_score = None, -1.0
+    for candidate in candidates:
+        score = _similarity(path.entries, _path_for(root, candidate))
+        if score > best_score:
+            best, best_score = candidate, score
+    return best
+
+
+def extract_price_text(html: str, path: TagsPath) -> Optional[str]:
+    """Parse a fetched page and pull out the price string, if locatable."""
+    try:
+        root = parse(html)
+    except HTMLParseError:
+        return None
+    element = extract_price_element(root, path)
+    if element is None:
+        return None
+    text = element.text().strip()
+    return text or None

@@ -1,0 +1,129 @@
+"""The watchdog service: continuous monitoring with alerts.
+
+The paper's framing — "our software has 'watchdog' value" — implies an
+ongoing service, not one-shot checks: users (or regulators) keep a
+watchlist of products and want to be told when a retailer *starts*
+fiddling with prices, changes tactic, or escalates.  This module layers
+exactly that on top of the price-check pipeline:
+
+* a watchlist of product URLs;
+* periodic re-checks (the caller drives cadence via the simulation
+  clock, or wall-clock in a real deployment);
+* alerts when a product first shows variation, when its classification
+  changes (e.g. ``none`` → ``within-country``), or when the spread moves
+  by more than a threshold;
+* a per-product history of (time, classification, spread) for audits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.detector import PriceVariationReport, analyze_rows
+
+
+@dataclass
+class WatchAlert:
+    """One actionable change on a watched product."""
+
+    url: str
+    time: float
+    kind: str  # "variation-detected" | "classification-change" | "spread-change"
+    previous_classification: Optional[str]
+    classification: str
+    spread: float
+
+    def describe(self) -> str:
+        if self.kind == "variation-detected":
+            return (
+                f"[{self.url}] price variation detected: "
+                f"{self.classification} (spread {100 * self.spread:.1f}%)"
+            )
+        if self.kind == "classification-change":
+            return (
+                f"[{self.url}] classification changed: "
+                f"{self.previous_classification} → {self.classification}"
+            )
+        return (
+            f"[{self.url}] spread moved to {100 * self.spread:.1f}% "
+            f"({self.classification})"
+        )
+
+
+@dataclass
+class _WatchState:
+    label: str
+    last_classification: Optional[str] = None
+    last_spread: Optional[float] = None
+    history: List[Tuple[float, str, float]] = field(default_factory=list)
+
+
+class Watchdog:
+    """A watchlist bound to one add-on (the monitoring user)."""
+
+    def __init__(
+        self,
+        addon,
+        geodb,
+        tolerance: float = 0.005,
+        spread_alert_delta: float = 0.05,
+    ) -> None:
+        self._addon = addon
+        self._geodb = geodb
+        self.tolerance = tolerance
+        self.spread_alert_delta = spread_alert_delta
+        self._watches: Dict[str, _WatchState] = {}
+
+    # -- watchlist management -----------------------------------------------
+    def add_watch(self, url: str, label: str = "") -> None:
+        if url not in self._watches:
+            self._watches[url] = _WatchState(label=label or url)
+
+    def remove_watch(self, url: str) -> None:
+        self._watches.pop(url, None)
+
+    @property
+    def watched_urls(self) -> List[str]:
+        return list(self._watches)
+
+    def history(self, url: str) -> List[Tuple[float, str, float]]:
+        return list(self._watches[url].history)
+
+    # -- one monitoring cycle -----------------------------------------------
+    def run_cycle(self) -> List[WatchAlert]:
+        """Re-check every watched product; return the alerts raised."""
+        alerts: List[WatchAlert] = []
+        for url, state in self._watches.items():
+            result = self._addon.check_price(url)
+            report = analyze_rows(result.rows, self._geodb,
+                                  tolerance=self.tolerance)
+            spread = report.overall_spread
+            classification = report.classification
+            state.history.append((result.time, classification, spread))
+
+            if state.last_classification is None:
+                if classification != "none":
+                    alerts.append(WatchAlert(
+                        url=url, time=result.time, kind="variation-detected",
+                        previous_classification=None,
+                        classification=classification, spread=spread,
+                    ))
+            elif classification != state.last_classification:
+                alerts.append(WatchAlert(
+                    url=url, time=result.time, kind="classification-change",
+                    previous_classification=state.last_classification,
+                    classification=classification, spread=spread,
+                ))
+            elif (
+                state.last_spread is not None
+                and abs(spread - state.last_spread) > self.spread_alert_delta
+            ):
+                alerts.append(WatchAlert(
+                    url=url, time=result.time, kind="spread-change",
+                    previous_classification=state.last_classification,
+                    classification=classification, spread=spread,
+                ))
+            state.last_classification = classification
+            state.last_spread = spread
+        return alerts

@@ -1,0 +1,46 @@
+"""Cryptography for the privacy-preserving k-means (Sect. 3.8, App. 10.4).
+
+Implements, from scratch:
+
+* :mod:`repro.crypto.group` — Schnorr groups (prime-order subgroups of
+  Z_p* with p a safe prime) where DDH is assumed hard;
+* :mod:`repro.crypto.dlog` — baby-step/giant-step discrete logarithm for
+  bounded exponents (messages are encrypted "at the exponent", so
+  decryption needs a small-range DL);
+* :mod:`repro.crypto.elgamal` — the additively homomorphic, vector-key
+  variant of ElGamal the paper builds on;
+* :mod:`repro.crypto.fe` — the inner-product functional encryption of
+  Abdalla et al. [13] (function keys for dot products);
+* :mod:`repro.crypto.secure_kmeans` — the Coordinator/Aggregator
+  two-phase clustering protocol with additive masking, so the
+  Coordinator learns only centroids and cluster cardinalities while the
+  Aggregator learns only the client→cluster mapping and distances.
+"""
+
+from repro.crypto.group import SchnorrGroup, TEST_GROUP, RFC3526_GROUP_2048
+from repro.crypto.dlog import DiscreteLogError, discrete_log
+from repro.crypto.elgamal import Ciphertext, VectorElGamal
+from repro.crypto.fe import InnerProductFE
+from repro.crypto.secure_kmeans import (
+    KMeansAggregator,
+    KMeansCoordinator,
+    ProfileClient,
+    SecureKMeansResult,
+    run_secure_kmeans,
+)
+
+__all__ = [
+    "SchnorrGroup",
+    "TEST_GROUP",
+    "RFC3526_GROUP_2048",
+    "DiscreteLogError",
+    "discrete_log",
+    "Ciphertext",
+    "VectorElGamal",
+    "InnerProductFE",
+    "KMeansAggregator",
+    "KMeansCoordinator",
+    "ProfileClient",
+    "SecureKMeansResult",
+    "run_secure_kmeans",
+]

@@ -1,0 +1,383 @@
+"""Privacy-preserving k-means between the Coordinator and the Aggregator.
+
+Protocol of Sect. 3.8 / App. 10.4.  Roles and what each one learns:
+
+* **ProfileClient** — owns a private browsing-profile point
+  ``a = (a_1 … a_m)`` with integer coordinates in ``[0, Q]``.  It encrypts
+  ``c = (Σ a_i², 1, a_1, …, a_m)`` under the Coordinator's public keys,
+  hands the ciphertext to the Aggregator, and goes offline.
+* **KMeansCoordinator** — holds the ``t = m + 2`` ElGamal secret keys and
+  the cluster centroids.  It learns the centroids (that is the point:
+  they become the doppelganger profiles) and the cluster cardinalities,
+  but never a client point nor the client→cluster mapping.
+* **KMeansAggregator** — holds the encrypted client points.  It learns
+  the squared distance between every client and every centroid (hence
+  the mapping) but neither the points nor the centroids.
+
+**Distance phase** (Fig. 17).  For centroid ``b`` the Coordinator's
+private function vector is ``s = (1, Σ b_i², −2·b_1, …, −2·b_m)`` so that
+``⟨c, s⟩ = Σa² + Σb² − 2Σab = d²(a, b)``.  To keep the Coordinator from
+learning ``d²``, the Aggregator first re-randomizes the ciphertext and
+homomorphically adds a random mask ν to the *first* coordinate; since
+``s_1 = 1`` for every centroid, the Coordinator's evaluation returns
+``g^{d² + ν}``, which only the Aggregator can unmask and discrete-log.
+
+**Centroid-update phase** (Fig. 18).  The Aggregator multiplies the
+ciphertexts of a cluster's members component-wise over positions
+``[3, t]`` (the raw coordinates) and forwards the aggregate plus the
+cardinality; the Coordinator decrypts the dimension-wise sums, divides
+by the cardinality, and re-quantizes to integers.
+
+Halting: iteration stops when the fraction of clients whose cluster
+changed falls below ``halt_threshold`` (observed by the Aggregator), or
+after ``max_iterations``.
+
+The heavy group arithmetic is parallelizable (Fig. 8(c) compares 1 vs 4
+workers); ``n_workers > 1`` fans the per-client work out to worker
+*processes* — each inside the boundary of the party doing the work, so
+parallelism never moves private data across roles.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.dlog import discrete_log
+from repro.crypto.elgamal import Ciphertext, VectorElGamal
+from repro.crypto.fe import InnerProductFE
+from repro.crypto.group import SchnorrGroup, TEST_GROUP
+
+
+def profile_to_plaintext(point: Sequence[int]) -> List[int]:
+    """Build the encoded vector c = (Σ a_i², 1, a_1, …, a_m)."""
+    return [sum(a * a for a in point), 1, *point]
+
+
+def centroid_function_vector(centroid: Sequence[int]) -> List[int]:
+    """Build the function vector s = (1, Σ b_i², −2 b_1, …, −2 b_m)."""
+    return [1, sum(b * b for b in centroid), *(-2 * b for b in centroid)]
+
+
+class ProfileClient:
+    """A PPC that contributes its encrypted browsing profile."""
+
+    def __init__(self, client_id: str, point: Sequence[int], value_bound: int) -> None:
+        if any(a < 0 or a > value_bound for a in point):
+            raise ValueError(f"profile coordinates must lie in [0, {value_bound}]")
+        self.client_id = client_id
+        self._point = list(point)
+        self.value_bound = value_bound
+
+    @property
+    def dimensions(self) -> int:
+        return len(self._point)
+
+    def encrypt_profile(
+        self,
+        scheme: VectorElGamal,
+        public_keys: Sequence[int],
+        rng: random.Random,
+    ) -> Ciphertext:
+        """Encrypt and hand over; after this the client can go offline."""
+        return scheme.encrypt(public_keys, profile_to_plaintext(self._point), rng)
+
+
+class KMeansCoordinator:
+    """Key holder; learns centroids and cardinalities only."""
+
+    def __init__(
+        self,
+        group: SchnorrGroup,
+        m: int,
+        value_bound: int,
+        rng: random.Random,
+        n_workers: int = 1,
+    ) -> None:
+        self.group = group
+        self.m = m
+        self.t = m + 2
+        self.value_bound = value_bound
+        self.n_workers = n_workers
+        self.scheme = VectorElGamal(group, self.t)
+        self._secret, self.public_keys = self.scheme.keygen(rng)
+        self._fe = InnerProductFE(group)
+        self.centroids: List[List[int]] = []
+
+    # -- centroid state -----------------------------------------------------
+    def set_centroids(self, centroids: Sequence[Sequence[int]]) -> None:
+        for c in centroids:
+            if len(c) != self.m:
+                raise ValueError("centroid dimensionality mismatch")
+        self.centroids = [list(c) for c in centroids]
+
+    @property
+    def k(self) -> int:
+        return len(self.centroids)
+
+    def _function_data(self) -> Tuple[List[List[int]], List[int]]:
+        s_vectors = [centroid_function_vector(b) for b in self.centroids]
+        f_keys = [self._fe.function_key(self._secret, s) for s in s_vectors]
+        return s_vectors, f_keys
+
+    # -- distance phase (Coordinator side) -------------------------------
+    def distance_elements_batch(
+        self, masked: Sequence[Tuple[int, int, Tuple[int, ...]]]
+    ) -> Dict[int, List[int]]:
+        """For each masked ciphertext, return γ_k = g^{d²_k + ν} per centroid.
+
+        ``masked`` is a list of (client_index, α, βs).  The Coordinator
+        sees only masked ciphertexts, so the returned elements reveal
+        nothing to it.
+        """
+        s_vectors, f_keys = self._function_data()
+        if self.n_workers <= 1 or len(masked) < 2:
+            return dict(
+                _distance_chunk(
+                    (self.group.p, self.group.q, self.group.g, s_vectors, f_keys, list(masked))
+                )
+            )
+        chunks = _split(list(masked), self.n_workers)
+        args = [
+            (self.group.p, self.group.q, self.group.g, s_vectors, f_keys, chunk)
+            for chunk in chunks
+            if chunk
+        ]
+        out: Dict[int, List[int]] = {}
+        with multiprocessing.get_context("fork").Pool(self.n_workers) as pool:
+            for partial in pool.map(_distance_chunk, args):
+                out.update(partial)
+        return out
+
+    # -- update phase (Coordinator side) -----------------------------------
+    def update_centroid(
+        self, cluster_index: int, aggregate: Ciphertext, cardinality: int
+    ) -> List[int]:
+        """Decrypt the aggregated sums, average, re-quantize, store."""
+        if cardinality <= 0:
+            return self.centroids[cluster_index]  # empty cluster: keep it
+        bound = cardinality * self.value_bound
+        sums = [
+            self.scheme.decrypt_component(self._secret, aggregate, i, bound)
+            for i in range(2, self.t)
+        ]
+        centroid = [int(round(s / cardinality)) for s in sums]
+        self.centroids[cluster_index] = centroid
+        return centroid
+
+
+class KMeansAggregator:
+    """Holds encrypted points; learns distances and the mapping only."""
+
+    def __init__(
+        self,
+        group: SchnorrGroup,
+        coordinator: KMeansCoordinator,
+        rng: random.Random,
+        n_workers: int = 1,
+    ) -> None:
+        self.group = group
+        self.coordinator = coordinator
+        self._rng = rng
+        self.n_workers = n_workers
+        self.scheme = VectorElGamal(group, coordinator.t)
+        self._ciphertexts: Dict[str, Ciphertext] = {}
+        self._order: List[str] = []
+        self.assignments: Dict[str, int] = {}
+
+    # -- intake ---------------------------------------------------------------
+    def submit(self, client_id: str, ciphertext: Ciphertext) -> None:
+        if ciphertext.dimensions != self.coordinator.t:
+            raise ValueError("ciphertext dimensionality mismatch")
+        if client_id not in self._ciphertexts:
+            self._order.append(client_id)
+        self._ciphertexts[client_id] = ciphertext
+
+    @property
+    def n_clients(self) -> int:
+        return len(self._ciphertexts)
+
+    # -- distance phase (Aggregator side) -------------------------------------
+    def _mask(self, ct: Ciphertext) -> Tuple[Ciphertext, int]:
+        """Re-randomize and add ν to coordinate 1; returns (masked, ν)."""
+        nu = self.group.random_exponent(self._rng)
+        mask_plain = [nu] + [0] * (self.coordinator.t - 1)
+        mask_ct = self.scheme.encrypt(self.coordinator.public_keys, mask_plain, self._rng)
+        return self.scheme.add(ct, mask_ct), nu
+
+    def assign_all(self) -> Tuple[Dict[str, int], int]:
+        """One client→cluster mapping pass; returns (mapping, n_changed)."""
+        m = self.coordinator.m
+        bound = m * self.coordinator.value_bound ** 2
+        masked_batch: List[Tuple[int, int, Tuple[int, ...]]] = []
+        nus: List[int] = []
+        for idx, client_id in enumerate(self._order):
+            masked, nu = self._mask(self._ciphertexts[client_id])
+            masked_batch.append((idx, masked.alpha, masked.betas))
+            nus.append(nu)
+        gamma_map = self.coordinator.distance_elements_batch(masked_batch)
+
+        unmask_items = [
+            (idx, self.group.inv(self.group.gexp(nus[idx])), gamma_map[idx])
+            for idx in range(len(self._order))
+        ]
+        if self.n_workers <= 1 or len(unmask_items) < 2:
+            results = _unmask_chunk(
+                (self.group.p, self.group.q, self.group.g, bound, unmask_items)
+            )
+        else:
+            chunks = _split(unmask_items, self.n_workers)
+            args = [
+                (self.group.p, self.group.q, self.group.g, bound, chunk)
+                for chunk in chunks
+                if chunk
+            ]
+            results = []
+            with multiprocessing.get_context("fork").Pool(self.n_workers) as pool:
+                for partial in pool.map(_unmask_chunk, args):
+                    results.extend(partial)
+
+        changed = 0
+        new_assignments: Dict[str, int] = {}
+        for idx, cluster in results:
+            client_id = self._order[idx]
+            new_assignments[client_id] = cluster
+            if self.assignments.get(client_id) != cluster:
+                changed += 1
+        self.assignments = new_assignments
+        return dict(new_assignments), changed
+
+    # -- update phase (Aggregator side) ---------------------------------------
+    def aggregate_clusters(self) -> Dict[int, Tuple[Ciphertext, int]]:
+        """Homomorphically sum each cluster's ciphertexts."""
+        groups: Dict[int, List[Ciphertext]] = {}
+        for client_id, cluster in self.assignments.items():
+            groups.setdefault(cluster, []).append(self._ciphertexts[client_id])
+        return {
+            cluster: (self.scheme.add_many(cts), len(cts))
+            for cluster, cts in groups.items()
+        }
+
+
+# -- worker functions (module level so they fork+pickle cleanly) -----------
+
+def _split(items: list, n: int) -> List[list]:
+    size = max(1, (len(items) + n - 1) // n)
+    return [items[i: i + size] for i in range(0, len(items), size)]
+
+
+def _distance_chunk(args) -> List[Tuple[int, List[int]]]:
+    p, q, g, s_vectors, f_keys, chunk = args
+    group = SchnorrGroup(p=p, q=q, g=g)
+    fe = InnerProductFE(group)
+    out = []
+    for idx, alpha, betas in chunk:
+        ct = Ciphertext(alpha=alpha, betas=tuple(betas))
+        gammas = [fe.eval_element(ct, s, f) for s, f in zip(s_vectors, f_keys)]
+        out.append((idx, gammas))
+    return out
+
+
+def _unmask_chunk(args) -> List[Tuple[int, int]]:
+    p, q, g, bound, chunk = args
+    group = SchnorrGroup(p=p, q=q, g=g)
+    out = []
+    for idx, g_nu_inv, gammas in chunk:
+        best_cluster, best_distance = 0, None
+        for cluster, gamma in enumerate(gammas):
+            d2 = discrete_log(group, group.mul(gamma, g_nu_inv), bound)
+            if best_distance is None or d2 < best_distance:
+                best_cluster, best_distance = cluster, d2
+        out.append((idx, best_cluster))
+    return out
+
+
+# -- top-level driver --------------------------------------------------------
+
+@dataclass
+class SecureKMeansResult:
+    """Outcome of a full secure clustering run."""
+
+    centroids: List[List[int]]
+    assignments: Dict[str, int]
+    iterations: int
+    converged: bool
+    iteration_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.iteration_seconds)
+
+
+def run_secure_kmeans(
+    points: Dict[str, Sequence[int]],
+    k: int,
+    value_bound: int = 100,
+    group: Optional[SchnorrGroup] = None,
+    rng: Optional[random.Random] = None,
+    initial_centroids: Optional[Sequence[Sequence[int]]] = None,
+    halt_threshold: float = 0.02,
+    max_iterations: int = 15,
+    n_workers: int = 1,
+) -> SecureKMeansResult:
+    """Run the full protocol over a set of client profiles.
+
+    ``points`` maps client id → integer profile vector (all the same
+    length, coordinates in [0, value_bound]).  Initial centroids default
+    to a deterministic sample of the client points — chosen by the
+    Aggregator's RNG, mirroring a Forgy initialization.
+    """
+    if not points:
+        raise ValueError("no client points")
+    if k < 1:
+        raise ValueError("k must be positive")
+    group = group if group is not None else TEST_GROUP
+    rng = rng if rng is not None else random.Random(2017)
+    dims = {len(v) for v in points.values()}
+    if len(dims) != 1:
+        raise ValueError("all profiles must share a dimensionality")
+    m = dims.pop()
+
+    coordinator = KMeansCoordinator(group, m=m, value_bound=value_bound, rng=rng,
+                                    n_workers=n_workers)
+    aggregator = KMeansAggregator(group, coordinator, rng=rng, n_workers=n_workers)
+
+    # Clients encrypt and go offline.
+    for client_id, point in points.items():
+        client = ProfileClient(client_id, point, value_bound)
+        aggregator.submit(
+            client_id, client.encrypt_profile(coordinator.scheme,
+                                              coordinator.public_keys, rng)
+        )
+
+    if initial_centroids is None:
+        ids = sorted(points)
+        chosen = rng.sample(ids, min(k, len(ids)))
+        initial_centroids = [list(points[c]) for c in chosen]
+        while len(initial_centroids) < k:
+            initial_centroids.append(list(points[rng.choice(ids)]))
+    coordinator.set_centroids(initial_centroids)
+
+    iteration_seconds: List[float] = []
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        started = time.perf_counter()
+        _, changed = aggregator.assign_all()
+        for cluster, (aggregate, cardinality) in aggregator.aggregate_clusters().items():
+            coordinator.update_centroid(cluster, aggregate, cardinality)
+        iteration_seconds.append(time.perf_counter() - started)
+        if changed / len(points) <= halt_threshold:
+            converged = True
+            break
+
+    return SecureKMeansResult(
+        centroids=[list(c) for c in coordinator.centroids],
+        assignments=dict(aggregator.assignments),
+        iterations=iterations,
+        converged=converged,
+        iteration_seconds=iteration_seconds,
+    )

@@ -1,0 +1,39 @@
+"""Currency engine: ISO codes, notations, exchange rates, detection.
+
+Reproduces Sect. 3.5 of the paper ("The currency detection problem"): a
+three-part algorithm that normalizes the selected text, identifies the
+currency through 3-letter codes, custom retailer notations, or bare
+symbols (flagged low-confidence when ambiguous), and extracts the numeric
+amount — including the letters/digits split for concatenated words such
+as ``EUR654``.
+"""
+
+from repro.currency.codes import (
+    AMBIGUOUS_SYMBOLS,
+    CURRENCIES,
+    CUSTOM_NOTATIONS,
+    Currency,
+    currency_for_code,
+)
+from repro.currency.rates import ExchangeRateProvider
+from repro.currency.detect import (
+    Confidence,
+    CurrencyDetectionError,
+    DetectedPrice,
+    detect_price,
+    format_price,
+)
+
+__all__ = [
+    "AMBIGUOUS_SYMBOLS",
+    "CURRENCIES",
+    "CUSTOM_NOTATIONS",
+    "Currency",
+    "currency_for_code",
+    "ExchangeRateProvider",
+    "Confidence",
+    "CurrencyDetectionError",
+    "DetectedPrice",
+    "detect_price",
+    "format_price",
+]

@@ -1,0 +1,13 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Each module exposes a ``run(scale="default")`` entry point returning a
+result object with the figure/table's data plus a ``render()`` method
+that prints the same rows/series the paper reports.  Shared underlying
+datasets (the live deployment, the four-country case study, the
+temporal study) are built once per process in
+:mod:`repro.experiments.registry`.
+"""
+
+from repro.experiments import registry
+
+__all__ = ["registry"]

@@ -1,0 +1,50 @@
+"""Fig. 10 — max/min price ratio vs the product's minimum price.
+
+Paper shape: cheap-to-mid products (€5–€1000) reach ratios up to ×2.5;
+€1k–€10k products up to ×1.7; €10k–€100k products stay below ×1.3 —
+relative differences *shrink* as products get more expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.analysis.pricediff import ratio_vs_min_price
+from repro.analysis.reports import format_table
+from repro.experiments import registry
+
+PRICE_BANDS: Tuple[Tuple[float, float], ...] = (
+    (1.0, 1_000.0),
+    (1_000.0, 10_000.0),
+    (10_000.0, 100_000.0),
+)
+
+
+@dataclass
+class Fig10Result:
+    points: List[Tuple[float, float]]  # (min price €, max/min ratio)
+
+    def max_ratio_in_band(self, lo: float, hi: float) -> float:
+        ratios = [r for p, r in self.points if lo <= p < hi]
+        return max(ratios) if ratios else 1.0
+
+    def render(self) -> str:
+        rows = [
+            (
+                f"€{int(lo):,}–€{int(hi):,}",
+                sum(1 for p, _ in self.points if lo <= p < hi),
+                round(self.max_ratio_in_band(lo, hi), 2),
+            )
+            for lo, hi in PRICE_BANDS
+        ]
+        return format_table(
+            rows,
+            headers=("Price band (min price)", "Products", "Max ratio"),
+            title="Fig. 10: max/min ratio vs minimum price (band summary)",
+        )
+
+
+def run(scale: str = "default") -> Fig10Result:
+    dataset = registry.live_dataset(scale)
+    return Fig10Result(points=ratio_vs_min_price(dataset.results))

@@ -1,0 +1,52 @@
+"""Fig. 11 — the systematic crawl from Spain confirms the live study.
+
+The same two panels as Fig. 9, over the artificial crawl dataset (24
+domains × 30 products × 15 repetitions in the paper).  Paper shape:
+some domains exceed ×4 between maximum and minimum price
+(anntaylor.com, steampowered.com, abercrombie.com).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.pricediff import DomainDiffStats, domain_diff_stats
+from repro.analysis.reports import format_table
+from repro.experiments import registry
+
+
+@dataclass
+class Fig11Result:
+    stats: List[DomainDiffStats]
+    n_requests: int
+
+    def max_spread(self) -> float:
+        return max(
+            (s.spread_stats.maximum for s in self.stats), default=0.0
+        )
+
+    def render(self) -> str:
+        rows = [
+            (
+                s.domain,
+                s.n_requests,
+                s.n_with_difference,
+                f"{100 * s.spread_stats.median:.1f}%",
+                f"{100 * s.spread_stats.maximum:.1f}%",
+            )
+            for s in self.stats
+        ]
+        return format_table(
+            rows,
+            headers=("Domain", "Requests", "With diff", "Median", "Max"),
+            title="Fig. 11: crawled dataset (Spain) — per-domain differences",
+        )
+
+
+def run(scale: str = "default") -> Fig11Result:
+    results = registry.crawl_dataset(scale)
+    return Fig11Result(
+        stats=domain_diff_stats(results, min_diff_requests=1),
+        n_requests=len(results),
+    )

@@ -1,0 +1,90 @@
+"""Figs. 14–15 — temporal price trends for jcpenney.com and chegg.com.
+
+Per-product daily box plots over 20 days with the regression line on
+the daily maximum.  Paper shape: jcpenney products drift down through
+successive small drops with a few large jumps; chegg prices drift more
+smoothly but fluctuate more within a day (≈8.3% vs ≈3.7%); summing the
+regression deltas over the catalogs gives an overall revenue increase
+(≈€452 jcpenney, ≈€225 chegg if every product sold once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.reports import format_table
+from repro.analysis.temporal import (
+    TemporalTrend,
+    daily_series,
+    mean_daily_fluctuation,
+    revenue_delta,
+    trend_for_product,
+)
+from repro.experiments import registry
+
+
+@dataclass
+class TemporalFigureResult:
+    domain: str
+    trends: List[TemporalTrend]
+    mean_fluctuation: float
+    revenue_delta_eur: float
+
+    def directions(self) -> Dict[str, int]:
+        out = {"increasing": 0, "decreasing": 0, "flat": 0}
+        for trend in self.trends:
+            out[trend.direction] += 1
+        return out
+
+    def render(self) -> str:
+        rows = [
+            (
+                t.url.rsplit("/", 1)[-1],
+                t.direction,
+                round(t.slope, 3),
+                round(t.daily_boxes[0].median, 2),
+                round(t.daily_boxes[-1].median, 2),
+            )
+            for t in self.trends
+        ]
+        table = format_table(
+            rows,
+            headers=("Product", "Trend", "Slope (€/day)", "First-day median",
+                     "Last-day median"),
+            title=f"Temporal trends for {self.domain}",
+        )
+        return table + (
+            f"\nmean daily fluctuation: {100 * self.mean_fluctuation:.1f}%"
+            f"   revenue delta (1 sale/product): €{self.revenue_delta_eur:,.0f}"
+        )
+
+
+@dataclass
+class Fig1415Result:
+    jcpenney: TemporalFigureResult
+    chegg: TemporalFigureResult
+
+    def render(self) -> str:
+        return self.jcpenney.render() + "\n\n" + self.chegg.render()
+
+
+def _figure_for(domain: str, results) -> TemporalFigureResult:
+    series = daily_series(results)
+    trends = [trend_for_product(url, days) for url, days in series.items()]
+    return TemporalFigureResult(
+        domain=domain,
+        trends=trends,
+        mean_fluctuation=mean_daily_fluctuation(series),
+        revenue_delta_eur=revenue_delta(trends),
+    )
+
+
+def run(scale: str = "default") -> Fig1415Result:
+    data = registry.temporal_data(scale)
+    return Fig1415Result(
+        jcpenney=_figure_for(
+            "jcpenney.com", data.results_by_domain["jcpenney.com"]
+        ),
+        chegg=_figure_for("chegg.com", data.results_by_domain["chegg.com"]),
+    )

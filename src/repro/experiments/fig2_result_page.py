@@ -1,0 +1,56 @@
+"""Fig. 2 — a sample result page with automatic currency conversion.
+
+One price check of an electronics product on a geo-currency store,
+requested in EUR, observed from the full 30-node IPC fleet plus
+same-country PPC variants — reproducing the page layout: "You" first,
+then the OS/browser variants in the initiator's country, then the
+international rows with converted values and the low-confidence
+asterisk on ambiguous symbols ($699-style originals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.browser.fingerprint import user_agent
+from repro.core.pricecheck import PriceCheckResult
+from repro.core.sheriff import PriceSheriff, SheriffWorld
+from repro.workloads.stores import build_named_stores
+
+
+@dataclass
+class Fig2Result:
+    check: PriceCheckResult
+
+    def render(self) -> str:
+        return self.check.render_result_page()
+
+    @property
+    def currencies_observed(self) -> List[str]:
+        return sorted({
+            r.detected_currency
+            for r in self.check.valid_rows()
+            if r.detected_currency
+        })
+
+
+def run(scale: str = "default") -> Fig2Result:
+    """Build a dedicated small world: Fig. 2 is a single request."""
+    world = SheriffWorld.create(seed=202)
+    stores = build_named_stores(world)
+    sheriff = PriceSheriff(world, n_measurement_servers=1)
+    # same-country PPC variants (the OS/browser rows of the figure)
+    for os_name, browser_name in (
+        ("Windows 7", "Chrome"), ("Mac OSX", "Safari"), ("Linux", "Firefox"),
+    ):
+        browser = world.make_browser("ES", "Madrid",
+                                     agent=user_agent(os_name, browser_name))
+        sheriff.install_addon(browser)
+    initiator = sheriff.install_addon(world.make_browser("ES", "Barcelona"))
+    store = stores["digitalrev.com"]
+    product = next(p for p in store.catalog if p.category == "electronics")
+    check = initiator.check_price(
+        store.product_url(product.product_id), requested_currency="EUR"
+    )
+    return Fig2Result(check=check)

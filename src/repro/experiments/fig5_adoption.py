@@ -1,0 +1,43 @@
+"""Fig. 5 — add-on downloads and active users over time.
+
+The paper's Firefox statistics show a low baseline punctuated by three
+major spikes following press articles / the TV documentary, with the
+active-user count rising after each spike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.reports import format_table
+from repro.workloads.deployment import AdoptionSeries, adoption_series
+
+
+@dataclass
+class Fig5Result:
+    series: AdoptionSeries
+
+    def weekly_rows(self) -> List[tuple]:
+        rows = []
+        for start in range(0, len(self.series.days), 7):
+            window = slice(start, start + 7)
+            rows.append((
+                self.series.days[start],
+                round(sum(self.series.daily_downloads[window]), 1),
+                round(self.series.active_users[min(
+                    start + 6, len(self.series.days) - 1)], 1),
+            ))
+        return rows
+
+    def render(self) -> str:
+        return format_table(
+            self.weekly_rows(),
+            headers=("Week starting (day)", "Downloads", "Active users"),
+            title="Fig. 5: add-on adoption over time (weekly aggregation)",
+        )
+
+
+def run(scale: str = "default") -> Fig5Result:
+    # the adoption model is cheap; every scale gets the full window
+    return Fig5Result(series=adoption_series(n_days=420))

@@ -1,0 +1,95 @@
+"""Sect. 7.5 statistics — is it A/B testing or PDI-PD?
+
+Over the clean-profile PPC fleet of the temporal study:
+
+* pairwise K-S tests between measurement points (paper: lowest D 0.3,
+  all p-values above 0.55 → same distribution);
+* ~50% probability for any point to see the higher price;
+* multi-linear regression of price on OS/browser/time features (paper:
+  best R² ≈ 0.431 with no significant feature);
+* random forest feature importances uniformly low.
+
+Conclusion: the retailers do not use personal information —
+A/B testing plus temporal tuning.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.reports import format_table
+from repro.analysis.stats import ABTestVerdict, ab_test_verdict
+from repro.experiments import registry
+
+
+def point_samples(results, min_observations: int = 10) -> Dict[str, List[float]]:
+    """Per measurement point: normalized prices across all checks.
+
+    Only the *stable* measurement points are compared — the PPC fleet
+    and the IPCs.  The initiating crawler gets a fresh identity every
+    four checks (the clean-profile reset), so its per-identity samples
+    are too short to say anything; points below ``min_observations``
+    are dropped for the same reason.
+    """
+    samples: Dict[str, List[float]] = defaultdict(list)
+    for result in results:
+        prices = [
+            (r.proxy_id, r.amount_eur)
+            for r in result.valid_rows()
+            if r.amount_eur is not None and r.kind in ("PPC", "IPC")
+        ]
+        if len(prices) < 2:
+            continue
+        values = sorted(p for _, p in prices)
+        median = values[len(values) // 2]
+        if median <= 0:
+            continue
+        for proxy_id, price in prices:
+            samples[proxy_id].append(price / median)
+    return {
+        proxy_id: obs
+        for proxy_id, obs in samples.items()
+        if len(obs) >= min_observations
+    }
+
+
+@dataclass
+class Sec75Result:
+    verdicts: Dict[str, ABTestVerdict]
+
+    def all_ab_testing(self) -> bool:
+        return all(v.is_ab_testing for v in self.verdicts.values())
+
+    def render(self) -> str:
+        rows = []
+        for domain, verdict in sorted(self.verdicts.items()):
+            rows.append((
+                domain,
+                "A/B testing" if verdict.is_ab_testing else "possible PDI-PD",
+                "-" if verdict.min_ks_p is None else round(verdict.min_ks_p, 3),
+                round(verdict.regression_r2, 3),
+                ", ".join(verdict.significant_features) or "none",
+                "-" if verdict.forest_max_importance is None
+                else round(verdict.forest_max_importance, 3),
+            ))
+        return format_table(
+            rows,
+            headers=("Domain", "Verdict", "min KS p", "R²",
+                     "Significant features", "Max forest importance"),
+            title="Sect. 7.5: A/B-testing vs PDI-PD verdicts",
+        )
+
+
+def run(scale: str = "default") -> Sec75Result:
+    data = registry.temporal_data(scale)
+    verdicts: Dict[str, ABTestVerdict] = {}
+    for domain, results in data.results_by_domain.items():
+        verdicts[domain] = ab_test_verdict(
+            point_samples(results),
+            features=data.features,
+            prices=data.prices,
+            feature_names=data.feature_names,
+        )
+    return Sec75Result(verdicts=verdicts)

@@ -1,0 +1,77 @@
+"""Sect. 7.6 — the Alexa top-400 e-commerce sweep.
+
+Each of the most popular e-commerce sites is checked on 5 random
+products for 3 consecutive days from Spain.  Paper finding: none of
+them (beyond the 3 already known) returns different prices to distinct
+users within the same country — so no PDI-PD signal among the most
+popular retailers either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.pricediff import within_country_percentages
+from repro.analysis.reports import format_table
+from repro.experiments import registry
+from repro.workloads.alexa import build_alexa_ecommerce
+
+
+@dataclass
+class Sec76Result:
+    n_domains: int
+    n_requests: int
+    within_country: Dict[str, float]  # domain → % requests with ES diff
+
+    def domains_with_in_country_difference(self) -> List[str]:
+        return sorted(d for d, pct in self.within_country.items() if pct > 0)
+
+    def render(self) -> str:
+        flagged = self.domains_with_in_country_difference()
+        rows = [(d, f"{self.within_country[d]:.2f}%") for d in flagged]
+        table = format_table(
+            rows or [("(none)", "0.00%")],
+            headers=("Domain", "% requests with in-country diff"),
+            title="Sect. 7.6: Alexa top-400 — within-country differences",
+        )
+        return table + (
+            f"\nchecked {self.n_domains} domains with {self.n_requests} "
+            f"requests; {len(flagged)} showed in-country differences"
+        )
+
+
+def run(scale: str = "default") -> Sec76Result:
+    s = registry.scale(scale)
+    dataset = registry.live_dataset(scale)
+    if dataset.world.internet.has_domain("alexa-shop-000.example"):
+        # already built by an earlier run against the cached world
+        stores = [
+            dataset.world.internet.site(f"alexa-shop-{i:03d}.example")
+            for i in range(s.alexa_domains)
+        ]
+    else:
+        stores = build_alexa_ecommerce(
+            dataset.world.internet, dataset.world.geodb, dataset.world.rates,
+            n=s.alexa_domains,
+        )
+    study = registry.crawl_study(scale)
+    for store in stores:
+        # sanction the new domains on the crawl back-end *and* on the
+        # live deployment, whose PPCs serve the crawl's remote requests
+        study.backend.whitelist.add(store.domain)
+        dataset.sheriff.whitelist.add(store.domain)
+    results = study.alexa_sweep(
+        [store.domain for store in stores],
+        products_per_domain=s.alexa_products,
+        days=s.alexa_days,
+    )
+    pct = within_country_percentages(results, ["ES"])
+    within = {
+        domain: by_country.get("ES", 0.0) for domain, by_country in pct.items()
+    }
+    return Sec76Result(
+        n_domains=len(stores),
+        n_requests=len(results),
+        within_country=within,
+    )

@@ -1,0 +1,53 @@
+"""Table 1 — System Performance Analysis (old vs new back-end).
+
+Paper values: old version ≈2 min/task at ~5 tasks (3600/day) degrading
+to ≈5 min at ~10 tasks (2880/day); new version ≈1 min at ~5 tasks
+(7200/day), ≈1.5 min at ~10 (9600/day), and 38400/day with 3 clients
+over 4 servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.reports import format_table
+from repro.workloads.perfmodel import PerfRow, run_table1
+
+PAPER_ROWS = (
+    ("old", 1, 1, 5, 2.0, 3600),
+    ("old", 2, 1, 10, 5.0, 2880),
+    ("new", 1, 1, 5, 1.0, 7200),
+    ("new", 2, 1, 10, 1.5, 9600),
+    ("new", 3, 4, 10, 1.5, 38400),
+)
+
+
+@dataclass
+class Table1Result:
+    rows: List[PerfRow]
+
+    def render(self) -> str:
+        data = [
+            (
+                "Old Version" if r.version == "old" else "New Version",
+                r.n_clients,
+                r.n_servers,
+                round(r.avg_parallel_tasks, 1),
+                round(r.response_minutes, 2),
+                int(round(r.max_daily_requests)),
+            )
+            for r in self.rows
+        ]
+        return format_table(
+            data,
+            headers=("Version", "# Clients", "# Servers", "# Tasks",
+                     "Response Time Per Task (min)", "Max Daily Requests"),
+            title="Table 1: System Performance Analysis",
+        )
+
+
+def run(scale: str = "default", sim_minutes: float = 180.0) -> Table1Result:
+    if scale == "test":
+        sim_minutes = 45.0
+    return Table1Result(rows=run_table1(sim_minutes=sim_minutes))

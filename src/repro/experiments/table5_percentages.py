@@ -1,0 +1,56 @@
+"""Table 5 — percentage of requests with an in-country price difference.
+
+Paper: jcpenney.com has the highest share in all four countries (35–67%),
+chegg.com peaks in Spain (≈39%) and is exactly 0% in France, amazon.com
+stays below 14% everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.pricediff import within_country_percentages
+from repro.analysis.reports import format_table
+from repro.experiments import registry
+
+PAPER_TABLE5 = {
+    "chegg.com": {"ES": 38.98, "FR": 0.0, "GB": 15.44, "DE": 2.45},
+    "jcpenney.com": {"ES": 58.62, "FR": 67.26, "GB": 57.87, "DE": 34.72},
+    "amazon.com": {"ES": 6.84, "FR": 13.27, "GB": 8.79, "DE": 7.50},
+}
+
+COUNTRIES = ("ES", "FR", "GB", "DE")
+
+
+@dataclass
+class Table5Result:
+    percentages: Dict[str, Dict[str, float]]
+
+    def value(self, domain: str, country: str) -> float:
+        return self.percentages.get(domain, {}).get(country, 0.0)
+
+    def render(self) -> str:
+        rows = []
+        for domain in ("chegg.com", "jcpenney.com", "amazon.com"):
+            rows.append(
+                (domain,)
+                + tuple(f"{self.value(domain, c):.2f}%" for c in COUNTRIES)
+            )
+        return format_table(
+            rows,
+            headers=("Domain",) + COUNTRIES,
+            title="Table 5: % of requests with in-country price difference",
+        )
+
+
+def run(scale: str = "default") -> Table5Result:
+    case = registry.case_study_data(scale)
+    percentages: Dict[str, Dict[str, float]] = {}
+    for domain, by_country in case.items():
+        merged: Dict[str, float] = {}
+        for country, results in by_country.items():
+            pct = within_country_percentages(results, [country])
+            merged[country] = pct.get(domain, {}).get(country, 0.0)
+        percentages[domain] = merged
+    return Table5Result(percentages=percentages)

@@ -1,0 +1,112 @@
+"""Search-steering detection (the Hannak et al. dimension).
+
+The paper defines price steering — "showing different products (or the
+same products in a different order) to distinct users for the same
+search query" — and notes the $heriff detects the resulting price gap
+when two users land on the same URL, but "cannot discern whether price
+steering took place."  This extension adds the missing sensor: issue
+the *same query* from multiple vantage points/profiles and compare the
+returned rankings directly.
+
+Rank disagreement is quantified with normalized Kendall-tau distance
+over the common items; rankings above ``tau_threshold`` from the
+majority ordering are flagged as steered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def kendall_tau_distance(a: Sequence[str], b: Sequence[str]) -> float:
+    """Normalized Kendall-tau distance over the items common to both.
+
+    0 = identical order, 1 = exactly reversed.  Fewer than two common
+    items → 0 (nothing to disagree about).
+    """
+    common = [x for x in a if x in set(b)]
+    if len(common) < 2:
+        return 0.0
+    pos_b = {item: i for i, item in enumerate(b)}
+    discordant = 0
+    n = len(common)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if pos_b[common[i]] > pos_b[common[j]]:
+                discordant += 1
+    return discordant / (n * (n - 1) / 2)
+
+
+@dataclass
+class RankingObservation:
+    """One profile's search ranking for the query."""
+
+    observer_id: str
+    label: str  # e.g. "clean" / "profiled"
+    ranking: List[str]  # product ids in returned order
+
+
+@dataclass
+class SteeringReport:
+    query: str
+    observations: List[RankingObservation]
+
+    def reference_ranking(self) -> List[str]:
+        """The modal ranking (the one most observers received)."""
+        from collections import Counter
+
+        counts = Counter(tuple(o.ranking) for o in self.observations)
+        return list(counts.most_common(1)[0][0])
+
+    def distances(self) -> Dict[str, float]:
+        reference = self.reference_ranking()
+        return {
+            o.observer_id: kendall_tau_distance(o.ranking, reference)
+            for o in self.observations
+        }
+
+    def steered_observers(self, tau_threshold: float = 0.3) -> List[str]:
+        return sorted(
+            observer for observer, d in self.distances().items()
+            if d > tau_threshold
+        )
+
+    @property
+    def steering_detected(self) -> bool:
+        return bool(self.steered_observers())
+
+    def render(self) -> str:
+        lines = [f"Steering check — query {self.query!r}"]
+        distances = self.distances()
+        for obs in self.observations:
+            flag = " STEERED" if distances[obs.observer_id] > 0.3 else ""
+            lines.append(
+                f"  {obs.observer_id} [{obs.label}]: "
+                f"tau-distance {distances[obs.observer_id]:.2f}{flag}"
+            )
+        verdict = "steering detected" if self.steering_detected else "consistent rankings"
+        lines.append(f"verdict: {verdict}")
+        return "\n".join(lines)
+
+
+class SteeringWatch:
+    """Issue one query through several browsers and compare rankings."""
+
+    def __init__(self, store) -> None:
+        self._store = store
+
+    def check(
+        self,
+        query: str,
+        browsers: Sequence[Tuple[str, str, object]],
+    ) -> SteeringReport:
+        """``browsers`` is a list of (observer_id, label, Browser)."""
+        observations = []
+        for observer_id, label, browser in browsers:
+            ctx = browser.request_context(self._store.domain)
+            ranking = [p.product_id for p in self._store.search(query, ctx)]
+            observations.append(RankingObservation(
+                observer_id=observer_id, label=label, ranking=ranking,
+            ))
+        return SteeringReport(query=query, observations=observations)

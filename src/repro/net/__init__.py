@@ -1,0 +1,28 @@
+"""Network substrate: discrete-event clock, synthetic geography, message passing.
+
+The real Price $heriff runs over the public internet (WebRTC data
+channels between peers, HTTPS between components).  This package provides
+the simulated equivalent: a :class:`~repro.net.events.EventLoop` discrete
+event clock, a :class:`~repro.net.geo.GeoDatabase` that geolocates
+synthetic IP addresses, a :class:`~repro.net.sim.SimNetwork` carrying
+latency-delayed messages between named hosts, and a peerjs-style overlay
+in :mod:`repro.net.p2p`.
+"""
+
+from repro.net.events import Clock, EventLoop
+from repro.net.geo import Country, GeoDatabase, Location
+from repro.net.sim import Host, LatencyModel, SimNetwork
+from repro.net.p2p import PeerChannel, PeerOverlay
+
+__all__ = [
+    "Clock",
+    "EventLoop",
+    "Country",
+    "GeoDatabase",
+    "Location",
+    "Host",
+    "LatencyModel",
+    "SimNetwork",
+    "PeerChannel",
+    "PeerOverlay",
+]

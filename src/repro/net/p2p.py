@@ -1,0 +1,119 @@
+"""Peer-to-peer overlay modelled on the peerjs/WebRTC layer of the add-on.
+
+Every browser running the add-on registers with the overlay under a
+unique peer ID (Sect. 10.2.2: "Each peer client has a unique ID, which
+the system uses to track it").  The Coordinator consumes the overlay's
+presence information to maintain per-location peer lists; Measurement
+servers open :class:`PeerChannel` s to ask PPCs for remote page requests.
+
+Privacy property preserved from the paper: a PPC is only ever contacted
+by a Measurement server, never by the initiating peer, so it cannot
+associate page requests with the initiator's identity.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.net.geo import Location
+
+
+def make_peer_id(rng_token: Optional[str] = None) -> str:
+    """Generate a peerjs-style opaque identifier."""
+    return rng_token if rng_token is not None else secrets.token_urlsafe(9)
+
+
+@dataclass
+class PeerRecord:
+    """Presence record for one online peer (mirrors the panel in Fig. 16)."""
+
+    peer_id: str
+    location: Location
+    handler: Callable[[Any], Any]
+    online: bool = True
+
+    def row(self) -> Dict[str, str]:
+        """One row of the peer-proxy monitoring panel."""
+        return {
+            "Peer ID": self.peer_id,
+            "IP": self.location.ip,
+            "Country": self.location.country,
+            "Region": self.location.region,
+            "City": self.location.city,
+        }
+
+
+class PeerChannel:
+    """A point-to-point data channel to a single peer."""
+
+    def __init__(self, record: PeerRecord) -> None:
+        self._record = record
+
+    @property
+    def peer_id(self) -> str:
+        return self._record.peer_id
+
+    def send(self, message: Any) -> Any:
+        if not self._record.online:
+            raise ConnectionError(f"peer {self._record.peer_id} is offline")
+        return self._record.handler(message)
+
+
+class PeerOverlay:
+    """Signaling server + registry for the P2P network of PPCs."""
+
+    def __init__(self) -> None:
+        self._peers: Dict[str, PeerRecord] = {}
+
+    def register(
+        self,
+        peer_id: str,
+        location: Location,
+        handler: Callable[[Any], Any],
+    ) -> PeerRecord:
+        record = PeerRecord(peer_id=peer_id, location=location, handler=handler)
+        self._peers[peer_id] = record
+        return record
+
+    def unregister(self, peer_id: str) -> None:
+        self._peers.pop(peer_id, None)
+
+    def set_online(self, peer_id: str, online: bool) -> None:
+        self._peers[peer_id].online = online
+
+    def is_online(self, peer_id: str) -> bool:
+        record = self._peers.get(peer_id)
+        return bool(record and record.online)
+
+    def get(self, peer_id: str) -> PeerRecord:
+        try:
+            return self._peers[peer_id]
+        except KeyError:
+            raise KeyError(f"unknown peer {peer_id!r}") from None
+
+    def connect(self, peer_id: str) -> PeerChannel:
+        try:
+            record = self._peers[peer_id]
+        except KeyError:
+            raise ConnectionError(f"unknown peer {peer_id!r}") from None
+        return PeerChannel(record)
+
+    # -- presence queries (used by the Coordinator) ------------------------
+    def online_peers(self) -> List[PeerRecord]:
+        return [p for p in self._peers.values() if p.online]
+
+    def peers_in_country(self, country: str) -> List[PeerRecord]:
+        return [p for p in self.online_peers() if p.location.country == country]
+
+    def peers_in_city(self, country: str, city: str) -> List[PeerRecord]:
+        return [
+            p
+            for p in self.online_peers()
+            if p.location.country == country and p.location.city == city
+        ]
+
+    def monitoring_rows(self) -> List[Dict[str, str]]:
+        """The peer-proxy monitoring panel of Fig. 16."""
+        return [p.row() for p in self.online_peers()]

@@ -1,0 +1,133 @@
+"""Message-passing network simulation with a geographic latency model.
+
+All traffic between $heriff components (add-on ↔ Coordinator ↔
+Measurement servers ↔ proxy clients) flows through a
+:class:`SimNetwork`.  Requests are delivered synchronously — the caller
+receives the response plus the simulated wall time the round trip took —
+which is what the price-check protocol needs: the initiator's add-on
+blocks on the result page, and measurement latency only matters in
+aggregate (Table 1), where it is fed into the queueing model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.net.geo import Location
+
+
+class NetworkError(RuntimeError):
+    """Raised when a request cannot be delivered (host down / unknown)."""
+
+
+@dataclass
+class Host:
+    """A named, geolocated endpoint with a request handler.
+
+    ``handler`` receives ``(payload)`` and returns the response payload.
+    ``slowdown`` models chronically overloaded nodes (the paper observes
+    some PlanetLab IPC hosts imposing extra delay, Sect. 5).
+    """
+
+    name: str
+    location: Location
+    handler: Optional[Callable[[Any], Any]] = None
+    online: bool = True
+    slowdown: float = 1.0
+
+    def handle(self, payload: Any) -> Any:
+        if self.handler is None:
+            raise NetworkError(f"host {self.name} has no handler")
+        return self.handler(payload)
+
+
+class LatencyModel:
+    """One-way latency between two locations, with lognormal jitter.
+
+    Same city ≈ 5 ms, same country ≈ 20 ms, international ≈ 120 ms —
+    coarse but sufficient: the experiments only depend on latency through
+    the Table-1 service-time model and the "fetch at the same time"
+    property, which the simulation guarantees by construction.
+    """
+
+    SAME_CITY = 0.005
+    SAME_COUNTRY = 0.020
+    INTERNATIONAL = 0.120
+
+    def __init__(self, rng: Optional[random.Random] = None, jitter: float = 0.25) -> None:
+        self._rng = rng if rng is not None else random.Random(0)
+        self._jitter = jitter
+
+    def base_latency(self, src: Location, dst: Location) -> float:
+        if src.country != dst.country:
+            return self.INTERNATIONAL
+        if src.city != dst.city:
+            return self.SAME_COUNTRY
+        return self.SAME_CITY
+
+    def latency(self, src: Location, dst: Location) -> float:
+        base = self.base_latency(src, dst)
+        if self._jitter <= 0:
+            return base
+        return base * self._rng.lognormvariate(0.0, self._jitter)
+
+
+@dataclass
+class _Transfer:
+    """Record of one delivered request (for tests and monitoring)."""
+
+    src: str
+    dst: str
+    rtt: float
+
+
+class SimNetwork:
+    """Registry of hosts plus synchronous request delivery."""
+
+    def __init__(self, latency: Optional[LatencyModel] = None) -> None:
+        self.latency_model = latency if latency is not None else LatencyModel()
+        self._hosts: Dict[str, Host] = {}
+        self.transfers: List[_Transfer] = []
+
+    # -- host management ---------------------------------------------------
+    def add_host(self, host: Host) -> Host:
+        if host.name in self._hosts:
+            raise ValueError(f"duplicate host name {host.name!r}")
+        self._hosts[host.name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise NetworkError(f"unknown host {name!r}") from None
+
+    def remove_host(self, name: str) -> None:
+        self._hosts.pop(name, None)
+
+    def hosts(self) -> List[Host]:
+        return list(self._hosts.values())
+
+    # -- traffic -------------------------------------------------------------
+    def rtt(self, src: str, dst: str) -> float:
+        """Round-trip latency between two registered hosts."""
+        a, b = self.host(src), self.host(dst)
+        one_way = self.latency_model.latency(a.location, b.location)
+        return 2.0 * one_way * max(a.slowdown, b.slowdown)
+
+    def request(self, src: str, dst: str, payload: Any) -> Tuple[Any, float]:
+        """Deliver ``payload`` from ``src`` to ``dst``; return (response, rtt).
+
+        Raises :class:`NetworkError` if the destination is offline, which
+        the dispatch protocol treats as a missed heartbeat.
+        """
+        target = self.host(dst)
+        self.host(src)  # validate the source exists too
+        if not target.online:
+            raise NetworkError(f"host {dst!r} is offline")
+        rtt = self.rtt(src, dst)
+        response = target.handle(payload)
+        self.transfers.append(_Transfer(src=src, dst=dst, rtt=rtt))
+        return response, rtt

@@ -1,0 +1,62 @@
+"""Simulated web: HTML documents, e-stores, trackers, pricing policies.
+
+The $heriff only ever observes fetched HTML.  This package provides the
+synthetic internet that stands in for the real e-commerce web: stores
+render genuine HTML product pages (with the confounders the paper calls
+out — multiple prices per page, ad blocks that change between fetches,
+divergent currency notations) under configurable pricing policies, and a
+third-party tracker ecosystem builds the server-side profiles that could
+drive PDI-PD.
+"""
+
+from repro.web.html import Element, HTMLParseError, find_all, iter_elements, parse, render, text_of
+from repro.web.catalog import Catalog, Product, make_catalog
+from repro.web.trackers import Tracker, TrackerEcosystem
+from repro.web.pricing import (
+    ABTestPricing,
+    PerCountryABTestPricing,
+    ProductCountryJitterPricing,
+    CompositePricing,
+    CountryMultiplierPricing,
+    PdiPdPricing,
+    PriceQuote,
+    PricingPolicy,
+    RequestContext,
+    TemporalDriftPricing,
+    UniformPricing,
+    VatInclusivePricing,
+)
+from repro.web.store import EStore, StoreResponse
+from repro.web.internet import ContentSite, Internet, parse_url
+
+__all__ = [
+    "Element",
+    "HTMLParseError",
+    "find_all",
+    "iter_elements",
+    "parse",
+    "render",
+    "text_of",
+    "Catalog",
+    "Product",
+    "make_catalog",
+    "Tracker",
+    "TrackerEcosystem",
+    "ABTestPricing",
+    "PerCountryABTestPricing",
+    "ProductCountryJitterPricing",
+    "CompositePricing",
+    "CountryMultiplierPricing",
+    "PdiPdPricing",
+    "PriceQuote",
+    "PricingPolicy",
+    "RequestContext",
+    "TemporalDriftPricing",
+    "UniformPricing",
+    "VatInclusivePricing",
+    "EStore",
+    "StoreResponse",
+    "ContentSite",
+    "Internet",
+    "parse_url",
+]

@@ -1,0 +1,196 @@
+"""A small HTML document model, serializer, and parser.
+
+The Tags Path machinery (Sect. 3.3) needs to treat pages as tag trees:
+the add-on walks the rendered document bottom-up to record the path to
+the selected price element, and the Measurement server re-walks pages
+fetched by proxies to extract the price.  Stores build
+:class:`Element` trees and serialize them; the Measurement server parses
+the HTML text back — so the parser and serializer must round-trip.
+
+The model is deliberately minimal (no entities, no comments inside
+content, no CDATA) because the simulated stores only emit what it
+supports; the parser is still defensive because remote pages differ
+between fetches.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Union
+
+#: Tags that never take children or a closing tag.
+VOID_TAGS = frozenset({"img", "br", "meta", "link", "input", "hr"})
+
+Node = Union["Element", str]
+
+
+class HTMLParseError(ValueError):
+    """Raised when a document cannot be parsed into a tag tree."""
+
+
+@dataclass
+class Element:
+    """One HTML element: a tag, its attributes, and child nodes."""
+
+    tag: str
+    attrs: Dict[str, str] = field(default_factory=dict)
+    children: List[Node] = field(default_factory=list)
+
+    # -- construction helpers -------------------------------------------
+    def append(self, child: Node) -> "Element":
+        self.children.append(child)
+        return self
+
+    def extend(self, children: List[Node]) -> "Element":
+        self.children.extend(children)
+        return self
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def classes(self) -> List[str]:
+        return self.attrs.get("class", "").split()
+
+    def has_class(self, name: str) -> bool:
+        return name in self.classes
+
+    def text(self) -> str:
+        """Concatenated text of this subtree."""
+        return text_of(self)
+
+    def signature(self) -> str:
+        """A layout-identity string: tag plus class attribute.
+
+        Two elements with the same signature play the same structural
+        role across page variants; this is what Tags Path entries match
+        on.
+        """
+        cls = self.attrs.get("class", "")
+        return f"{self.tag}.{cls}" if cls else self.tag
+
+
+def _render_attrs(attrs: Dict[str, str]) -> str:
+    if not attrs:
+        return ""
+    parts = [f'{key}="{value}"' for key, value in attrs.items()]
+    return " " + " ".join(parts)
+
+
+def render(node: Node, indent: int = 0) -> str:
+    """Serialize a node tree to HTML text (with doctype at the root)."""
+    text = _render_node(node, indent)
+    if isinstance(node, Element) and node.tag == "html" and indent == 0:
+        return "<!DOCTYPE html>\n" + text
+    return text
+
+
+def _render_node(node: Node, indent: int) -> str:
+    pad = "  " * indent
+    if isinstance(node, str):
+        return f"{pad}{node}"
+    open_tag = f"{pad}<{node.tag}{_render_attrs(node.attrs)}>"
+    if node.tag in VOID_TAGS:
+        return open_tag
+    if not node.children:
+        return f"{open_tag}</{node.tag}>"
+    if len(node.children) == 1 and isinstance(node.children[0], str):
+        return f"{open_tag}{node.children[0]}</{node.tag}>"
+    inner = "\n".join(_render_node(child, indent + 1) for child in node.children)
+    return f"{open_tag}\n{inner}\n{pad}</{node.tag}>"
+
+
+_TOKEN_RE = re.compile(r"<[^>]*>|[^<]+")
+_TAG_RE = re.compile(r"^<\s*(/)?\s*([a-zA-Z][a-zA-Z0-9-]*)((?:\s+[^>]*?)?)\s*(/)?\s*>$")
+_ATTR_RE = re.compile(r'([a-zA-Z][a-zA-Z0-9_:-]*)\s*=\s*"([^"]*)"')
+
+
+def parse(html: str) -> Element:
+    """Parse HTML text into an :class:`Element` tree.
+
+    Returns the single root element (conventionally ``<html>``).  The
+    parser tolerates a doctype prelude and surrounding whitespace; any
+    structural error (unbalanced tags, text outside the root) raises
+    :class:`HTMLParseError`.
+    """
+    root: Optional[Element] = None
+    stack: List[Element] = []
+    for raw in _TOKEN_RE.findall(html):
+        if raw.startswith("<"):
+            if raw.startswith("<!"):
+                continue  # doctype / comment
+            match = _TAG_RE.match(raw)
+            if match is None:
+                raise HTMLParseError(f"malformed tag token {raw!r}")
+            closing, tag, attr_text, self_closing = match.groups()
+            tag = tag.lower()
+            if closing:
+                if not stack or stack[-1].tag != tag:
+                    opened = stack[-1].tag if stack else None
+                    raise HTMLParseError(
+                        f"closing </{tag}> does not match open <{opened}>"
+                    )
+                element = stack.pop()
+                if not stack:
+                    root = element
+            else:
+                attrs = dict(_ATTR_RE.findall(attr_text or ""))
+                element = Element(tag=tag, attrs=attrs)
+                if stack:
+                    stack[-1].append(element)
+                elif root is not None:
+                    raise HTMLParseError("multiple root elements")
+                if tag not in VOID_TAGS and not self_closing:
+                    stack.append(element)
+                elif not stack and root is None:
+                    root = element
+        else:
+            # One text token may span several rendered lines; split them
+            # back into the per-line text nodes the serializer emitted so
+            # that parse(render(x)) round-trips exactly.
+            lines = [line.strip() for line in raw.splitlines()]
+            for text in lines:
+                if not text:
+                    continue
+                if not stack:
+                    raise HTMLParseError(f"text outside the document root: {text!r}")
+                stack[-1].append(text)
+    if stack:
+        raise HTMLParseError(f"unclosed tag <{stack[-1].tag}>")
+    if root is None:
+        raise HTMLParseError("empty document")
+    return root
+
+
+def iter_elements(node: Node) -> Iterator[Element]:
+    """Depth-first iteration over every element of a subtree."""
+    if isinstance(node, Element):
+        yield node
+        for child in node.children:
+            yield from iter_elements(child)
+
+
+def find_all(
+    node: Node,
+    tag: Optional[str] = None,
+    cls: Optional[str] = None,
+) -> List[Element]:
+    """All elements matching an optional tag name and/or class."""
+    out = []
+    for element in iter_elements(node):
+        if tag is not None and element.tag != tag:
+            continue
+        if cls is not None and not element.has_class(cls):
+            continue
+        out.append(element)
+    return out
+
+
+def text_of(node: Node) -> str:
+    """Concatenated text content of a subtree."""
+    if isinstance(node, str):
+        return node
+    return " ".join(
+        part
+        for part in (text_of(child) for child in node.children)
+        if part
+    )

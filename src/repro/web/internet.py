@@ -1,0 +1,93 @@
+"""The simulated internet: domain registry and URL-level fetching.
+
+Ties together e-stores (:class:`repro.web.store.EStore`), plain content
+sites (used only to build realistic browsing histories and tracker
+profiles), and the tracker ecosystem.  Browsers fetch URLs through a
+single :class:`Internet` instance, which is also what the Infrastructure
+Proxy Clients use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.web.pricing import RequestContext
+from repro.web.store import EStore, StoreResponse
+
+
+def parse_url(url: str) -> Tuple[str, str]:
+    """Split ``http(s)://domain/path`` into ``(domain, path)``."""
+    for scheme in ("https://", "http://"):
+        if url.startswith(scheme):
+            rest = url[len(scheme):]
+            break
+    else:
+        rest = url
+    if "/" in rest:
+        domain, _, path = rest.partition("/")
+        return domain, "/" + path
+    return rest, "/"
+
+
+class ContentSite:
+    """A non-commerce site: exists to appear in browsing histories."""
+
+    def __init__(self, domain: str, tracker_domains: Sequence[str] = ()) -> None:
+        self.domain = domain
+        self.tracker_domains = tuple(tracker_domains)
+        self.hits = 0
+
+    def fetch(self, path: str, ctx: RequestContext) -> StoreResponse:
+        self.hits += 1
+        html = (
+            "<html><head><title>{d}</title></head>"
+            '<body><div class="content">{d}{p}</div></body></html>'
+        ).format(d=self.domain, p=path)
+        return StoreResponse(
+            url=f"http://{self.domain}{path}",
+            status=200,
+            html=html,
+            set_cookies={},
+            tracker_domains=self.tracker_domains,
+        )
+
+
+Site = Union[EStore, ContentSite]
+
+
+class UnknownDomainError(KeyError):
+    """No site is registered under the requested domain."""
+
+
+class Internet:
+    """Domain → site registry with URL-level fetch."""
+
+    def __init__(self) -> None:
+        self._sites: Dict[str, Site] = {}
+
+    def register(self, site: Site) -> Site:
+        if site.domain in self._sites:
+            raise ValueError(f"domain {site.domain!r} already registered")
+        self._sites[site.domain] = site
+        return site
+
+    def site(self, domain: str) -> Site:
+        try:
+            return self._sites[domain]
+        except KeyError:
+            raise UnknownDomainError(domain) from None
+
+    def has_domain(self, domain: str) -> bool:
+        return domain in self._sites
+
+    def domains(self) -> List[str]:
+        return list(self._sites)
+
+    def stores(self) -> List[EStore]:
+        return [s for s in self._sites.values() if isinstance(s, EStore)]
+
+    def fetch(self, url: str, ctx: RequestContext) -> StoreResponse:
+        """Fetch a URL as observed from the given request context."""
+        domain, path = parse_url(url)
+        return self.site(domain).fetch(path, ctx)

@@ -1,0 +1,53 @@
+"""Workload generators: the experiments' worlds, users, and drivers.
+
+* :mod:`repro.workloads.alexa` — the synthetic content web (the "Alexa
+  top domains" popularity ranking) and the Alexa top-400 e-commerce
+  roster of Sect. 7.6;
+* :mod:`repro.workloads.population` — the geo-distributed user base with
+  Zipf-like browsing histories (Table 2 country mix);
+* :mod:`repro.workloads.stores` — the calibrated retailer roster: every
+  domain named in the paper with a pricing policy tuned to reproduce its
+  reported behaviour;
+* :mod:`repro.workloads.deployment` — the live-deployment simulation
+  (Sect. 6) and the Fig. 5 adoption model;
+* :mod:`repro.workloads.crawlstudy` — the systematic study drivers
+  (Sect. 7): multi-country crawls, the four-country case studies, the
+  temporal study, the Alexa-400 sweep;
+* :mod:`repro.workloads.perfmodel` — the Table 1 queueing model of the
+  old and new back-end architectures.
+"""
+
+from repro.workloads.alexa import ContentWeb, build_alexa_ecommerce
+from repro.workloads.population import Population, PopulationConfig
+from repro.workloads.stores import build_named_stores, named_store_specs
+from repro.workloads.deployment import (
+    DeploymentConfig,
+    DeploymentDataset,
+    LiveDeployment,
+    adoption_series,
+)
+from repro.workloads.crawlstudy import (
+    CrawlStudy,
+    four_country_case_study,
+    temporal_study,
+)
+from repro.workloads.perfmodel import PerformanceModel, PerfRow, run_table1
+
+__all__ = [
+    "ContentWeb",
+    "build_alexa_ecommerce",
+    "Population",
+    "PopulationConfig",
+    "build_named_stores",
+    "named_store_specs",
+    "DeploymentConfig",
+    "DeploymentDataset",
+    "LiveDeployment",
+    "adoption_series",
+    "CrawlStudy",
+    "four_country_case_study",
+    "temporal_study",
+    "PerformanceModel",
+    "PerfRow",
+    "run_table1",
+]

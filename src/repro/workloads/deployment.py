@@ -1,0 +1,267 @@
+"""The live deployment simulation (Sect. 6) and the Fig. 5 adoption model.
+
+:class:`LiveDeployment` stands up the full system — content web, the
+calibrated retailer roster plus the honest long tail, the 30-node IPC
+fleet, four Measurement servers, a geo-distributed population — and
+replays the deployment window: users issue price checks against stores
+drawn by popularity, the clock advances between requests, and an
+optional clustering round builds doppelgangers part-way through.
+
+The paper's window runs August 2015 – September 2016 with 1265 users
+and >5700 requests over 1994 domains; the default configuration is a
+faithful but smaller instance (the same phenomena at ~1/8 scale) so the
+whole evaluation can be regenerated in minutes —
+:meth:`DeploymentConfig.paper_scale` gives the full-size parameters.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.clients.ipc import DEFAULT_IPC_SITES
+from repro.core.addon import PriceSelectionError
+from repro.core.coordinator import RequestRejected
+from repro.core.pricecheck import PriceCheckResult
+from repro.core.sheriff import PriceSheriff, SheriffWorld
+from repro.net.events import SECONDS_PER_DAY
+from repro.workloads.alexa import ContentWeb
+from repro.workloads.population import Population, PopulationConfig
+from repro.workloads.stores import (
+    StoreSpec,
+    build_named_stores,
+    extra_pd_store_specs,
+    named_store_specs,
+    uniform_store_specs,
+)
+
+
+@dataclass
+class DeploymentConfig:
+    """Knobs of one live-deployment run."""
+
+    seed: int = 2017
+    n_users: int = 150
+    n_requests: int = 600
+    n_extra_pd_stores: int = 20
+    n_uniform_stores: int = 60
+    n_content_domains: int = 120
+    n_measurement_servers: int = 4
+    duration_days: float = 390.0
+    ipc_sites: Sequence[Tuple[str, str, float]] = DEFAULT_IPC_SITES
+    enable_doppelgangers: bool = False
+    population: Optional[PopulationConfig] = None
+    #: extra checks of the flagship products users were famously curious
+    #: about (the Phase One IQ280 case of Sect. 6.2)
+    spotlight_checks: int = 3
+    spotlight_products: Tuple[Tuple[str, str], ...] = (
+        ("digitalrev.com", "digitalrev-iq280"),
+    )
+
+    @classmethod
+    def paper_scale(cls) -> "DeploymentConfig":
+        """The full Sect. 6 scale (slow: hours of simulation)."""
+        return cls(
+            n_users=1265,
+            n_requests=5700,
+            n_extra_pd_stores=47,
+            n_uniform_stores=1900,
+            n_content_domains=400,
+        )
+
+    @classmethod
+    def test_scale(cls) -> "DeploymentConfig":
+        """A minimal instance for unit tests."""
+        return cls(
+            n_users=40,
+            n_requests=80,
+            n_extra_pd_stores=5,
+            n_uniform_stores=10,
+            n_content_domains=40,
+            ipc_sites=DEFAULT_IPC_SITES[:10],
+        )
+
+
+@dataclass
+class DeploymentDataset:
+    """Everything a run produced, ready for the Sect. 6 analyses."""
+
+    config: DeploymentConfig
+    world: SheriffWorld
+    sheriff: PriceSheriff
+    population: Population
+    results: List[PriceCheckResult]
+    failures: Counter
+    request_countries: Counter
+
+    @property
+    def n_domains_checked(self) -> int:
+        return len({r.domain for r in self.results})
+
+    @property
+    def n_products_checked(self) -> int:
+        return len({r.url for r in self.results})
+
+    @property
+    def n_responses(self) -> int:
+        return sum(len(r.rows) for r in self.results)
+
+    def results_for_domain(self, domain: str) -> List[PriceCheckResult]:
+        return [r for r in self.results if r.domain == domain]
+
+
+class LiveDeployment:
+    """Builds the world and replays the deployment window."""
+
+    def __init__(self, config: Optional[DeploymentConfig] = None) -> None:
+        self.config = config if config is not None else DeploymentConfig()
+        cfg = self.config
+        self._rng = random.Random(cfg.seed)
+        self.world = SheriffWorld.create(seed=cfg.seed)
+        self.content_web = ContentWeb(
+            self.world.internet, self.world.ecosystem,
+            n_domains=cfg.n_content_domains, seed=cfg.seed + 1,
+        )
+        self.specs: List[StoreSpec] = (
+            named_store_specs()
+            + extra_pd_store_specs(cfg.n_extra_pd_stores, seed=cfg.seed + 2)
+            + uniform_store_specs(cfg.n_uniform_stores, seed=cfg.seed + 3)
+        )
+        self.stores = build_named_stores(self.world, self.specs)
+        self.sheriff = PriceSheriff(
+            self.world,
+            n_measurement_servers=cfg.n_measurement_servers,
+            ipc_sites=cfg.ipc_sites,
+        )
+        self.population = Population(
+            self.sheriff, self.content_web,
+            cfg.population if cfg.population is not None
+            else PopulationConfig(n_users=cfg.n_users, seed=cfg.seed + 4),
+        )
+        self._store_weights = [s.popularity for s in self.specs]
+
+    # -- request generation ------------------------------------------------
+    def _pick_store(self) -> StoreSpec:
+        return self._rng.choices(self.specs, weights=self._store_weights, k=1)[0]
+
+    def run(self) -> DeploymentDataset:
+        cfg = self.config
+        self.population.build()
+        results: List[PriceCheckResult] = []
+        failures: Counter = Counter()
+        request_countries: Counter = Counter()
+        gap_seconds = cfg.duration_days * SECONDS_PER_DAY / max(1, cfg.n_requests)
+
+        for _ in range(cfg.n_requests):
+            self.world.clock.advance(gap_seconds * self._rng.uniform(0.5, 1.5))
+            addon = self.population.pick_user(self._rng)
+            spec = self._pick_store()
+            store = self.stores[spec.domain]
+            product = store.catalog.sample(self._rng, 1)[0]
+            url = store.product_url(product.product_id)
+            try:
+                result = addon.check_price(url)
+            except (RequestRejected, PriceSelectionError):
+                failures[spec.domain] += 1
+                continue
+            results.append(result)
+            request_countries[addon.browser.location.country] += 1
+
+        for domain, product_id in cfg.spotlight_products:
+            store = self.stores.get(domain)
+            if store is None or store.catalog.get(product_id) is None:
+                continue
+            url = store.product_url(product_id)
+            for _ in range(cfg.spotlight_checks):
+                self.world.clock.advance(gap_seconds * self._rng.uniform(0.5, 1.5))
+                addon = self.population.pick_user(self._rng)
+                try:
+                    result = addon.check_price(url)
+                except (RequestRejected, PriceSelectionError):
+                    failures[domain] += 1
+                    continue
+                results.append(result)
+                request_countries[addon.browser.location.country] += 1
+
+        if cfg.enable_doppelgangers:
+            reference = self.content_web.alexa_top(
+                min(50, len(self.content_web.domains))
+            )
+            self.sheriff.run_doppelganger_clustering(reference, max_iterations=4)
+
+        return DeploymentDataset(
+            config=cfg,
+            world=self.world,
+            sheriff=self.sheriff,
+            population=self.population,
+            results=results,
+            failures=failures,
+            request_countries=request_countries,
+        )
+
+
+# -- Fig. 5: add-on adoption over time -------------------------------------
+
+@dataclass
+class AdoptionSeries:
+    """Daily downloads and active users of the add-on (Fig. 5)."""
+
+    days: List[int]
+    daily_downloads: List[float]
+    active_users: List[float]
+
+    @property
+    def total_downloads(self) -> float:
+        return sum(self.daily_downloads)
+
+    def spike_days(self, threshold_factor: float = 5.0) -> List[int]:
+        """Days whose downloads exceed ``threshold_factor`` × median."""
+        ordered = sorted(self.daily_downloads)
+        median = ordered[len(ordered) // 2]
+        floor = max(1.0, median) * threshold_factor
+        return [d for d, v in zip(self.days, self.daily_downloads) if v > floor]
+
+
+#: (day, amplitude) of the three press events the paper describes —
+#: articles in the popular press and the Swiss national TV documentary.
+PRESS_EVENTS: Tuple[Tuple[int, float], ...] = ((60, 120.0), (180, 310.0), (300, 190.0))
+
+
+def adoption_series(
+    n_days: int = 420,
+    seed: int = 9,
+    base_rate: float = 2.0,
+    press_events: Sequence[Tuple[int, float]] = PRESS_EVENTS,
+    decay_days: float = 6.0,
+    retention_days: float = 90.0,
+    active_fraction: float = 0.35,
+) -> AdoptionSeries:
+    """Model the Fig. 5 time series: a trickle plus three press spikes.
+
+    Downloads: Poisson base rate plus exponentially decaying bursts after
+    each press event.  Active users: installs with exponential retention
+    times ``retention_days`` on average, of which ``active_fraction``
+    actually use the add-on.
+    """
+    rng = random.Random(seed)
+    days = list(range(n_days))
+    downloads: List[float] = []
+    for day in days:
+        rate = base_rate
+        for event_day, amplitude in press_events:
+            if day >= event_day:
+                rate += amplitude * math.exp(-(day - event_day) / decay_days)
+        # Poisson draw via the inverse method is overkill; a jittered
+        # rate reads the same on the figure
+        downloads.append(max(0.0, rng.gauss(rate, math.sqrt(max(rate, 1.0)))))
+
+    active: List[float] = []
+    current = 0.0
+    for day in days:
+        churn = current / retention_days
+        current = current + active_fraction * downloads[day] - churn
+        active.append(max(0.0, current))
+    return AdoptionSeries(days=days, daily_downloads=downloads, active_users=active)

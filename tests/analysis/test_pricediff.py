@@ -1,0 +1,168 @@
+"""Tests for price-difference statistics."""
+
+import pytest
+
+from repro.analysis.pricediff import (
+    box_stats,
+    country_extremes,
+    domain_diff_stats,
+    domains_with_difference,
+    extreme_differences,
+    peer_bias_distributions,
+    ratio_vs_min_price,
+    within_country_percentages,
+)
+from repro.core.pricecheck import PriceCheckResult, ResultRow
+
+
+def row(country, eur, kind="IPC", proxy="p", ok=True):
+    return ResultRow(
+        kind=kind, proxy_id=proxy, country=country, region=country, city="c",
+        original_text="x1" if ok else None,
+        detected_amount=eur if ok else None,
+        detected_currency="EUR" if ok else None,
+        converted_value=eur if ok else None,
+        amount_eur=eur if ok else None,
+        error=None if ok else "fail",
+    )
+
+
+def check(domain, url, prices_by_point, time=0.0):
+    """prices_by_point: list of (country, eur, kind, proxy)."""
+    result = PriceCheckResult(
+        job_id=f"{domain}-{url}-{time}", url=url, domain=domain,
+        requested_currency="EUR", time=time,
+    )
+    for country, eur, kind, proxy in prices_by_point:
+        result.rows.append(row(country, eur, kind, proxy))
+    return result
+
+
+@pytest.fixture
+def results():
+    return [
+        check("a.com", "http://a.com/p1", [
+            ("ES", 100.0, "IPC", "i1"), ("US", 130.0, "IPC", "i2"),
+        ]),
+        check("a.com", "http://a.com/p2", [
+            ("ES", 10.0, "IPC", "i1"), ("US", 25.0, "IPC", "i2"),
+        ]),
+        check("b.com", "http://b.com/p1", [
+            ("ES", 50.0, "IPC", "i1"), ("FR", 50.0, "IPC", "i2"),
+        ]),
+        check("c.com", "http://c.com/p1", [
+            ("ES", 100.0, "PPC", "peer-1"), ("ES", 107.0, "PPC", "peer-2"),
+            ("ES", 100.0, "IPC", "i1"),
+        ]),
+    ]
+
+
+class TestBoxStats:
+    def test_basic(self):
+        stats = box_stats([1, 2, 3, 4, 5])
+        assert stats.median == 3
+        assert stats.minimum == 1 and stats.maximum == 5
+        assert stats.q1 == 2 and stats.q3 == 4
+
+    def test_single_value(self):
+        stats = box_stats([7.0])
+        assert stats.median == stats.q1 == stats.q3 == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            box_stats([])
+
+
+class TestDomainStats:
+    def test_diff_domains_found(self, results):
+        assert domains_with_difference(results) == ["a.com", "c.com"]
+
+    def test_domain_diff_stats(self, results):
+        stats = domain_diff_stats(results)
+        by_domain = {s.domain: s for s in stats}
+        assert by_domain["a.com"].n_requests == 2
+        assert by_domain["a.com"].n_with_difference == 2
+        assert "b.com" not in by_domain
+
+    def test_min_diff_requests_filter(self, results):
+        stats = domain_diff_stats(results, min_diff_requests=2)
+        assert [s.domain for s in stats] == ["a.com"]
+
+    def test_sorted_by_diff_count(self, results):
+        stats = domain_diff_stats(results)
+        counts = [s.n_with_difference for s in stats]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestRatioVsMinPrice:
+    def test_points(self, results):
+        points = ratio_vs_min_price(results)
+        assert (10.0, 2.5) in points
+        assert (100.0, 1.3) in points
+        # sorted by min price
+        assert [p[0] for p in points] == sorted(p[0] for p in points)
+
+    def test_pooling_across_checks(self):
+        results = [
+            check("a.com", "http://a.com/p1", [("ES", 100.0, "IPC", "i1")]),
+            check("a.com", "http://a.com/p1", [("US", 150.0, "IPC", "i2")],
+                  time=10.0),
+        ]
+        assert ratio_vs_min_price(results) == [(100.0, 1.5)]
+
+
+class TestCountryExtremes:
+    def test_expensive_and_cheap(self, results):
+        expensive, cheapest = country_extremes(results)
+        assert expensive["US"] == 2
+        assert cheapest["ES"] == 3  # a.com twice + c.com once
+
+    def test_no_diff_excluded(self, results):
+        expensive, _ = country_extremes(results)
+        assert "FR" not in expensive
+
+
+class TestExtremeDifferences:
+    def test_rows(self, results):
+        rows = extreme_differences(results)
+        assert rows[0].relative_times == pytest.approx(2.5)
+        assert rows[0].absolute_eur == pytest.approx(15.0)
+
+    def test_top_limits(self, results):
+        assert len(extreme_differences(results, top=1)) == 1
+
+
+class TestWithinCountry:
+    def test_percentages(self, results):
+        pct = within_country_percentages(results, ["ES"])
+        assert pct["c.com"]["ES"] == 100.0
+
+    def test_requires_two_points_in_country(self, results):
+        pct = within_country_percentages(results, ["US"])
+        assert "a.com" not in pct  # only 1 US point per check
+
+    def test_no_difference_zero(self):
+        results = [check("d.com", "u", [
+            ("ES", 10.0, "IPC", "i1"), ("ES", 10.0, "PPC", "p1"),
+        ])]
+        pct = within_country_percentages(results, ["ES"])
+        assert pct["d.com"]["ES"] == 0.0
+
+
+class TestPeerBias:
+    def test_distribution_per_peer(self, results):
+        bias = peer_bias_distributions(results, "ES")
+        assert bias["peer-2"] == [pytest.approx(0.07)]
+        assert bias["peer-1"] == [pytest.approx(0.0)]
+
+    def test_biased_peer_detectable(self):
+        results = []
+        for i in range(10):
+            results.append(check("s.com", f"u{i}", [
+                ("GB", 100.0, "PPC", "low-peer"),
+                ("GB", 107.0, "PPC", "high-peer"),
+                ("GB", 100.0, "IPC", "i1"),
+            ], time=float(i)))
+        bias = peer_bias_distributions(results, "GB")
+        assert all(v == pytest.approx(0.07) for v in bias["high-peer"])
+        assert all(v == 0.0 for v in bias["low-peer"])

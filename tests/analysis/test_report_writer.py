@@ -1,0 +1,28 @@
+"""Tests for the markdown report writer."""
+
+from repro.analysis.report_writer import write_markdown_report
+
+
+def test_report_structure(tmp_path):
+    path = write_markdown_report(
+        [("Table 1", "A  B\n1  2"), ("Fig. 9", "domain  spread")],
+        tmp_path / "report.md",
+        scale="test",
+    )
+    text = path.read_text()
+    assert text.startswith("# Price $heriff reproduction report")
+    assert "## Table 1" in text
+    assert "## Fig. 9" in text
+    assert text.count("```text") == 2
+    assert "scale: `test`" in text
+
+
+def test_empty_sections(tmp_path):
+    path = write_markdown_report([], tmp_path / "empty.md")
+    assert "sections: 0" in path.read_text()
+
+
+def test_rendered_text_verbatim(tmp_path):
+    table = "Domain            Requests\n--------------------------\na.com             10"
+    path = write_markdown_report([("X", table)], tmp_path / "r.md")
+    assert table in path.read_text()

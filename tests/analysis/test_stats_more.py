@@ -1,0 +1,81 @@
+"""Additional coverage for the statistics module."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    RandomForest,
+    RegressionResult,
+    linear_regression,
+    probability_higher,
+)
+
+
+class TestRegressionResultHelpers:
+    def test_significant_features_threshold(self):
+        result = RegressionResult(
+            feature_names=["a", "b"],
+            coefficients=np.array([0.0, 1.0, 2.0]),
+            r_squared=0.9,
+            p_values={"a": 0.001, "b": 0.2},
+        )
+        assert result.significant_features() == ["a"]
+        assert result.significant_features(alpha=0.3) == ["a", "b"]
+
+    def test_intercept_not_reported_as_feature(self):
+        X = [[float(i)] for i in range(30)]
+        y = [5.0 + 2.0 * i for i in range(30)]
+        result = linear_regression(X, y, ["slope"])
+        assert list(result.p_values) == ["slope"]
+        assert result.coefficients[0] == pytest.approx(5.0)
+
+    def test_single_column_input_promoted(self):
+        result = linear_regression([1.0, 2.0, 3.0, 4.0], [2.0, 4.0, 6.0, 8.0])
+        assert result.r_squared == pytest.approx(1.0)
+
+    def test_constant_target_r2_one(self):
+        result = linear_regression([[1.0], [2.0], [3.0]], [5.0, 5.0, 5.0])
+        assert result.r_squared == 1.0
+
+
+class TestProbabilityHigherEdges:
+    def test_empty_point(self):
+        probs = probability_higher({"a": [1.0, 2.0], "b": []})
+        assert probs["b"] == 0.0
+
+    def test_all_equal_values(self):
+        probs = probability_higher({"a": [5.0] * 10, "b": [5.0] * 10})
+        assert probs == {"a": 0.0, "b": 0.0}  # nothing above the median
+
+
+class TestRandomForestParameters:
+    def test_max_features_respected(self):
+        rng = random.Random(1)
+        X = [[rng.random() for _ in range(6)] for _ in range(80)]
+        y = [x[0] * 5 for x in X]
+        forest = RandomForest(n_trees=10, max_features=2, seed=0).fit(X, y)
+        assert forest.feature_importances_ is not None
+        assert len(forest.feature_importances_) == 6
+
+    def test_min_samples_limits_depth(self):
+        """A huge min_samples forces stump-like trees — low train fit."""
+        rng = random.Random(2)
+        X = [[rng.random()] for _ in range(60)]
+        y = [x[0] * 10 + rng.gauss(0, 0.1) for x in X]
+        shallow = RandomForest(n_trees=5, min_samples=60, seed=1).fit(X, y)
+        deep = RandomForest(n_trees=5, min_samples=4, seed=1).fit(X, y)
+        assert deep.score(X, y) > shallow.score(X, y)
+
+    def test_importances_sum_to_one_with_signal(self):
+        rng = random.Random(3)
+        X = [[rng.random(), rng.random()] for _ in range(80)]
+        y = [x[0] for x in X]
+        forest = RandomForest(n_trees=8, seed=2).fit(X, y)
+        assert float(forest.feature_importances_.sum()) == pytest.approx(1.0)
+
+    def test_constant_target(self):
+        X = [[float(i % 3)] for i in range(30)]
+        forest = RandomForest(n_trees=3, seed=3).fit(X, [7.0] * 30)
+        assert np.allclose(forest.predict(X[:5]), 7.0)

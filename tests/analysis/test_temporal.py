@@ -1,0 +1,100 @@
+"""Tests for temporal trend analysis."""
+
+import pytest
+
+from repro.analysis.temporal import (
+    daily_fluctuation,
+    daily_series,
+    mean_daily_fluctuation,
+    revenue_delta,
+    trend_for_product,
+)
+from repro.core.pricecheck import PriceCheckResult, ResultRow
+from repro.net.events import SECONDS_PER_DAY
+
+
+def check(url, day, prices):
+    result = PriceCheckResult(
+        job_id=f"{url}-{day}", url=url, domain="d.com",
+        requested_currency="EUR", time=day * SECONDS_PER_DAY + 3600,
+    )
+    for i, price in enumerate(prices):
+        result.rows.append(ResultRow(
+            kind="IPC", proxy_id=f"i{i}", country="ES", region="ES", city="c",
+            original_text="x1", detected_amount=price, detected_currency="EUR",
+            converted_value=price, amount_eur=price,
+        ))
+    return result
+
+
+class TestDailySeries:
+    def test_grouping(self):
+        results = [
+            check("u1", 0, [10.0, 11.0]),
+            check("u1", 0, [10.5]),
+            check("u1", 1, [9.0]),
+            check("u2", 0, [5.0]),
+        ]
+        series = daily_series(results)
+        assert series["u1"][0] == [10.0, 11.0, 10.5]
+        assert series["u1"][1] == [9.0]
+        assert series["u2"][0] == [5.0]
+
+
+class TestTrend:
+    def test_decreasing_trend(self):
+        day_prices = {d: [100.0 - 2.0 * d] for d in range(10)}
+        trend = trend_for_product("u", day_prices)
+        assert trend.direction == "decreasing"
+        assert trend.slope == pytest.approx(-2.0)
+
+    def test_increasing_trend(self):
+        day_prices = {d: [100.0 + 3.0 * d, 99.0 + 3.0 * d] for d in range(10)}
+        trend = trend_for_product("u", day_prices)
+        assert trend.direction == "increasing"
+        assert trend.slope == pytest.approx(3.0)
+
+    def test_flat(self):
+        trend = trend_for_product("u", {d: [50.0] for d in range(5)})
+        assert trend.direction == "flat"
+
+    def test_fit_on_daily_maximum(self):
+        """The regression line is annotated on the highest daily price."""
+        day_prices = {d: [10.0, 100.0 + d] for d in range(8)}
+        trend = trend_for_product("u", day_prices)
+        assert trend.slope == pytest.approx(1.0)
+
+    def test_boxes_align_with_days(self):
+        day_prices = {0: [1.0, 2.0], 3: [4.0]}
+        trend = trend_for_product("u", day_prices)
+        assert trend.days == [0, 3]
+        assert trend.daily_boxes[0].maximum == 2.0
+
+
+class TestRevenueDelta:
+    def test_positive_delta(self):
+        trends = [
+            trend_for_product("a", {d: [100.0 + 5.0 * d] for d in range(20)}),
+            trend_for_product("b", {d: [50.0 - 1.0 * d] for d in range(20)}),
+        ]
+        # +5·19 − 1·19 = +76
+        assert revenue_delta(trends) == pytest.approx(76.0, abs=1.0)
+
+    def test_empty(self):
+        assert revenue_delta([]) == 0.0
+
+
+class TestFluctuation:
+    def test_daily_fluctuation(self):
+        day_prices = {0: [100.0, 108.0], 1: [100.0, 104.0]}
+        assert daily_fluctuation(day_prices) == pytest.approx(0.06)
+
+    def test_single_observation_days_skipped(self):
+        assert daily_fluctuation({0: [100.0]}) == 0.0
+
+    def test_mean_over_products(self):
+        series = {
+            "u1": {0: [100.0, 110.0]},
+            "u2": {0: [100.0, 100.0]},
+        }
+        assert mean_daily_fluctuation(series) == pytest.approx(0.05)

@@ -1,0 +1,48 @@
+"""Fixtures for client tests: a compact deployment."""
+
+import random
+
+import pytest
+
+from repro.core.sheriff import PriceSheriff, SheriffWorld
+from repro.web.catalog import make_catalog
+from repro.web.internet import ContentSite
+from repro.web.pricing import UniformPricing
+from repro.web.store import EStore
+
+TINY_IPC_SITES = (
+    ("ES", "Madrid", 1.0),
+    ("US", "Tennessee", 1.0),
+    ("FR", "Paris", 1.0),
+)
+
+
+@pytest.fixture
+def world():
+    world = SheriffWorld.create(seed=99)
+    catalog = make_catalog("shop.example", size=10, rng=random.Random(5))
+    world.internet.register(
+        EStore(
+            domain="shop.example", country_code="ES", catalog=catalog,
+            pricing=UniformPricing(), geodb=world.geodb, rates=world.rates,
+            tracker_domains=("doubleclick.net",),
+        )
+    )
+    for domain in ("news.example", "blog.example"):
+        world.internet.register(ContentSite(domain, ("google-analytics.com",)))
+    return world
+
+
+@pytest.fixture
+def sheriff(world):
+    return PriceSheriff(world, n_measurement_servers=1, ipc_sites=TINY_IPC_SITES)
+
+
+@pytest.fixture
+def shop_url(world):
+    store = world.internet.site("shop.example")
+
+    def _url(i=0):
+        return store.product_url(store.catalog.products[i].product_id)
+
+    return _url

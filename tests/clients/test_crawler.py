@@ -1,0 +1,45 @@
+"""Tests for the systematic crawler driver."""
+
+import pytest
+
+from repro.clients.crawler import SystematicCrawler
+
+
+class TestCrawler:
+    def test_basic_check(self, world, sheriff, shop_url):
+        crawler = SystematicCrawler(sheriff, "ES", "Madrid")
+        result = crawler.check(shop_url())
+        assert result.valid_rows()
+        assert crawler.total_checks == 1
+
+    def test_clock_advances_between_checks(self, world, sheriff, shop_url):
+        crawler = SystematicCrawler(sheriff, "ES")
+        t0 = world.clock.now
+        crawler.check(shop_url())
+        assert world.clock.now > t0
+
+    def test_profile_reset_every_four(self, world, sheriff, shop_url):
+        crawler = SystematicCrawler(sheriff, "ES", reset_every=4)
+        first_addon = crawler.addon
+        for i in range(4):
+            crawler.check(shop_url(i % 3))
+        assert crawler.addon is first_addon  # not yet reset
+        crawler.check(shop_url())
+        assert crawler.addon is not first_addon  # clean profile swap
+        # fresh browser has only the new navigation in history
+        assert len(crawler.addon.browser.history) == 1
+
+    def test_crawler_not_registered_as_ppc(self, world, sheriff, shop_url):
+        crawler = SystematicCrawler(sheriff, "ES")
+        assert not sheriff.overlay.is_online(crawler.addon.peer_id)
+
+    def test_run_campaign(self, world, sheriff, shop_url):
+        crawler = SystematicCrawler(sheriff, "FR")
+        results = crawler.run_campaign([shop_url(0), shop_url(1)], repetitions=2)
+        assert len(results) == 4
+        assert crawler.total_checks == 4
+
+    def test_campaign_results_from_requested_country(self, world, sheriff, shop_url):
+        crawler = SystematicCrawler(sheriff, "FR")
+        result = crawler.check(shop_url())
+        assert result.initiator_row.country == "FR"

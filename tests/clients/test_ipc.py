@@ -1,0 +1,48 @@
+"""Tests for infrastructure proxy clients."""
+
+from repro.clients.ipc import DEFAULT_IPC_SITES, InfrastructureProxyClient, build_default_ipcs
+
+
+class TestDefaultFleet:
+    def test_thirty_nodes(self):
+        assert len(DEFAULT_IPC_SITES) == 30
+
+    def test_three_spanish_nodes(self):
+        """Sect. 7.3: 'we have three IPCs located in Spain'."""
+        assert sum(1 for c, _, _ in DEFAULT_IPC_SITES if c == "ES") == 3
+
+    def test_build_fleet(self, internet, ecosystem, clock, geodb):
+        ipcs = build_default_ipcs(internet, ecosystem, clock, geodb)
+        assert len(ipcs) == 30
+        assert len({ipc.ipc_id for ipc in ipcs}) == 30
+        countries = {ipc.location.country for ipc in ipcs}
+        assert {"ES", "US", "CA", "JP", "GB"} <= countries
+
+    def test_some_nodes_overloaded(self, internet, ecosystem, clock, geodb):
+        ipcs = build_default_ipcs(internet, ecosystem, clock, geodb)
+        assert any(ipc.slowdown > 1.0 for ipc in ipcs)
+
+
+class TestCleanState:
+    def test_each_fetch_uses_fresh_browser(
+        self, internet, ecosystem, clock, geodb, store
+    ):
+        ipc = InfrastructureProxyClient(
+            "ipc-x", internet, ecosystem, clock, geodb.make_location("US"),
+        )
+        url = store.product_url(store.catalog.products[0].product_id)
+        first = ipc.fetch(url)
+        second = ipc.fetch(url)
+        assert first.status == second.status == 200
+        # no session continuity: the store issued a new sid both times and
+        # never saw a returning session cookie from the IPC
+        assert ipc.fetch_count == 2
+        assert store.visits_for(ipc.location.ip)[store.catalog.products[0].product_id] == 2
+
+    def test_location_reported(self, internet, ecosystem, clock, geodb, store):
+        ipc = InfrastructureProxyClient(
+            "ipc-y", internet, ecosystem, clock, geodb.make_location("JP", "Tokyo"),
+        )
+        fetch = ipc.fetch(store.product_url(store.catalog.products[0].product_id))
+        assert fetch.location.country == "JP"
+        assert fetch.ua_os and fetch.ua_browser

@@ -1,0 +1,60 @@
+"""Shared fixtures: a small simulated world every test layer can use."""
+
+import random
+
+import pytest
+
+from repro.currency.rates import ExchangeRateProvider
+from repro.net.events import Clock
+from repro.net.geo import GeoDatabase
+from repro.web.catalog import make_catalog
+from repro.web.internet import ContentSite, Internet
+from repro.web.pricing import UniformPricing
+from repro.web.store import EStore
+from repro.web.trackers import TrackerEcosystem
+
+
+@pytest.fixture
+def geodb():
+    return GeoDatabase()
+
+
+@pytest.fixture
+def rates():
+    return ExchangeRateProvider()
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def ecosystem():
+    return TrackerEcosystem()
+
+
+@pytest.fixture
+def internet(geodb, rates, ecosystem):
+    """An internet with one uniform store and a few content sites."""
+    net = Internet()
+    rng = random.Random(7)
+    catalog = make_catalog("shop.example", size=10, rng=rng)
+    store = EStore(
+        domain="shop.example",
+        country_code="ES",
+        catalog=catalog,
+        pricing=UniformPricing(),
+        geodb=geodb,
+        rates=rates,
+        tracker_domains=("doubleclick.net", "criteo.com"),
+    )
+    net.register(store)
+    for domain in ("news.example", "blog.example", "videos.example"):
+        net.register(ContentSite(domain, tracker_domains=("google-analytics.com",)))
+    return net
+
+
+@pytest.fixture
+def store(internet):
+    return internet.site("shop.example")

@@ -1,0 +1,102 @@
+"""Unit tests for the Aggregator role."""
+
+import random
+
+import pytest
+
+from repro.core.aggregator import Aggregator, NoDoppelgangerAssigned
+from repro.crypto.group import TEST_GROUP
+from repro.crypto.secure_kmeans import KMeansCoordinator, ProfileClient
+
+
+@pytest.fixture
+def roles():
+    rng = random.Random(3)
+    coordinator = KMeansCoordinator(TEST_GROUP, m=4, value_bound=10, rng=rng)
+    aggregator = Aggregator(group=TEST_GROUP, rng=rng)
+    return coordinator, aggregator, rng
+
+
+def submit_profiles(coordinator, aggregator, rng, points):
+    aggregator.begin_collection(coordinator)
+    for peer_id, point in points.items():
+        client = ProfileClient(peer_id, point, 10)
+        aggregator.submit_encrypted_profile(
+            peer_id,
+            client.encrypt_profile(coordinator.scheme,
+                                   coordinator.public_keys, rng),
+        )
+
+
+class TestCollection:
+    def test_submit_requires_round(self, roles):
+        _, aggregator, _ = roles
+        with pytest.raises(RuntimeError):
+            aggregator.submit_encrypted_profile("p", None)
+
+    def test_profiles_counted(self, roles):
+        coordinator, aggregator, rng = roles
+        submit_profiles(coordinator, aggregator, rng,
+                        {"a": [1, 1, 1, 1], "b": [9, 9, 9, 9]})
+        assert aggregator.n_profiles == 2
+
+    def test_clustering_without_profiles(self, roles):
+        coordinator, aggregator, _ = roles
+        with pytest.raises(RuntimeError):
+            aggregator.run_clustering()
+
+
+class TestClustering:
+    def test_mapping_learned(self, roles):
+        coordinator, aggregator, rng = roles
+        submit_profiles(coordinator, aggregator, rng, {
+            "low-1": [0, 1, 0, 1], "low-2": [1, 0, 1, 0],
+            "high-1": [9, 10, 9, 10], "high-2": [10, 9, 10, 9],
+        })
+        coordinator.set_centroids([[0, 0, 0, 0], [10, 10, 10, 10]])
+        mapping = aggregator.run_clustering(max_iterations=4)
+        assert mapping["low-1"] == mapping["low-2"]
+        assert mapping["high-1"] == mapping["high-2"]
+        assert mapping["low-1"] != mapping["high-1"]
+
+    def test_coordinator_learns_centroids_only(self, roles):
+        """After the run the Coordinator's centroids reflect the data,
+        while it never handled a plaintext point."""
+        coordinator, aggregator, rng = roles
+        submit_profiles(coordinator, aggregator, rng, {
+            "a": [0, 0, 0, 0], "b": [10, 10, 10, 10],
+        })
+        coordinator.set_centroids([[1, 1, 1, 1], [9, 9, 9, 9]])
+        aggregator.run_clustering(max_iterations=3)
+        assert [0, 0, 0, 0] in coordinator.centroids
+        assert [10, 10, 10, 10] in coordinator.centroids
+
+
+class TestDoppelgangerIdService:
+    def test_id_served_after_setup(self, roles):
+        _, aggregator, _ = roles
+        aggregator.peer_cluster = {"peer-1": 0}
+        aggregator.set_doppelganger_ids({0: "token-abc"})
+        assert aggregator.doppelganger_id_for("peer-1") == "token-abc"
+        assert aggregator.has_doppelganger_for("peer-1")
+
+    def test_unclustered_peer(self, roles):
+        _, aggregator, _ = roles
+        aggregator.set_doppelganger_ids({0: "token-abc"})
+        with pytest.raises(NoDoppelgangerAssigned):
+            aggregator.doppelganger_id_for("stranger")
+        assert not aggregator.has_doppelganger_for("stranger")
+
+    def test_cluster_without_doppelganger(self, roles):
+        _, aggregator, _ = roles
+        aggregator.peer_cluster = {"peer-1": 3}
+        aggregator.set_doppelganger_ids({0: "token-abc"})
+        with pytest.raises(NoDoppelgangerAssigned):
+            aggregator.doppelganger_id_for("peer-1")
+
+    def test_update_after_regeneration(self, roles):
+        _, aggregator, _ = roles
+        aggregator.peer_cluster = {"peer-1": 0}
+        aggregator.set_doppelganger_ids({0: "old"})
+        aggregator.update_doppelganger_id(0, "fresh")
+        assert aggregator.doppelganger_id_for("peer-1") == "fresh"

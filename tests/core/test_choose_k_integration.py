@@ -1,0 +1,42 @@
+"""Silhouette-driven k selection wired through the deployment."""
+
+import random
+
+import pytest
+
+
+class TestSheriffIntegration:
+    def test_choose_k_from_donors(self, world, sheriff):
+        """Donated histories drive k; non-donors stay invisible."""
+        # two tight interest groups among donors (balanced visits keep
+        # each group's profiles identical → a clean k=2 structure)
+        for group, domains in enumerate((
+            ["news.example", "sports.example"],
+            ["luxury.example", "cooking.example"],
+        )):
+            for i in range(6):
+                browser = world.make_browser("ES", "Madrid")
+                for v in range(10):
+                    browser.visit(f"http://{domains[v % 2]}/p")
+                sheriff.install_addon(browser, history_donation_opt_in=True)
+        reference = ["news.example", "sports.example", "luxury.example",
+                     "cooking.example"]
+        k = sheriff.choose_k_from_donors(reference, cap=5)
+        assert k == 2
+
+    def test_few_donors_falls_back_to_cap(self, world, sheriff):
+        sheriff.install_addon(world.make_browser("ES"),
+                              history_donation_opt_in=True)
+        k = sheriff.choose_k_from_donors(["news.example"], cap=4)
+        assert k == 4
+
+    def test_clustering_uses_chosen_k(self, world, sheriff):
+        for i in range(10):
+            browser = world.make_browser("ES", "Madrid")
+            browser.visit("http://news.example/a")
+            sheriff.install_addon(browser, history_donation_opt_in=(i % 2 == 0))
+        outcome = sheriff.run_doppelganger_clustering(
+            ["news.example", "sports.example"], max_iterations=2
+        )
+        assert outcome.k >= 1
+        assert len(outcome.doppelgangers) == outcome.k

@@ -1,0 +1,101 @@
+"""Tests for the shared Database server."""
+
+import pytest
+
+from repro.core.database import ConnectionPoolExhausted, DatabaseServer
+
+
+class TestTables:
+    def test_insert_and_scan(self):
+        db = DatabaseServer()
+        db.insert("requests", {"job_id": "j1", "domain": "a.com"})
+        rows = db.scan("requests")
+        assert len(rows) == 1
+        assert rows[0]["job_id"] == "j1"
+        assert "_id" in rows[0]
+
+    def test_scan_with_predicate(self):
+        db = DatabaseServer()
+        db.insert("responses", {"job_id": "j1"})
+        db.insert("responses", {"job_id": "j2"})
+        assert len(db.scan("responses", lambda r: r["job_id"] == "j2")) == 1
+
+    def test_scan_returns_copies(self):
+        db = DatabaseServer()
+        db.insert("requests", {"job_id": "j1"})
+        db.scan("requests")[0]["job_id"] = "tampered"
+        assert db.scan("requests")[0]["job_id"] == "j1"
+
+    def test_unknown_table(self):
+        db = DatabaseServer()
+        with pytest.raises(KeyError):
+            db.insert("nope", {})
+
+    def test_ids_monotonic(self):
+        db = DatabaseServer()
+        a = db.insert("requests", {})
+        b = db.insert("requests", {})
+        assert b > a
+
+    def test_count(self):
+        db = DatabaseServer()
+        db.insert("users", {"id": "u1"})
+        assert db.count("users") == 1
+
+
+class TestStoredProcedures:
+    def test_record_and_fetch_responses(self):
+        db = DatabaseServer()
+        db.sp_record_request("j1", "user-1", "http://a.com/p", "a.com", 0.0)
+        db.sp_record_response("j1", proxy_id="ipc-0", amount_eur=10.0)
+        db.sp_record_response("j2", proxy_id="ipc-0", amount_eur=12.0)
+        assert len(db.sp_responses_for_job("j1")) == 1
+
+    def test_requests_by_domain(self):
+        db = DatabaseServer()
+        for i in range(3):
+            db.sp_record_request(f"j{i}", "u", "http://a.com/p", "a.com", 0.0)
+        db.sp_record_request("j9", "u", "http://b.com/p", "b.com", 0.0)
+        counts = db.sp_requests_by_domain()
+        assert counts["a.com"] == 3
+        assert counts["b.com"] == 1
+
+    def test_requests_by_user(self):
+        db = DatabaseServer()
+        db.sp_record_request("j1", "u1", "http://a.com/p", "a.com", 0.0)
+        db.sp_record_request("j2", "u1", "http://a.com/p", "a.com", 0.0)
+        db.sp_record_request("j3", "u2", "http://a.com/p", "a.com", 0.0)
+        counts = db.sp_requests_by_user()
+        assert counts["u1"] == 2 and counts["u2"] == 1
+
+
+class TestConnectionPool:
+    def test_acquire_release(self):
+        db = DatabaseServer(max_connections=1)
+        with db.connection():
+            pass
+        with db.connection():
+            pass
+        assert db.peak_connections == 1
+
+    def test_exhaustion(self):
+        db = DatabaseServer(max_connections=1)
+        with db.connection():
+            with pytest.raises(ConnectionPoolExhausted):
+                with db.connection():
+                    pass
+
+    def test_released_on_exception(self):
+        db = DatabaseServer(max_connections=1)
+        with pytest.raises(RuntimeError):
+            with db.connection():
+                raise RuntimeError("boom")
+        with db.connection():
+            pass  # pool usable again
+
+    def test_query_count_tracks_activity(self):
+        db = DatabaseServer()
+        before = db.query_count
+        db.insert("requests", {})
+        db.scan("requests")
+        assert db.query_count == before + 2

@@ -1,0 +1,118 @@
+"""Tests for the request distribution protocol (Sect. 3.4)."""
+
+import pytest
+
+from repro.core.dispatch import NoServerAvailable, RequestDistributor
+
+
+@pytest.fixture
+def distributor():
+    d = RequestDistributor()
+    d.register_server("ms-0", "10.0.0.1", 80)
+    d.register_server("ms-1", "10.0.0.2", 80)
+    d.register_server("ms-2", "10.0.0.3", 80)
+    return d
+
+
+class TestAssignment:
+    def test_least_jobs_wins(self, distributor):
+        distributor.server("ms-0").jobs = 5
+        distributor.server("ms-1").jobs = 1
+        distributor.server("ms-2").jobs = 3
+        assert distributor.assign_job("j1").name == "ms-1"
+
+    def test_assign_increments_counter(self, distributor):
+        distributor.assign_job("j1")
+        assert distributor.pending_jobs == 1
+
+    def test_complete_decrements(self, distributor):
+        server = distributor.assign_job("j1")
+        distributor.complete_job("j1")
+        assert distributor.server(server.name).jobs == 0
+
+    def test_complete_unknown_job(self, distributor):
+        with pytest.raises(KeyError):
+            distributor.complete_job("ghost")
+
+    def test_offline_server_never_selected(self, distributor):
+        distributor.server("ms-0").online = False
+        distributor.server("ms-0").jobs = 0
+        distributor.server("ms-1").jobs = 10
+        distributor.server("ms-2").jobs = 10
+        assert distributor.assign_job("j1").name != "ms-0"
+
+    def test_no_server_available(self, distributor):
+        for name in ("ms-0", "ms-1", "ms-2"):
+            distributor.server(name).online = False
+        with pytest.raises(NoServerAvailable):
+            distributor.assign_job("j1")
+
+    def test_counter_conservation_invariant(self, distributor):
+        """increments == completions + pending (DESIGN.md invariant)."""
+        for i in range(20):
+            distributor.assign_job(f"j{i}")
+        for i in range(0, 20, 2):
+            distributor.complete_job(f"j{i}")
+        assert distributor.assignments == distributor.completions + distributor.pending_jobs
+
+    def test_slow_server_gets_fewer_jobs(self, distributor):
+        """The paper's motivation: least-jobs adapts to slow servers."""
+        completed_fast = []
+        for i in range(30):
+            server = distributor.assign_job(f"j{i}")
+            # fast servers (ms-0, ms-1) complete instantly; ms-2 lags
+            if server.name != "ms-2":
+                distributor.complete_job(f"j{i}")
+        assert distributor.server("ms-2").jobs <= 2
+
+
+class TestRoundRobinAblation:
+    def test_round_robin_ignores_load(self):
+        d = RequestDistributor(policy="round_robin")
+        d.register_server("ms-0", "10.0.0.1")
+        d.register_server("ms-1", "10.0.0.2")
+        d.server("ms-0").jobs = 100
+        names = [d.assign_job(f"j{i}").name for i in range(4)]
+        assert names == ["ms-0", "ms-1", "ms-0", "ms-1"]
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            RequestDistributor(policy="magic")
+
+
+class TestHeartbeats:
+    def test_stale_server_expires(self, distributor):
+        distributor.heartbeat("ms-0", now=0.0)
+        distributor.heartbeat("ms-1", now=95.0)
+        distributor.heartbeat("ms-2", now=95.0)
+        expired = distributor.expire_stale(now=100.0)
+        assert expired == ["ms-0"]
+        assert not distributor.server("ms-0").online
+
+    def test_heartbeat_revives(self, distributor):
+        distributor.server("ms-0").online = False
+        distributor.heartbeat("ms-0", now=50.0)
+        assert distributor.server("ms-0").online
+
+
+class TestRegistry:
+    def test_duplicate_rejected(self, distributor):
+        with pytest.raises(ValueError):
+            distributor.register_server("ms-0", "10.0.0.9")
+
+    def test_remove_with_pending_jobs_refused(self, distributor):
+        distributor.assign_job("j1")
+        busy = [s.name for s in distributor.servers() if s.jobs][0]
+        with pytest.raises(RuntimeError):
+            distributor.remove_server(busy)
+
+    def test_remove_idle_server(self, distributor):
+        distributor.remove_server("ms-2")
+        assert len(distributor.servers()) == 2
+
+    def test_monitoring_rows(self, distributor):
+        distributor.server("ms-1").online = False
+        rows = distributor.monitoring_rows()
+        assert len(rows) == 3
+        statuses = {r["Worker"]: r["Status"] for r in rows}
+        assert statuses["10.0.0.2"] == "offline"

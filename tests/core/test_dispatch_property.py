@@ -1,0 +1,61 @@
+"""Property tests for the request distribution protocol."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dispatch import NoServerAvailable, RequestDistributor
+
+# an operation stream: assign / complete / toggle-online
+_ops = st.lists(
+    st.one_of(
+        st.just(("assign",)),
+        st.just(("complete",)),
+        st.tuples(st.just("toggle"), st.integers(0, 2)),
+    ),
+    max_size=60,
+)
+
+
+@given(ops=_ops)
+@settings(max_examples=100, deadline=None)
+def test_counter_conservation_under_any_schedule(ops):
+    """assignments == completions + pending, whatever happens; counters
+    never go negative; offline servers never receive jobs."""
+    d = RequestDistributor()
+    for i in range(3):
+        d.register_server(f"ms-{i}", f"10.0.0.{i}")
+    open_jobs = []
+    seq = 0
+    for op in ops:
+        if op[0] == "assign":
+            try:
+                job_id = f"j{seq}"
+                server = d.assign_job(job_id)
+                assert server.online
+                open_jobs.append(job_id)
+                seq += 1
+            except NoServerAvailable:
+                assert not any(s.online for s in d.servers())
+        elif op[0] == "complete":
+            if open_jobs:
+                d.complete_job(open_jobs.pop(0))
+        else:
+            record = d.servers()[op[1]]
+            record.online = not record.online
+        # invariants hold at every step
+        assert d.assignments == d.completions + d.pending_jobs
+        assert all(s.jobs >= 0 for s in d.servers())
+    assert d.pending_jobs == len(open_jobs)
+
+
+@given(
+    loads=st.lists(st.integers(0, 20), min_size=2, max_size=6),
+)
+@settings(max_examples=80, deadline=None)
+def test_least_jobs_always_picks_minimum(loads):
+    d = RequestDistributor()
+    for i, load in enumerate(loads):
+        d.register_server(f"ms-{i}", f"10.0.0.{i}")
+        d.server(f"ms-{i}").jobs = load
+    chosen = d.select_server()
+    assert chosen.jobs == min(loads)

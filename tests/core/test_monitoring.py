@@ -1,0 +1,40 @@
+"""Tests for the monitoring panels (Figs. 7 & 16)."""
+
+from repro.core.dispatch import RequestDistributor
+from repro.core.monitoring import peers_panel, render_table, servers_panel
+from repro.net.geo import GeoDatabase
+from repro.net.p2p import PeerOverlay
+
+
+def test_render_table_alignment():
+    rows = [{"A": "x", "B": 1}, {"A": "longer", "B": 22}]
+    table = render_table(rows, columns=("A", "B"))
+    lines = table.splitlines()
+    assert lines[0].startswith("A")
+    assert len(lines) == 4
+    assert all(len(line) <= len(lines[1]) for line in lines)
+
+
+def test_servers_panel_matches_fig7():
+    d = RequestDistributor()
+    d.register_server("ms-0", "192.168.1.11", 80)
+    d.register_server("ms-1", "192.168.1.12", 80)
+    d.server("ms-1").online = False
+    d.assign_job("j1")
+    panel = servers_panel(d)
+    assert "Available Sheriff servers and jobs." in panel
+    assert "192.168.1.11" in panel
+    assert "offline" in panel
+    assert "online" in panel
+
+
+def test_peers_panel_matches_fig16():
+    geodb = GeoDatabase()
+    overlay = PeerOverlay()
+    overlay.register("peer-a", geodb.make_location("ES", "Barcelona"), lambda m: m)
+    overlay.register("peer-b", geodb.make_location("ES", "Madrid"), lambda m: m)
+    panel = peers_panel(overlay, self_peer_id="peer-b")
+    assert "Barcelona" in panel
+    assert "SELF" in panel
+    lines = panel.splitlines()
+    assert any("peer-a" in line for line in lines)

@@ -1,0 +1,81 @@
+"""Tests for dataset persistence."""
+
+import json
+
+import pytest
+
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+from repro.core.pricecheck import PriceCheckResult, ResultRow
+
+
+def sample_result():
+    result = PriceCheckResult(
+        job_id="j1", url="http://s.com/product/p", domain="s.com",
+        requested_currency="EUR", time=12.5,
+        third_party_domains=("doubleclick.net",),
+    )
+    result.rows = [
+        ResultRow(
+            kind="You", proxy_id="me", country="ES", region="Spain",
+            city="Madrid", original_text="EUR100", detected_amount=100.0,
+            detected_currency="EUR", converted_value=100.0, amount_eur=100.0,
+            ua_os="Linux", ua_browser="Firefox",
+        ),
+        ResultRow(
+            kind="IPC", proxy_id="ipc-1", country="US", region="USA",
+            city="Tennessee", original_text=None, detected_amount=None,
+            detected_currency=None, converted_value=None, amount_eur=None,
+            error="price not found on page",
+        ),
+    ]
+    return result
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        original = sample_result()
+        restored = result_from_dict(result_to_dict(original))
+        assert restored.job_id == original.job_id
+        assert restored.rows == original.rows
+        assert restored.third_party_domains == original.third_party_domains
+
+    def test_file_roundtrip(self, tmp_path):
+        results = [sample_result(), sample_result()]
+        path = tmp_path / "dataset.json"
+        assert save_results(results, path) == 2
+        restored = load_results(path)
+        assert len(restored) == 2
+        assert restored[0].rows == results[0].rows
+
+    def test_analyses_work_on_restored_data(self, tmp_path):
+        from repro.analysis.pricediff import domain_diff_stats
+
+        result = sample_result()
+        result.rows.append(ResultRow(
+            kind="IPC", proxy_id="ipc-2", country="JP", region="JP", city="T",
+            original_text="EUR130", detected_amount=130.0,
+            detected_currency="EUR", converted_value=130.0, amount_eur=130.0,
+        ))
+        path = tmp_path / "d.json"
+        save_results([result], path)
+        stats = domain_diff_stats(load_results(path))
+        assert stats[0].domain == "s.com"
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "results": []}))
+        with pytest.raises(ValueError):
+            load_results(path)
+
+    def test_json_is_plain(self, tmp_path):
+        path = tmp_path / "d.json"
+        save_results([sample_result()], path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == FORMAT_VERSION
+        assert payload["n_results"] == 1

@@ -1,0 +1,91 @@
+"""Unit tests for the job-level currency reconciliation branches."""
+
+import pytest
+
+from repro.core.pricecheck import ResultRow
+
+
+def row(country, amount, currency, eur, low=False, candidates=()):
+    return ResultRow(
+        kind="IPC", proxy_id=f"p-{country}", country=country, region=country,
+        city="c", original_text=f"{amount}", detected_amount=amount,
+        detected_currency=currency, converted_value=eur, amount_eur=eur,
+        low_confidence=low, currency_candidates=tuple(candidates),
+    )
+
+
+@pytest.fixture
+def server(sheriff):
+    return sheriff.measurement_server("ms-0")
+
+
+DOLLARS = ("USD", "CAD", "AUD", "NZD", "SGD", "HKD", "MXN", "ARS", "CLP",
+           "COP", "TWD")
+
+
+class TestReconciliation:
+    def test_locale_candidate_within_tolerance_wins(self, server):
+        # anchor 100 EUR; CA vantage saw "$150" — CAD→106 EUR is in
+        # tolerance, USD→133 EUR also is, but locale wins
+        rows = [
+            row("ES", 100.0, "EUR", 100.0),
+            row("CA", 150.0, "USD", 132.5, low=True, candidates=DOLLARS),
+        ]
+        out = server._reconcile_ambiguous_rows(rows, "EUR")
+        assert out[1].detected_currency == "CAD"
+        assert out[1].amount_eur == pytest.approx(150.0 / 1.4112, abs=0.1)
+        assert out[1].low_confidence  # asterisk stays
+
+    def test_locale_out_of_tolerance_falls_to_scale(self, server):
+        # anchor 100 EUR; HK vantage saw "$120" — HKD→14 EUR is way off
+        # scale, so the closest-candidate rule picks a dollar near 100
+        rows = [
+            row("ES", 100.0, "EUR", 100.0),
+            row("HK", 120.0, "USD", 106.0, low=True, candidates=DOLLARS),
+        ]
+        out = server._reconcile_ambiguous_rows(rows, "EUR")
+        assert out[1].detected_currency != "HKD"
+        assert 50.0 < out[1].amount_eur < 200.0
+
+    def test_no_anchor_keeps_default_guess(self, server):
+        """A store that shows '$' to everyone: all rows ambiguous, no
+        anchor — keep USD consistently so no relative diff appears."""
+        rows = [
+            row("ES", 120.0, "USD", 106.0, low=True, candidates=DOLLARS),
+            row("HK", 120.0, "USD", 106.0, low=True, candidates=DOLLARS),
+        ]
+        out = server._reconcile_ambiguous_rows(rows, "EUR")
+        assert all(r.detected_currency == "USD" for r in out)
+        assert out[0].amount_eur == out[1].amount_eur
+
+    def test_high_confidence_rows_untouched(self, server):
+        rows = [
+            row("ES", 100.0, "EUR", 100.0),
+            row("JP", 13454.0, "JPY", 100.0),
+        ]
+        out = server._reconcile_ambiguous_rows(rows, "EUR")
+        assert out == rows
+
+    def test_error_rows_passed_through(self, server):
+        bad = ResultRow(
+            kind="IPC", proxy_id="x", country="ES", region="ES", city="c",
+            original_text=None, detected_amount=None, detected_currency=None,
+            converted_value=None, amount_eur=None, low_confidence=True,
+            currency_candidates=DOLLARS, error="price not found on page",
+        )
+        rows = [row("ES", 100.0, "EUR", 100.0), bad]
+        out = server._reconcile_ambiguous_rows(rows, "EUR")
+        assert out[1] is bad
+
+    def test_markup_within_factor_two_respected(self, server):
+        """A real ×1.4 cross-border markup must not be flattened: the
+        locale currency is kept even though the value differs from the
+        anchor."""
+        rows = [
+            row("ES", 100.0, "EUR", 100.0),
+            # CA shows CAD with a 40% markup: $197.6 CAD → 140 EUR
+            row("CA", 197.6, "USD", 174.6, low=True, candidates=DOLLARS),
+        ]
+        out = server._reconcile_ambiguous_rows(rows, "EUR")
+        assert out[1].detected_currency == "CAD"
+        assert out[1].amount_eur == pytest.approx(140.0, abs=0.5)

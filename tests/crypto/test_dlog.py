@@ -1,0 +1,43 @@
+"""Tests for bounded baby-step/giant-step discrete logs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.dlog import DiscreteLogError, clear_dlog_cache, discrete_log
+from repro.crypto.group import TEST_GROUP
+
+
+class TestDiscreteLog:
+    def test_zero(self):
+        assert discrete_log(TEST_GROUP, 1, bound=10) == 0
+
+    def test_small_values(self):
+        for x in (1, 2, 17, 99, 100):
+            assert discrete_log(TEST_GROUP, TEST_GROUP.gexp(x), bound=100) == x
+
+    def test_exact_bound(self):
+        assert discrete_log(TEST_GROUP, TEST_GROUP.gexp(1000), bound=1000) == 1000
+
+    def test_out_of_bound_raises(self):
+        element = TEST_GROUP.gexp(500)
+        with pytest.raises(DiscreteLogError):
+            discrete_log(TEST_GROUP, element, bound=100)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            discrete_log(TEST_GROUP, 1, bound=-1)
+
+    def test_large_bound(self):
+        x = 123_456
+        assert discrete_log(TEST_GROUP, TEST_GROUP.gexp(x), bound=1_000_000) == x
+
+    def test_cache_cleared(self):
+        discrete_log(TEST_GROUP, TEST_GROUP.gexp(5), bound=100)
+        clear_dlog_cache()
+        assert discrete_log(TEST_GROUP, TEST_GROUP.gexp(5), bound=100) == 5
+
+    @given(x=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, x):
+        assert discrete_log(TEST_GROUP, TEST_GROUP.gexp(x), bound=50_000) == x

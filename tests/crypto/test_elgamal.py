@@ -1,0 +1,100 @@
+"""Tests for additively homomorphic vector ElGamal."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.elgamal import VectorElGamal
+from repro.crypto.group import TEST_GROUP
+
+
+@pytest.fixture
+def scheme():
+    return VectorElGamal(TEST_GROUP, dimensions=4)
+
+
+@pytest.fixture
+def keys(scheme):
+    return scheme.keygen(random.Random(0))
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, scheme, keys):
+        secret, public = keys
+        plaintext = [3, 0, 17, 42]
+        ct = scheme.encrypt(public, plaintext, random.Random(1))
+        assert scheme.decrypt(secret, ct, bound=100) == plaintext
+
+    def test_fresh_randomness_changes_ciphertext(self, scheme, keys):
+        _, public = keys
+        a = scheme.encrypt(public, [1, 2, 3, 4], random.Random(1))
+        b = scheme.encrypt(public, [1, 2, 3, 4], random.Random(2))
+        assert a != b
+
+    def test_dimension_mismatch(self, scheme, keys):
+        _, public = keys
+        with pytest.raises(ValueError):
+            scheme.encrypt(public, [1, 2, 3], random.Random(0))
+
+    def test_decrypt_component(self, scheme, keys):
+        secret, public = keys
+        ct = scheme.encrypt(public, [5, 6, 7, 8], random.Random(3))
+        assert scheme.decrypt_component(secret, ct, 2, bound=10) == 7
+
+    def test_zero_vector(self, scheme, keys):
+        secret, public = keys
+        ct = scheme.encrypt(public, [0, 0, 0, 0], random.Random(4))
+        assert scheme.decrypt(secret, ct, bound=10) == [0, 0, 0, 0]
+
+    def test_one_dimension_minimum(self):
+        with pytest.raises(ValueError):
+            VectorElGamal(TEST_GROUP, dimensions=0)
+
+
+class TestHomomorphism:
+    def test_add_two(self, scheme, keys):
+        secret, public = keys
+        rng = random.Random(5)
+        a = scheme.encrypt(public, [1, 2, 3, 4], rng)
+        b = scheme.encrypt(public, [10, 20, 30, 40], rng)
+        combined = scheme.add(a, b)
+        assert scheme.decrypt(secret, combined, bound=100) == [11, 22, 33, 44]
+
+    def test_add_many(self, scheme, keys):
+        secret, public = keys
+        rng = random.Random(6)
+        cts = [scheme.encrypt(public, [i, i, i, i], rng) for i in range(1, 6)]
+        combined = scheme.add_many(cts)
+        assert scheme.decrypt(secret, combined, bound=100) == [15, 15, 15, 15]
+
+    def test_add_dimension_mismatch(self, scheme, keys):
+        _, public = keys
+        other = VectorElGamal(TEST_GROUP, dimensions=2)
+        _, pub2 = other.keygen(random.Random(7))
+        a = scheme.encrypt(public, [1, 2, 3, 4], random.Random(8))
+        b = other.encrypt(pub2, [1, 2], random.Random(9))
+        with pytest.raises(ValueError):
+            scheme.add(a, b)
+
+    def test_add_many_empty(self, scheme):
+        with pytest.raises(ValueError):
+            scheme.add_many([])
+
+    @given(
+        a=st.lists(st.integers(0, 50), min_size=4, max_size=4),
+        b=st.lists(st.integers(0, 50), min_size=4, max_size=4),
+    )
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_homomorphism_property(self, scheme, keys, a, b):
+        """Dec(Enc(a) ⊗ Enc(b)) == a + b for arbitrary small vectors."""
+        secret, public = keys
+        rng = random.Random(10)
+        combined = scheme.add(
+            scheme.encrypt(public, a, rng), scheme.encrypt(public, b, rng)
+        )
+        assert scheme.decrypt(secret, combined, bound=100) == [
+            x + y for x, y in zip(a, b)
+        ]

@@ -1,0 +1,81 @@
+"""Tests for inner-product functional encryption."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.elgamal import VectorElGamal
+from repro.crypto.fe import InnerProductFE
+from repro.crypto.group import TEST_GROUP
+
+
+@pytest.fixture
+def setup():
+    scheme = VectorElGamal(TEST_GROUP, dimensions=5)
+    secret, public = scheme.keygen(random.Random(0))
+    fe = InnerProductFE(TEST_GROUP)
+    return scheme, secret, public, fe
+
+
+class TestDotProduct:
+    def test_simple(self, setup):
+        scheme, secret, public, fe = setup
+        c = [1, 2, 3, 4, 5]
+        s = [5, 4, 3, 2, 1]
+        ct = scheme.encrypt(public, c, random.Random(1))
+        f = fe.function_key(secret, s)
+        expected = sum(x * y for x, y in zip(c, s))
+        assert fe.eval_dot_product(ct, s, f, bound=100) == expected
+
+    def test_negative_function_vector(self, setup):
+        """The distance protocol uses s_i = -2·b_i; the plaintext result
+        must still be recoverable when the overall product is >= 0."""
+        scheme, secret, public, fe = setup
+        c = [30, 1, 2, 2, 2]  # sum of squares-style encoding
+        s = [1, 14, -2, -2, -2]  # 30 + 14 - 12 = 32
+        ct = scheme.encrypt(public, c, random.Random(2))
+        f = fe.function_key(secret, s)
+        assert fe.eval_dot_product(ct, s, f, bound=100) == 32
+
+    def test_zero_dot_product(self, setup):
+        scheme, secret, public, fe = setup
+        c = [1, 0, 0, 0, 0]
+        s = [0, 9, 9, 9, 9]
+        ct = scheme.encrypt(public, c, random.Random(3))
+        f = fe.function_key(secret, s)
+        assert fe.eval_dot_product(ct, s, f, bound=10) == 0
+
+    def test_dimension_mismatch(self, setup):
+        scheme, secret, public, fe = setup
+        ct = scheme.encrypt(public, [1, 2, 3, 4, 5], random.Random(4))
+        with pytest.raises(ValueError):
+            fe.eval_element(ct, [1, 2], f=0)
+        with pytest.raises(ValueError):
+            fe.function_key(secret, [1, 2])
+
+    def test_squared_distance_encoding(self, setup):
+        """End-to-end check of the paper's distance trick."""
+        scheme, secret, public, fe = setup
+        a = [3, 1, 4]
+        b = [1, 5, 9]
+        c = [sum(x * x for x in a), 1, *a]
+        s = [1, sum(x * x for x in b), *(-2 * x for x in b)]
+        ct = scheme.encrypt(public, c, random.Random(5))
+        f = fe.function_key(secret, s)
+        expected = sum((x - y) ** 2 for x, y in zip(a, b))
+        assert fe.eval_dot_product(ct, s, f, bound=200) == expected
+
+    @given(
+        c=st.lists(st.integers(0, 20), min_size=5, max_size=5),
+        s=st.lists(st.integers(0, 20), min_size=5, max_size=5),
+    )
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_matches_plaintext_property(self, setup, c, s):
+        scheme, secret, public, fe = setup
+        ct = scheme.encrypt(public, c, random.Random(6))
+        f = fe.function_key(secret, s)
+        expected = sum(x * y for x, y in zip(c, s))
+        assert fe.eval_dot_product(ct, s, f, bound=2500) == expected

@@ -1,0 +1,54 @@
+"""The same code paths at production group size (RFC 3526, 2048-bit).
+
+The suite otherwise runs on the 64-bit TEST_GROUP for speed; these few
+tests prove nothing in the implementation assumes small parameters.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto.dlog import discrete_log
+from repro.crypto.elgamal import VectorElGamal
+from repro.crypto.fe import InnerProductFE
+from repro.crypto.group import RFC3526_GROUP_2048
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return VectorElGamal(RFC3526_GROUP_2048, dimensions=3)
+
+
+@pytest.fixture(scope="module")
+def keys(scheme):
+    return scheme.keygen(random.Random(0))
+
+
+def test_encrypt_decrypt_2048(scheme, keys):
+    secret, public = keys
+    ct = scheme.encrypt(public, [7, 0, 42], random.Random(1))
+    assert scheme.decrypt(secret, ct, bound=100) == [7, 0, 42]
+
+
+def test_homomorphism_2048(scheme, keys):
+    secret, public = keys
+    rng = random.Random(2)
+    combined = scheme.add(
+        scheme.encrypt(public, [1, 2, 3], rng),
+        scheme.encrypt(public, [10, 20, 30], rng),
+    )
+    assert scheme.decrypt(secret, combined, bound=100) == [11, 22, 33]
+
+
+def test_fe_dot_product_2048(scheme, keys):
+    secret, public = keys
+    fe = InnerProductFE(RFC3526_GROUP_2048)
+    ct = scheme.encrypt(public, [3, 1, 4], random.Random(3))
+    s = [2, 0, 5]
+    f = fe.function_key(secret, s)
+    assert fe.eval_dot_product(ct, s, f, bound=100) == 26
+
+
+def test_dlog_2048():
+    element = RFC3526_GROUP_2048.gexp(1234)
+    assert discrete_log(RFC3526_GROUP_2048, element, bound=2000) == 1234

@@ -1,0 +1,153 @@
+"""Tests for the privacy-preserving k-means protocol."""
+
+import random
+
+import pytest
+
+from repro.crypto.secure_kmeans import (
+    KMeansAggregator,
+    KMeansCoordinator,
+    ProfileClient,
+    centroid_function_vector,
+    profile_to_plaintext,
+    run_secure_kmeans,
+)
+from repro.crypto.group import TEST_GROUP
+from repro.profiles.kmeans import lloyd_kmeans
+
+
+def clustered_points(n_per_cluster=6, seed=0):
+    """Three well-separated integer clusters in [0, 10]^4."""
+    rng = random.Random(seed)
+    anchors = [(0, 0, 0, 0), (10, 10, 0, 0), (0, 0, 10, 10)]
+    points = {}
+    for c, anchor in enumerate(anchors):
+        for i in range(n_per_cluster):
+            point = [max(0, min(10, a + rng.choice((-1, 0, 1)))) for a in anchor]
+            points[f"c{c}-{i}"] = point
+    return points, anchors
+
+
+class TestEncodings:
+    def test_profile_encoding(self):
+        assert profile_to_plaintext([2, 3]) == [13, 1, 2, 3]
+
+    def test_centroid_encoding(self):
+        assert centroid_function_vector([2, 3]) == [1, 13, -4, -6]
+
+    def test_encoding_dot_product_is_distance(self):
+        a, b = [1, 2, 3], [4, 6, 3]
+        c = profile_to_plaintext(a)
+        s = centroid_function_vector(b)
+        dot = sum(x * y for x, y in zip(c, s))
+        assert dot == sum((x - y) ** 2 for x, y in zip(a, b))
+
+
+class TestClientValidation:
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ProfileClient("x", [0, 200], value_bound=100)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ProfileClient("x", [-1, 0], value_bound=100)
+
+
+class TestProtocol:
+    def test_clusters_separable_data(self):
+        points, anchors = clustered_points()
+        result = run_secure_kmeans(
+            points, k=3, value_bound=10, rng=random.Random(1),
+            initial_centroids=anchors,
+        )
+        assert result.converged
+        # every anchor cluster ends up pure
+        for c in range(3):
+            labels = {result.assignments[f"c{c}-{i}"] for i in range(6)}
+            assert len(labels) == 1
+        # distinct clusters got distinct labels
+        all_labels = {result.assignments[f"c{c}-0"] for c in range(3)}
+        assert len(all_labels) == 3
+
+    def test_centroids_near_anchors(self):
+        points, anchors = clustered_points()
+        result = run_secure_kmeans(
+            points, k=3, value_bound=10, rng=random.Random(1),
+            initial_centroids=anchors,
+        )
+        for centroid, anchor in zip(result.centroids, anchors):
+            assert sum((c - a) ** 2 for c, a in zip(centroid, anchor)) <= 12
+
+    def test_matches_plaintext_kmeans_exactly(self):
+        """Secure ≡ plaintext given the same initial centroids (the
+        strongest end-to-end correctness property of the protocol)."""
+        points, anchors = clustered_points(n_per_cluster=5, seed=3)
+        secure = run_secure_kmeans(
+            points, k=3, value_bound=10, rng=random.Random(2),
+            initial_centroids=anchors, max_iterations=6, halt_threshold=0.0,
+        )
+        plain = lloyd_kmeans(
+            points, k=3, initial_centroids=anchors,
+            max_iterations=6, halt_threshold=0.0, quantize=True,
+        )
+        assert secure.assignments == plain.assignments
+        assert [list(map(int, c)) for c in plain.centroids] == secure.centroids
+        assert secure.iterations == plain.iterations
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            run_secure_kmeans({}, k=2)
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            run_secure_kmeans({"a": [1, 2], "b": [1, 2, 3]}, k=1)
+
+    def test_iteration_timings_recorded(self):
+        points, anchors = clustered_points(n_per_cluster=3)
+        result = run_secure_kmeans(
+            points, k=3, value_bound=10, rng=random.Random(4),
+            initial_centroids=anchors,
+        )
+        assert len(result.iteration_seconds) == result.iterations
+        assert result.total_seconds > 0
+
+
+class TestPrivacyBoundaries:
+    def test_coordinator_never_sees_plaintext_points(self):
+        """The Coordinator receives only masked ciphertexts: the group
+        elements it evaluates are not the true g^{d²}."""
+        rng = random.Random(5)
+        coordinator = KMeansCoordinator(TEST_GROUP, m=3, value_bound=10, rng=rng)
+        aggregator = KMeansAggregator(TEST_GROUP, coordinator, rng=rng)
+        client = ProfileClient("a", [1, 2, 3], value_bound=10)
+        aggregator.submit(
+            "a", client.encrypt_profile(coordinator.scheme, coordinator.public_keys, rng)
+        )
+        coordinator.set_centroids([[1, 2, 3]])
+        masked, nu = aggregator._mask(aggregator._ciphertexts["a"])
+        gammas = coordinator.distance_elements_batch([(0, masked.alpha, masked.betas)])
+        # distance is 0, so unmasked element would be identity; masked is not
+        assert gammas[0][0] != 1
+        unmasked = TEST_GROUP.div(gammas[0][0], TEST_GROUP.gexp(nu))
+        assert unmasked == 1  # g^{d²} with d² = 0
+
+    def test_aggregator_learns_correct_mapping(self):
+        points, anchors = clustered_points(n_per_cluster=4)
+        result = run_secure_kmeans(
+            points, k=3, value_bound=10, rng=random.Random(6),
+            initial_centroids=anchors,
+        )
+        assert set(result.assignments) == set(points)
+
+    def test_multiworker_matches_single(self):
+        points, anchors = clustered_points(n_per_cluster=4, seed=9)
+        single = run_secure_kmeans(
+            points, k=3, value_bound=10, rng=random.Random(7),
+            initial_centroids=anchors, n_workers=1,
+        )
+        multi = run_secure_kmeans(
+            points, k=3, value_bound=10, rng=random.Random(7),
+            initial_centroids=anchors, n_workers=2,
+        )
+        assert single.assignments == multi.assignments
+        assert single.centroids == multi.centroids

@@ -1,0 +1,43 @@
+"""Property test: secure ≡ plaintext k-means on random inputs.
+
+The strongest correctness statement about the cryptographic protocol:
+for *any* integer point set and initial centroids, the privacy-
+preserving protocol and plaintext Lloyd's (with the same quantization)
+produce identical assignments and centroids.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.secure_kmeans import run_secure_kmeans
+from repro.profiles.kmeans import lloyd_kmeans
+
+_points = st.lists(
+    st.lists(st.integers(0, 15), min_size=3, max_size=3),
+    min_size=4,
+    max_size=10,
+)
+
+
+@given(points_list=_points, k=st.integers(1, 3), seed=st.integers(0, 1000))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_secure_equals_plaintext(points_list, k, seed):
+    points = {f"u{i}": p for i, p in enumerate(points_list)}
+    rng = random.Random(seed)
+    ids = sorted(points)
+    initial = [points[ids[i % len(ids)]] for i in range(k)]
+
+    secure = run_secure_kmeans(
+        points, k=k, value_bound=15, rng=rng,
+        initial_centroids=initial, max_iterations=4, halt_threshold=0.0,
+    )
+    plain = lloyd_kmeans(
+        points, k=k, initial_centroids=initial,
+        max_iterations=4, halt_threshold=0.0, quantize=True,
+    )
+    assert secure.assignments == plain.assignments
+    assert secure.centroids == [[int(v) for v in c] for c in plain.centroids]
+    assert secure.iterations == plain.iterations

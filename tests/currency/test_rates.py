@@ -1,0 +1,77 @@
+"""Tests for the exchange-rate provider, pinned to Fig. 2 conversions."""
+
+import pytest
+
+from repro.currency.rates import ExchangeRateProvider, UnknownCurrencyError
+from repro.net.events import SECONDS_PER_DAY
+
+
+@pytest.fixture
+def rates():
+    return ExchangeRateProvider()
+
+
+class TestFig2Conversions:
+    """The example result page of Fig. 2 must reproduce exactly."""
+
+    @pytest.mark.parametrize(
+        "amount,code,expected_eur",
+        [
+            (699.0, "USD", 617.65),
+            (912.0, "CAD", 646.26),
+            (2963.0, "ILS", 665.07),
+            (6283.0, "SEK", 667.37),
+            (88204.0, "JPY", 655.60),
+            (18215.0, "CZK", 662.00),
+            (829075.0, "KRW", 668.29),
+            (997.0, "NZD", 668.28),
+            (654.0, "EUR", 654.0),
+        ],
+    )
+    def test_conversion(self, rates, amount, code, expected_eur):
+        assert rates.to_eur(amount, code) == pytest.approx(expected_eur, abs=0.01)
+
+
+class TestProviderBehaviour:
+    def test_identity_conversion(self, rates):
+        assert rates.convert(123.45, "USD", "USD") == 123.45
+
+    def test_cross_conversion_consistent(self, rates):
+        via_eur = rates.convert(100.0, "USD", "GBP")
+        expected = rates.to_eur(100.0, "USD") * rates.rate_per_eur("GBP")
+        assert via_eur == pytest.approx(expected)
+
+    def test_unknown_currency(self, rates):
+        with pytest.raises(UnknownCurrencyError):
+            rates.rate_per_eur("XTS")
+
+    def test_case_insensitive(self, rates):
+        assert rates.rate_per_eur("usd") == rates.rate_per_eur("USD")
+
+    def test_no_drift_by_default(self, rates):
+        early = rates.rate_per_eur("USD", at_time=0.0)
+        late = rates.rate_per_eur("USD", at_time=300 * SECONDS_PER_DAY)
+        assert early == late
+
+    def test_drift_moves_rates(self):
+        provider = ExchangeRateProvider(drift=0.05)
+        samples = {
+            provider.rate_per_eur("USD", at_time=d * SECONDS_PER_DAY)
+            for d in range(0, 60, 7)
+        }
+        assert len(samples) > 1
+
+    def test_drift_bounded(self):
+        provider = ExchangeRateProvider(drift=0.05)
+        base = ExchangeRateProvider().rate_per_eur("USD")
+        for d in range(0, 120, 3):
+            rate = provider.rate_per_eur("USD", at_time=d * SECONDS_PER_DAY)
+            assert abs(rate - base) / base <= 0.05 + 1e-9
+
+    def test_eur_never_drifts(self):
+        provider = ExchangeRateProvider(drift=0.05)
+        assert provider.rate_per_eur("EUR", at_time=12345.0) == 1.0
+
+    def test_custom_rate_table(self):
+        provider = ExchangeRateProvider({"USD": 2.0})
+        assert provider.convert(4.0, "USD", "EUR") == pytest.approx(2.0)

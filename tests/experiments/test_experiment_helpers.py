@@ -1,0 +1,106 @@
+"""Unit tests for pure experiment helpers (no datasets needed)."""
+
+import pytest
+
+from repro.core.pricecheck import PriceCheckResult, ResultRow
+from repro.experiments.fig8_clustering import Fig8bResult, Fig8cPoint, Fig8cResult
+from repro.experiments.fig10_ratio import Fig10Result
+from repro.experiments.fig13_peer_bias import Fig13Result
+from repro.experiments.sec75_ab_stats import point_samples
+from repro.experiments.table5_percentages import Table5Result
+
+
+class TestFig8bKnee:
+    def test_knee_finds_first_good_k(self):
+        result = Fig8bResult(k_values=[5, 10, 20, 40],
+                             scores=[0.2, 0.55, 0.58, 0.60])
+        assert result.knee_k(fraction=0.9) == 10
+
+    def test_knee_with_nans(self):
+        result = Fig8bResult(k_values=[5, 10], scores=[float("nan"), 0.5])
+        assert result.knee_k() == 10
+
+    def test_knee_empty(self):
+        result = Fig8bResult(k_values=[5], scores=[float("nan")])
+        assert result.knee_k() is None
+
+
+class TestFig8cAccess:
+    def test_lookup_and_speedup(self):
+        result = Fig8cResult(points=[
+            Fig8cPoint(m=50, k=10, n_workers=1, seconds=4.0),
+            Fig8cPoint(m=50, k=10, n_workers=4, seconds=2.0),
+        ])
+        assert result.seconds_for(50, 10, 1) == 4.0
+        assert result.speedup(50, 10) == 2.0
+        assert result.seconds_for(99, 10, 1) is None
+        assert result.speedup(99, 10) is None
+
+
+class TestFig10Bands:
+    def test_band_max(self):
+        result = Fig10Result(points=[(10.0, 2.5), (500.0, 1.8),
+                                     (20_000.0, 1.2)])
+        assert result.max_ratio_in_band(1.0, 1_000.0) == 2.5
+        assert result.max_ratio_in_band(10_000.0, 100_000.0) == 1.2
+        assert result.max_ratio_in_band(1_000.0, 10_000.0) == 1.0  # empty
+
+
+class TestFig13Helpers:
+    def test_biased_detection(self):
+        dists = {
+            "high": [0.07, 0.07, 0.068, 0.071],
+            "low": [0.0, 0.0, 0.001, 0.0],
+            "mixed": [0.0, 0.07, 0.0, 0.07],
+            "thin": [0.07],
+        }
+        verdicts = Fig13Result.biased_peers(dists, min_obs=3)
+        assert verdicts == {"high": "high", "low": "low"}
+
+    def test_max_diff(self):
+        assert Fig13Result.max_diff({"a": [0.01, 0.07]}) == 0.07
+        assert Fig13Result.max_diff({}) == 0.0
+
+
+class TestTable5Access:
+    def test_value_defaults_to_zero(self):
+        result = Table5Result(percentages={"chegg.com": {"ES": 12.0}})
+        assert result.value("chegg.com", "ES") == 12.0
+        assert result.value("chegg.com", "FR") == 0.0
+        assert result.value("nope.com", "ES") == 0.0
+
+
+def _check(prices_by_point, time=0.0):
+    result = PriceCheckResult(job_id=f"j{time}", url="u", domain="d",
+                              requested_currency="EUR", time=time)
+    for proxy, kind, eur in prices_by_point:
+        result.rows.append(ResultRow(
+            kind=kind, proxy_id=proxy, country="ES", region="ES", city="c",
+            original_text="x1", detected_amount=eur, detected_currency="EUR",
+            converted_value=eur, amount_eur=eur,
+        ))
+    return result
+
+
+class TestPointSamples:
+    def test_you_rows_excluded(self):
+        results = [
+            _check([("crawler", "You", 10.0), ("p1", "PPC", 10.0),
+                    ("i1", "IPC", 10.0)], time=float(t))
+            for t in range(12)
+        ]
+        samples = point_samples(results, min_observations=10)
+        assert set(samples) == {"p1", "i1"}
+
+    def test_thin_points_dropped(self):
+        results = [_check([("p1", "PPC", 10.0), ("p2", "PPC", 10.0)])]
+        assert point_samples(results, min_observations=5) == {}
+
+    def test_normalization_by_check_median(self):
+        results = [
+            _check([("p1", "PPC", 10.0), ("p2", "PPC", 10.7)], time=float(t))
+            for t in range(10)
+        ]
+        samples = point_samples(results, min_observations=10)
+        assert all(v == pytest.approx(10.0 / 10.7) for v in samples["p1"])
+        assert all(v == pytest.approx(1.0) for v in samples["p2"])

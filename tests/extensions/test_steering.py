@@ -1,0 +1,124 @@
+"""Tests for search-steering detection."""
+
+import random
+
+import pytest
+
+from repro.browser.browser import Browser
+from repro.core.sheriff import SheriffWorld
+from repro.extensions.steering import (
+    RankingObservation,
+    SteeringReport,
+    SteeringWatch,
+    kendall_tau_distance,
+)
+from repro.web.catalog import make_catalog
+from repro.web.internet import ContentSite
+from repro.web.pricing import UniformPricing
+from repro.web.store import EStore, SteeringPolicy
+
+
+class TestKendallTau:
+    def test_identical(self):
+        assert kendall_tau_distance(["a", "b", "c"], ["a", "b", "c"]) == 0.0
+
+    def test_reversed(self):
+        assert kendall_tau_distance(["a", "b", "c"], ["c", "b", "a"]) == 1.0
+
+    def test_single_swap(self):
+        assert kendall_tau_distance(["a", "b", "c"], ["b", "a", "c"]) == pytest.approx(1 / 3)
+
+    def test_disjoint(self):
+        assert kendall_tau_distance(["a"], ["b"]) == 0.0
+
+    def test_partial_overlap(self):
+        d = kendall_tau_distance(["a", "b", "x"], ["y", "b", "a"])
+        assert d == 1.0  # a,b inverted
+
+
+@pytest.fixture
+def steered_world():
+    world = SheriffWorld.create(seed=90)
+    world.internet.register(
+        ContentSite("luxury.example", tracker_domains=("doubleclick.net",))
+    )
+    store = EStore(
+        domain="steer.example", country_code="US",
+        catalog=make_catalog("steer.example", size=8, rng=random.Random(5)),
+        pricing=UniformPricing(), geodb=world.geodb, rates=world.rates,
+        tracker_domains=("doubleclick.net",),
+    )
+    store.enable_steering(SteeringPolicy(
+        world.ecosystem, ["luxury.example"], min_hits=3,
+    ))
+    world.internet.register(store)
+    return world, store
+
+
+class TestStoreSearch:
+    def test_default_ranking_price_ascending(self, steered_world):
+        world, store = steered_world
+        browser = world.make_browser("US")
+        ctx = browser.request_context(store.domain)
+        results = store.search("", ctx)
+        prices = [p.base_price_eur for p in results]
+        assert prices == sorted(prices)
+
+    def test_profiled_user_sees_expensive_first(self, steered_world):
+        world, store = steered_world
+        browser = world.make_browser("US")
+        for i in range(4):
+            browser.visit(f"http://luxury.example/{i}")
+        ctx = browser.request_context(store.domain)
+        prices = [p.base_price_eur for p in store.search("", ctx)]
+        assert prices == sorted(prices, reverse=True)
+
+    def test_query_filters_by_category(self, steered_world):
+        world, store = steered_world
+        browser = world.make_browser("US")
+        ctx = browser.request_context(store.domain)
+        category = store.catalog.products[0].category
+        results = store.search(category, ctx)
+        assert all(
+            category in p.category or category.lower() in p.name.lower()
+            for p in results
+        )
+
+
+class TestSteeringWatch:
+    def test_detects_steered_profile(self, steered_world):
+        world, store = steered_world
+        clean = world.make_browser("US")
+        profiled = world.make_browser("US")
+        for i in range(4):
+            profiled.visit(f"http://luxury.example/{i}")
+        watch = SteeringWatch(store)
+        report = watch.check("", [
+            ("clean-1", "clean", clean),
+            ("clean-2", "clean", world.make_browser("US")),
+            ("victim", "profiled", profiled),
+        ])
+        assert report.steering_detected
+        assert report.steered_observers() == ["victim"]
+        assert "STEERED" in report.render()
+
+    def test_uniform_rankings_clean(self, steered_world):
+        world, store = steered_world
+        watch = SteeringWatch(store)
+        report = watch.check("", [
+            (f"clean-{i}", "clean", world.make_browser("US"))
+            for i in range(3)
+        ])
+        assert not report.steering_detected
+        assert "consistent" in report.render()
+
+
+class TestReportLogic:
+    def test_reference_is_modal(self):
+        report = SteeringReport(query="q", observations=[
+            RankingObservation("a", "x", ["1", "2", "3"]),
+            RankingObservation("b", "x", ["1", "2", "3"]),
+            RankingObservation("c", "x", ["3", "2", "1"]),
+        ])
+        assert report.reference_ranking() == ["1", "2", "3"]
+        assert report.steered_observers() == ["c"]

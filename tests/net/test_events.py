@@ -1,0 +1,132 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.net.events import Clock, EventLoop, SECONDS_PER_DAY, daily_ticks
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_custom_start(self):
+        assert Clock(100.0).now == 100.0
+
+    def test_advance(self):
+        clock = Clock()
+        clock.advance(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().advance(-1.0)
+
+    def test_advance_to_rewind_rejected(self):
+        clock = Clock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_day_property(self):
+        clock = Clock()
+        clock.advance_days(2.5)
+        assert clock.day == pytest.approx(2.5)
+        assert clock.now == pytest.approx(2.5 * SECONDS_PER_DAY)
+
+
+class TestEventLoop:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(3.0, lambda: seen.append("c"))
+        loop.call_at(1.0, lambda: seen.append("a"))
+        loop.call_at(2.0, lambda: seen.append("b"))
+        loop.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_run_in_scheduling_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(1.0, lambda: seen.append(1))
+        loop.call_at(1.0, lambda: seen.append(2))
+        loop.run()
+        assert seen == [1, 2]
+
+    def test_clock_follows_events(self):
+        loop = EventLoop()
+        times = []
+        loop.call_at(4.0, lambda: times.append(loop.clock.now))
+        loop.run()
+        assert times == [4.0]
+
+    def test_run_until_stops_at_deadline(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(1.0, lambda: seen.append("early"))
+        loop.call_at(10.0, lambda: seen.append("late"))
+        loop.run_until(5.0)
+        assert seen == ["early"]
+        assert loop.clock.now == 5.0
+        assert loop.pending == 1
+
+    def test_cancel(self):
+        loop = EventLoop()
+        seen = []
+        handle = loop.call_at(1.0, lambda: seen.append("x"))
+        handle.cancel()
+        loop.run()
+        assert seen == []
+        assert handle.cancelled
+
+    def test_cannot_schedule_in_past(self):
+        loop = EventLoop(Clock(10.0))
+        with pytest.raises(ValueError):
+            loop.call_at(5.0, lambda: None)
+
+    def test_call_later(self):
+        loop = EventLoop(Clock(100.0))
+        fired = []
+        loop.call_later(2.5, lambda: fired.append(loop.clock.now))
+        loop.run()
+        assert fired == [102.5]
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        seen = []
+
+        def first():
+            seen.append("first")
+            loop.call_later(1.0, lambda: seen.append("second"))
+
+        loop.call_at(1.0, first)
+        loop.run()
+        assert seen == ["first", "second"]
+        assert loop.clock.now == 2.0
+
+    def test_spawn_process(self):
+        loop = EventLoop()
+        ticks = []
+
+        def process():
+            for _ in range(3):
+                ticks.append(loop.clock.now)
+                yield 2.0
+
+        loop.spawn(process())
+        loop.run()
+        assert ticks == [0.0, 2.0, 4.0]
+
+    def test_processed_counter(self):
+        loop = EventLoop()
+        for t in (1.0, 2.0):
+            loop.call_at(t, lambda: None)
+        loop.run()
+        assert loop.processed == 2
+
+
+def test_daily_ticks():
+    ticks = list(daily_ticks(start_day=2, n_days=3))
+    assert ticks == [
+        (0, 2 * SECONDS_PER_DAY),
+        (1, 3 * SECONDS_PER_DAY),
+        (2, 4 * SECONDS_PER_DAY),
+    ]

@@ -1,0 +1,89 @@
+"""Tests for the message-passing network simulation."""
+
+import pytest
+
+from repro.net.geo import GeoDatabase
+from repro.net.sim import Host, LatencyModel, NetworkError, SimNetwork
+
+
+@pytest.fixture
+def geodb():
+    return GeoDatabase()
+
+
+def make_net(geodb):
+    net = SimNetwork(LatencyModel(jitter=0.0))
+    a = Host("a", geodb.make_location("ES", "Madrid"), handler=lambda p: ("echo", p))
+    b = Host("b", geodb.make_location("ES", "Madrid"), handler=lambda p: p * 2)
+    c = Host("c", geodb.make_location("FR", "Paris"), handler=lambda p: p)
+    for host in (a, b, c):
+        net.add_host(host)
+    return net
+
+
+class TestLatencyModel:
+    def test_tiers(self, geodb):
+        model = LatencyModel(jitter=0.0)
+        madrid = geodb.make_location("ES", "Madrid")
+        madrid2 = geodb.make_location("ES", "Madrid")
+        barcelona = geodb.make_location("ES", "Barcelona")
+        paris = geodb.make_location("FR", "Paris")
+        assert model.latency(madrid, madrid2) == LatencyModel.SAME_CITY
+        assert model.latency(madrid, barcelona) == LatencyModel.SAME_COUNTRY
+        assert model.latency(madrid, paris) == LatencyModel.INTERNATIONAL
+
+    def test_jitter_varies_but_positive(self, geodb):
+        model = LatencyModel(jitter=0.5)
+        a = geodb.make_location("ES", "Madrid")
+        b = geodb.make_location("FR", "Paris")
+        samples = [model.latency(a, b) for _ in range(50)]
+        assert all(s > 0 for s in samples)
+        assert len(set(samples)) > 1
+
+
+class TestSimNetwork:
+    def test_request_response(self, geodb):
+        net = make_net(geodb)
+        response, rtt = net.request("a", "b", 21)
+        assert response == 42
+        assert rtt == pytest.approx(2 * LatencyModel.SAME_CITY)
+
+    def test_international_rtt_larger(self, geodb):
+        net = make_net(geodb)
+        _, near = net.request("a", "b", 1)
+        _, far = net.request("a", "c", 1)
+        assert far > near
+
+    def test_offline_host_raises(self, geodb):
+        net = make_net(geodb)
+        net.host("b").online = False
+        with pytest.raises(NetworkError):
+            net.request("a", "b", 1)
+
+    def test_unknown_host_raises(self, geodb):
+        net = make_net(geodb)
+        with pytest.raises(NetworkError):
+            net.request("a", "zzz", 1)
+
+    def test_duplicate_host_rejected(self, geodb):
+        net = make_net(geodb)
+        with pytest.raises(ValueError):
+            net.add_host(Host("a", geodb.make_location("ES", "Madrid")))
+
+    def test_slowdown_scales_rtt(self, geodb):
+        net = make_net(geodb)
+        base = net.rtt("a", "b")
+        net.host("b").slowdown = 3.0
+        assert net.rtt("a", "b") == pytest.approx(3.0 * base)
+
+    def test_transfers_recorded(self, geodb):
+        net = make_net(geodb)
+        net.request("a", "b", 1)
+        net.request("a", "c", 1)
+        assert [(t.src, t.dst) for t in net.transfers] == [("a", "b"), ("a", "c")]
+
+    def test_host_without_handler(self, geodb):
+        net = make_net(geodb)
+        net.add_host(Host("mute", geodb.make_location("ES", "Madrid")))
+        with pytest.raises(NetworkError):
+            net.request("a", "mute", 1)

@@ -1,0 +1,44 @@
+"""Tests for silhouette-based k selection (Sect. 4 procedure)."""
+
+import random
+
+import pytest
+
+from repro.profiles.kmeans import choose_k
+
+
+def blobs(n_clusters, per_cluster=8, seed=0):
+    rng = random.Random(seed)
+    points = {}
+    for c in range(n_clusters):
+        anchor = [10.0 * c, 10.0 * (c % 2)]
+        for i in range(per_cluster):
+            points[f"c{c}-{i}"] = [
+                a + rng.uniform(-0.5, 0.5) for a in anchor
+            ]
+    return points
+
+
+class TestChooseK:
+    def test_finds_true_cluster_count(self):
+        points = blobs(4)
+        assert choose_k(points, cap=10, k_grid=[2, 3, 4, 6, 8]) == 4
+
+    def test_cap_enforced(self):
+        """The 10%-of-users ceiling binds regardless of silhouette."""
+        points = blobs(8, per_cluster=5)
+        k = choose_k(points, cap=3, k_grid=[2, 3, 4, 6, 8])
+        assert k <= 3
+
+    def test_tiny_population(self):
+        points = {f"u{i}": [float(i)] for i in range(3)}
+        k = choose_k(points, cap=5)
+        assert 1 <= k <= 3
+
+    def test_cap_of_one(self):
+        points = blobs(3)
+        assert choose_k(points, cap=1) == 1
+
+    def test_deterministic(self):
+        points = blobs(3, seed=4)
+        assert choose_k(points, cap=10) == choose_k(points, cap=10)

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_demo_prints_result_page(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Price check" in out
+        assert "You" in out
+
+    def test_demo_currency_flag(self, capsys):
+        assert main(["demo", "--currency", "USD"]) == 0
+        assert "USD" in capsys.readouterr().out
+
+
+class TestReproduce:
+    def test_single_experiment(self, capsys):
+        assert main(["reproduce", "table1", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "System Performance Analysis" in out
+
+    def test_fig5(self, capsys):
+        assert main(["reproduce", "fig5", "--scale", "test"]) == 0
+        assert "adoption" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "fig99"])
+
+
+class TestOtherCommands:
+    def test_perf(self, capsys):
+        assert main(["perf"]) == 0
+        assert "Max Daily Requests" in capsys.readouterr().out
+
+    def test_geoblock(self, capsys):
+        assert main(["geoblock"]) == 0
+        out = capsys.readouterr().out
+        assert "BLOCKED" in out
+        assert "verdict: geoblocked" in out
+
+    def test_panels(self, capsys):
+        assert main(["panels"]) == 0
+        out = capsys.readouterr().out
+        assert "Available Sheriff servers" in out
+        assert "Online peer proxies" in out
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

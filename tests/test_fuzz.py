@@ -1,0 +1,84 @@
+"""Fuzz tests: hostile inputs must fail loudly or succeed — never crash.
+
+The $heriff processes text from arbitrary web pages (price selections,
+remote HTML).  These tests drive the parsers with garbage and assert the
+only allowed outcomes: a well-typed result or the module's declared
+exception.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tagspath import TagsPath, extract_price_text
+from repro.currency.detect import (
+    CurrencyDetectionError,
+    DetectedPrice,
+    detect_price,
+    parse_amount,
+)
+from repro.web.html import HTMLParseError, parse
+
+_price_chars = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,€$¥£+-()'<>/",
+    max_size=30,
+)
+
+
+@given(text=_price_chars)
+@settings(max_examples=300, deadline=None)
+def test_detect_price_never_crashes(text):
+    try:
+        result = detect_price(text)
+    except CurrencyDetectionError:
+        return
+    assert isinstance(result, DetectedPrice)
+    if result.amount is not None:
+        assert result.amount >= 0
+
+
+@given(text=st.text(max_size=40))
+@settings(max_examples=300, deadline=None)
+def test_parse_amount_never_crashes(text):
+    amount = parse_amount(text)
+    assert amount is None or amount >= 0
+
+
+_html_soup = st.text(
+    alphabet=string.ascii_letters + string.digits + ' <>/="-.',
+    max_size=120,
+)
+
+
+@given(html=_html_soup)
+@settings(max_examples=300, deadline=None)
+def test_html_parser_never_crashes(html):
+    """parse() either returns a tree or raises HTMLParseError."""
+    try:
+        root = parse(html)
+    except HTMLParseError:
+        return
+    assert root.tag
+
+
+@given(html=_html_soup)
+@settings(max_examples=200, deadline=None)
+def test_extract_price_text_never_crashes(html):
+    """Extraction over garbage pages returns None, never raises."""
+    path = TagsPath(entries=("html", "body", "div.product"),
+                    target="span.price")
+    out = extract_price_text(html, path)
+    assert out is None or isinstance(out, str)
+
+
+@given(
+    amount=st.floats(min_value=0, max_value=1e12,
+                     allow_nan=False, allow_infinity=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_parse_amount_roundtrips_plain_floats(amount):
+    text = f"{amount:.2f}"
+    parsed = parse_amount(text)
+    assert parsed is not None
+    assert abs(parsed - round(amount, 2)) < 1e-6 * max(1.0, amount)

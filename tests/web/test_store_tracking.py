@@ -1,0 +1,129 @@
+"""Tests for retailer tracking modes and the footnote-2 caveat.
+
+Sect. 3.6.2, footnote 2: "doppelgangers cannot prevent pollution due to
+server-side state built via IP tracking or fingerprinting."
+"""
+
+import random
+
+import pytest
+
+from repro.browser.sandbox import sandboxed_fetch
+from repro.currency.rates import ExchangeRateProvider
+from repro.net.geo import GeoDatabase
+from repro.web.catalog import make_catalog
+from repro.web.pricing import RequestContext, UniformPricing
+from repro.web.store import EStore
+
+
+@pytest.fixture
+def geodb():
+    return GeoDatabase()
+
+
+def build_store(geodb, tracking):
+    return EStore(
+        domain="track.example",
+        country_code="ES",
+        catalog=make_catalog("track.example", size=6, rng=random.Random(1)),
+        pricing=UniformPricing(),
+        geodb=geodb,
+        rates=ExchangeRateProvider(),
+        tracking=tracking,
+    )
+
+
+class TestTrackingKeys:
+    def test_cookie_mode_prefers_session(self, geodb):
+        store = build_store(geodb, "cookie")
+        ctx = RequestContext(
+            time=0.0, location=geodb.make_location("ES"),
+            first_party_cookies={"sid": "session-1"},
+        )
+        assert store.tracking_key(ctx) == "session-1"
+
+    def test_ip_mode_ignores_cookies(self, geodb):
+        store = build_store(geodb, "ip")
+        location = geodb.make_location("ES")
+        ctx = RequestContext(
+            time=0.0, location=location,
+            first_party_cookies={"sid": "session-1"},
+        )
+        assert store.tracking_key(ctx) == location.ip
+
+    def test_fingerprint_stable_across_cookie_wipes(self, geodb):
+        store = build_store(geodb, "fingerprint")
+        location = geodb.make_location("ES")
+        a = RequestContext(time=0.0, location=location,
+                           first_party_cookies={"sid": "x"})
+        b = RequestContext(time=9.0, location=location,
+                           first_party_cookies={})
+        assert store.tracking_key(a) == store.tracking_key(b)
+        assert store.tracking_key(a).startswith("fp-")
+
+    def test_fingerprint_differs_across_devices(self, geodb):
+        store = build_store(geodb, "fingerprint")
+        location = geodb.make_location("ES")
+        a = RequestContext(time=0.0, location=location, user_agent="UA-1")
+        b = RequestContext(time=0.0, location=location, user_agent="UA-2")
+        assert store.tracking_key(a) != store.tracking_key(b)
+
+    def test_unknown_mode_rejected(self, geodb):
+        with pytest.raises(ValueError):
+            build_store(geodb, "telepathy")
+
+
+class TestFootnote2Caveat:
+    def _user_browser(self, world, store):
+        browser = world.make_browser("ES", "Madrid")
+        browser.visit(store.product_url(store.catalog.products[0].product_id))
+        return browser
+
+    def test_doppelganger_shields_cookie_tracking(self, geodb):
+        from repro.core.sheriff import SheriffWorld
+
+        world = SheriffWorld.create(seed=61)
+        store = build_store(world.geodb, "cookie")
+        world.internet.register(store)
+        browser = self._user_browser(world, store)
+        user_key = browser.cookies.value("track.example", "sid")
+        before = sum(store.visits_for(user_key).values())
+        sandboxed_fetch(
+            browser,
+            store.product_url(store.catalog.products[1].product_id),
+            client_state={"track.example": {"sid": "dopp-session"}},
+        )
+        assert sum(store.visits_for(user_key).values()) == before
+
+    def test_doppelganger_cannot_shield_ip_tracking(self, geodb):
+        """The caveat: IP-keyed state accrues to the user regardless."""
+        from repro.core.sheriff import SheriffWorld
+
+        world = SheriffWorld.create(seed=62)
+        store = build_store(world.geodb, "ip")
+        world.internet.register(store)
+        browser = self._user_browser(world, store)
+        ip = browser.location.ip
+        before = sum(store.visits_for(ip).values())
+        sandboxed_fetch(
+            browser,
+            store.product_url(store.catalog.products[1].product_id),
+            client_state={"track.example": {"sid": "dopp-session"}},
+        )
+        assert sum(store.visits_for(ip).values()) == before + 1
+
+    def test_doppelganger_cannot_shield_fingerprinting(self, geodb):
+        from repro.core.sheriff import SheriffWorld
+
+        world = SheriffWorld.create(seed=63)
+        store = build_store(world.geodb, "fingerprint")
+        world.internet.register(store)
+        browser = self._user_browser(world, store)
+        fingerprint = store.tracking_key(browser.request_context("track.example"))
+        before = sum(store.visits_for(fingerprint).values())
+        sandboxed_fetch(
+            browser,
+            store.product_url(store.catalog.products[1].product_id),
+            client_state={"track.example": {"sid": "dopp-session"}},
+        )
+        assert sum(store.visits_for(fingerprint).values()) == before + 1

@@ -1,0 +1,75 @@
+"""Tests for the content web and Alexa e-commerce roster."""
+
+import random
+
+import pytest
+
+from repro.core.sheriff import SheriffWorld
+from repro.workloads.alexa import ContentWeb, build_alexa_ecommerce
+
+
+@pytest.fixture
+def world():
+    return SheriffWorld.create(seed=3)
+
+
+class TestContentWeb:
+    def test_domains_registered(self, world):
+        web = ContentWeb(world.internet, world.ecosystem, n_domains=30)
+        assert len(web.domains) == 30
+        assert all(world.internet.has_domain(d) for d in web.domains)
+
+    def test_alexa_top_is_prefix_by_popularity(self, world):
+        web = ContentWeb(world.internet, world.ecosystem, n_domains=30)
+        top = web.alexa_top(10)
+        assert top == web.domains[:10]
+        pops = [web.popularity[d] for d in web.domains]
+        assert pops == sorted(pops, reverse=True)
+
+    def test_alexa_top_too_many(self, world):
+        web = ContentWeb(world.internet, world.ecosystem, n_domains=5)
+        with pytest.raises(ValueError):
+            web.alexa_top(10)
+
+    def test_sampling_follows_popularity(self, world):
+        web = ContentWeb(world.internet, world.ecosystem, n_domains=30)
+        rng = random.Random(0)
+        sample = web.sample_domains(rng, 2000)
+        counts = {d: sample.count(d) for d in web.domains}
+        assert counts[web.domains[0]] > counts[web.domains[-1]]
+
+    def test_bias_shifts_sampling(self, world):
+        web = ContentWeb(world.internet, world.ecosystem, n_domains=30)
+        rare = web.domains[-1]
+        rng = random.Random(0)
+        biased = web.sample_domains(rng, 2000, bias={rare: 500.0})
+        assert biased.count(rare) > 200
+
+
+class TestAlexaEcommerce:
+    def test_roster_size_and_registration(self, world):
+        stores = build_alexa_ecommerce(
+            world.internet, world.geodb, world.rates, n=25
+        )
+        assert len(stores) == 25
+        assert all(world.internet.has_domain(s.domain) for s in stores)
+
+    def test_some_location_pd_but_no_within_country(self, world):
+        from repro.web.pricing import CountryMultiplierPricing, UniformPricing
+
+        stores = build_alexa_ecommerce(
+            world.internet, world.geodb, world.rates, n=60,
+            location_pd_fraction=0.2,
+        )
+        kinds = {type(s.pricing) for s in stores}
+        assert UniformPricing in kinds
+        assert CountryMultiplierPricing in kinds
+
+    def test_deterministic(self, world):
+        a = build_alexa_ecommerce(world.internet, world.geodb, world.rates, n=5)
+        world2 = SheriffWorld.create(seed=3)
+        b = build_alexa_ecommerce(world2.internet, world2.geodb, world2.rates, n=5)
+        assert [s.domain for s in a] == [s.domain for s in b]
+        assert [p.base_price_eur for s in a for p in s.catalog] == [
+            p.base_price_eur for s in b for p in s.catalog
+        ]

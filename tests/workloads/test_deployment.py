@@ -1,0 +1,99 @@
+"""Tests for the live deployment driver and the Fig. 5 adoption model."""
+
+import pytest
+
+from repro.analysis.pricediff import domains_with_difference
+from repro.workloads.deployment import (
+    DeploymentConfig,
+    LiveDeployment,
+    adoption_series,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return LiveDeployment(DeploymentConfig.test_scale()).run()
+
+
+class TestLiveDeployment:
+    def test_requests_completed(self, dataset):
+        assert len(dataset.results) >= 70  # a few may fail by design
+        assert dataset.n_responses > len(dataset.results) * 10
+
+    def test_many_domains_checked(self, dataset):
+        assert dataset.n_domains_checked >= 10
+
+    def test_spain_leads_requests(self, dataset):
+        """Table 2 shape: Spain issues the most price checks."""
+        top_country, _ = dataset.request_countries.most_common(1)[0]
+        assert top_country == "ES"
+
+    def test_pd_stores_detected_uniform_not(self, dataset):
+        diff = set(domains_with_difference(dataset.results))
+        checked_uniform = {
+            r.domain for r in dataset.results if r.domain.startswith("shop-")
+        }
+        # honest stores show no cross-point difference
+        assert not (diff & checked_uniform)
+        # at least some calibrated PD stores were caught
+        named_pd = {
+            "digitalrev.com", "steampowered.com", "abercrombie.com",
+            "luisaviaroma.com", "overstock.com", "jcpenney.com",
+        }
+        assert diff & named_pd
+
+    def test_results_stored_in_database(self, dataset):
+        assert dataset.sheriff.db.count("requests") == len(dataset.results)
+
+    def test_clock_advanced_through_window(self, dataset):
+        assert dataset.world.clock.day > 100  # a months-long window
+
+    def test_time_ordering(self, dataset):
+        times = [r.time for r in dataset.results]
+        assert times == sorted(times)
+
+    def test_results_for_domain(self, dataset):
+        domain = dataset.results[0].domain
+        subset = dataset.results_for_domain(domain)
+        assert subset and all(r.domain == domain for r in subset)
+
+
+class TestConfigs:
+    def test_paper_scale_parameters(self):
+        cfg = DeploymentConfig.paper_scale()
+        assert cfg.n_users == 1265
+        assert cfg.n_requests == 5700
+        assert cfg.n_uniform_stores == 1900
+
+    def test_test_scale_is_small(self):
+        cfg = DeploymentConfig.test_scale()
+        assert cfg.n_requests <= 100
+
+
+class TestAdoptionModel:
+    def test_series_lengths(self):
+        series = adoption_series(n_days=100)
+        assert len(series.days) == len(series.daily_downloads) == 100
+        assert len(series.active_users) == 100
+
+    def test_three_spikes_visible(self):
+        series = adoption_series(n_days=420)
+        spikes = series.spike_days()
+        # at least one spike day near each press event
+        for event_day in (60, 180, 300):
+            assert any(abs(d - event_day) <= 4 for d in spikes)
+
+    def test_active_users_lag_downloads(self):
+        series = adoption_series(n_days=420)
+        # active users keep rising after the spike subsides
+        assert series.active_users[200] > series.active_users[100]
+
+    def test_non_negative(self):
+        series = adoption_series(n_days=300)
+        assert all(v >= 0 for v in series.daily_downloads)
+        assert all(v >= 0 for v in series.active_users)
+
+    def test_deterministic(self):
+        a = adoption_series(n_days=50, seed=3)
+        b = adoption_series(n_days=50, seed=3)
+        assert a.daily_downloads == b.daily_downloads

@@ -1,0 +1,79 @@
+"""Tests for the Table 1 performance model."""
+
+import pytest
+
+from repro.workloads.perfmodel import (
+    PerformanceModel,
+    ServerCrashed,
+    TABLE1_CONFIGS,
+    run_table1,
+)
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1(sim_minutes=90)
+
+
+class TestTable1Shape:
+    def test_five_rows(self, table1):
+        assert len(table1) == len(TABLE1_CONFIGS) == 5
+
+    def test_old_5_tasks_about_two_minutes(self, table1):
+        row = table1[0]
+        assert 4 <= row.avg_parallel_tasks <= 6
+        assert 1.5 <= row.response_minutes <= 2.8
+
+    def test_old_degrades_superlinearly(self, table1):
+        """Doubling load far more than doubles old response time ratio vs new."""
+        old5, old10 = table1[0], table1[1]
+        assert old10.response_minutes / old5.response_minutes > 2.0
+        assert 4.0 <= old10.response_minutes <= 7.5
+
+    def test_new_version_faster_at_same_load(self, table1):
+        assert table1[2].response_minutes < table1[0].response_minutes
+        assert table1[3].response_minutes < table1[1].response_minutes
+
+    def test_new_response_stays_near_one_minute(self, table1):
+        assert 0.8 <= table1[2].response_minutes <= 1.4
+        assert 1.0 <= table1[3].response_minutes <= 2.0
+
+    def test_new_scales_out_with_servers(self, table1):
+        """4 servers absorb 3 clients' load without response blowup."""
+        big = table1[4]
+        assert big.n_servers == 4
+        assert big.response_minutes <= 2.0
+        assert big.max_daily_requests > 3 * table1[3].max_daily_requests
+
+    def test_throughput_ordering_matches_paper(self, table1):
+        daily = [row.max_daily_requests for row in table1]
+        # old@10 < old@5 < new@5 < new@10 < new 4-server
+        assert daily[1] < daily[0] < daily[2] < daily[3] < daily[4]
+
+
+class TestModelMechanics:
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            PerformanceModel("middle", 1, 1)
+
+    def test_old_server_crashes_under_extreme_load(self):
+        model = PerformanceModel("old", 6, 1, streams_per_client=5, seed=1)
+        model.run(sim_minutes=30, warmup_minutes=5)
+        assert model.crashed
+
+    def test_new_survives_same_load(self):
+        model = PerformanceModel("new", 6, 1, streams_per_client=5, seed=1)
+        row = model.run(sim_minutes=30, warmup_minutes=5)
+        assert not model.crashed
+        assert row.completions if hasattr(row, "completions") else True
+
+    def test_deterministic(self):
+        a = PerformanceModel("new", 1, 1, seed=3).run(sim_minutes=40)
+        b = PerformanceModel("new", 1, 1, seed=3).run(sim_minutes=40)
+        assert a.response_minutes == b.response_minutes
+
+    def test_avg_tasks_tracks_streams(self):
+        row = PerformanceModel("new", 2, 1, streams_per_client=5, seed=2).run(
+            sim_minutes=60
+        )
+        assert 8.5 <= row.avg_parallel_tasks <= 10.0
