@@ -6,7 +6,9 @@ Gives the library a tool-shaped front door:
 * ``reproduce``   — regenerate one (or all) tables/figures;
 * ``perf``        — print Table 1 from the performance model;
 * ``geoblock``    — scan a demo URL for geoblocking;
-* ``panels``      — render the Fig. 7 / Fig. 16 monitoring panels.
+* ``panels``      — render the Fig. 7 / Fig. 16 monitoring panels;
+* ``chaos``       — run a deployment under a named fault-injection
+  profile and report resolution/recovery counters.
 
 Everything runs against the simulated world; the CLI exists so the
 reproduction can be driven without writing Python.
@@ -38,6 +40,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="initiator country (ISO code)")
     demo.add_argument("--currency", default="EUR",
                       help="currency the result page converts into")
+    demo.add_argument("--chaos", default=None, metavar="PROFILE",
+                      help="run the check under a named chaos profile")
+    demo.add_argument("--chaos-seed", type=int, default=0)
 
     reproduce = sub.add_parser("reproduce",
                                help="regenerate a table/figure (or all)")
@@ -57,10 +62,27 @@ def _build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--days", type=int, default=12,
                        help="how many daily cycles to simulate")
 
+    from repro.net.faults import CHAOS_PROFILES
+
+    chaos = sub.add_parser(
+        "chaos", help="deployment run under fault injection"
+    )
+    chaos.add_argument("--profile", default="lossy",
+                       choices=sorted(CHAOS_PROFILES),
+                       help="named fault-injection profile")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seed of the fault plan's RNG")
+    chaos.add_argument("--requests", type=int, default=60,
+                       help="price checks to attempt")
+    chaos.add_argument("--users", type=int, default=30,
+                       help="size of the simulated population")
+    chaos.add_argument("--quorum", type=int, default=1,
+                       help="minimum vantage points per accepted result")
+
     return parser
 
 
-def _demo_world():
+def _demo_world(chaos_profile=None, chaos_seed=0):
     from repro.core.sheriff import PriceSheriff, SheriffWorld
     from repro.web.catalog import make_catalog
     from repro.web.pricing import CountryMultiplierPricing
@@ -75,20 +97,36 @@ def _demo_world():
         geodb=world.geodb, rates=world.rates, currency_strategy="geo",
     )
     world.internet.register(store)
-    sheriff = PriceSheriff(world, n_measurement_servers=1)
+    sheriff = PriceSheriff(world, n_measurement_servers=1,
+                           chaos_profile=chaos_profile,
+                           chaos_seed=chaos_seed)
     return world, sheriff, store
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    world, sheriff, store = _demo_world()
+    from repro.core.addon import PriceCheckFailed
+
+    world, sheriff, store = _demo_world(
+        chaos_profile=getattr(args, "chaos", None),
+        chaos_seed=getattr(args, "chaos_seed", 0),
+    )
     addon = sheriff.install_addon(world.make_browser(args.country))
     for _ in range(2):  # a couple of same-country peers
         sheriff.install_addon(world.make_browser(args.country))
-    result = addon.check_price(
-        store.product_url(store.catalog.products[0].product_id),
-        requested_currency=args.currency,
-    )
+    try:
+        result = addon.check_price(
+            store.product_url(store.catalog.products[0].product_id),
+            requested_currency=args.currency,
+        )
+    except PriceCheckFailed as exc:
+        print(f"price check failed under chaos: {exc}")
+        return 1
     print(result.render_result_page())
+    if getattr(args, "chaos", None):
+        from repro.core.admin import AdminConsole
+
+        print()
+        print(AdminConsole(sheriff).faults_panel())
     return 0
 
 
@@ -213,6 +251,31 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.core.admin import AdminConsole
+    from repro.workloads.deployment import DeploymentConfig, LiveDeployment
+
+    config = DeploymentConfig.test_scale()
+    config.n_users = args.users
+    config.n_requests = args.requests
+    config.chaos_profile = args.profile
+    config.chaos_seed = args.seed
+    config.quorum = args.quorum
+    print(f"chaos drill: profile={args.profile!r} seed={args.seed} "
+          f"requests={args.requests} users={args.users} quorum={args.quorum}")
+    dataset = LiveDeployment(config).run()
+    print(f"attempted          {dataset.n_attempted}")
+    print(f"result pages       {len(dataset.results)}")
+    print(f"explicit failures  {dataset.n_explicit_failures}")
+    print(f"resolution rate    {dataset.resolution_rate:.1%}")
+    console = AdminConsole(dataset.sheriff)
+    print()
+    print(console.faults_panel())
+    print()
+    print(console.servers_panel())
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -222,6 +285,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "geoblock": _cmd_geoblock,
         "panels": _cmd_panels,
         "watch": _cmd_watch,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

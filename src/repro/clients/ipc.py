@@ -17,6 +17,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.browser.browser import Browser
 from repro.browser.fingerprint import user_agent
 from repro.net.events import Clock
+from repro.net.faults import (
+    ROLE_IPC,
+    BackoffPolicy,
+    FaultPlan,
+    ProxyFetchError,
+    ProxyTimeout,
+)
 from repro.net.geo import GeoDatabase, Location
 from repro.web.internet import Internet
 from repro.web.trackers import TrackerEcosystem
@@ -81,6 +88,9 @@ class InfrastructureProxyClient:
         slowdown: float = 1.0,
         os_name: str = "Linux",
         browser_name: str = "Firefox",
+        faults: Optional[FaultPlan] = None,
+        max_retries: int = 2,
+        backoff: Optional[BackoffPolicy] = None,
     ) -> None:
         self.ipc_id = ipc_id
         self._internet = internet
@@ -90,6 +100,16 @@ class InfrastructureProxyClient:
         self.slowdown = slowdown
         self._agent = user_agent(os_name, browser_name)
         self.fetch_count = 0
+        #: chaos schedule consulted per fetch attempt; None = clean node
+        self.faults = faults
+        self.max_retries = max_retries
+        self.backoff = backoff if backoff is not None else BackoffPolicy(base=0.25)
+        self.retries_total = 0
+        self.failures_total = 0
+        #: simulated seconds spent backing off between attempts (the
+        #: shared clock is *not* advanced: all vantage points must fetch
+        #: "at the same time", so waits are accounted, not enacted)
+        self.backoff_seconds = 0.0
 
     def fetch(self, url: str) -> IpcFetch:
         """Fetch in a brand-new browser: no history, no cookies."""
@@ -112,6 +132,62 @@ class InfrastructureProxyClient:
             ua_browser=self._agent.browser,
         )
 
+    def fetch_with_retry(
+        self,
+        url: str,
+        timeout_slowdown: Optional[float] = None,
+    ) -> Tuple[IpcFetch, int]:
+        """Fetch with a bounded, jittered retry budget.
+
+        Returns ``(fetch, retries_used)``.  Raises
+        :class:`ProxyTimeout` / :class:`ProxyFetchError` once the budget
+        is exhausted (the production system kills proxy requests after
+        2 minutes, Sect. 5; ``timeout_slowdown`` is that deadline in
+        slowdown-factor units).
+        """
+        if timeout_slowdown is not None and self.slowdown > timeout_slowdown:
+            # chronically overloaded node: the deadline always fires
+            raise ProxyTimeout(
+                f"{self.ipc_id}: slowdown {self.slowdown:g} exceeds the "
+                f"proxy timeout budget"
+            )
+        last_error: Optional[ProxyFetchError] = None
+        for attempt in range(self.max_retries + 1):
+            if attempt > 0:
+                self.retries_total += 1
+                self.backoff_seconds += self.backoff.delay(
+                    attempt - 1,
+                    self.faults.rng if self.faults is not None else None,
+                )
+            decision = (
+                self.faults.decide("measurement", self.ipc_id, role=ROLE_IPC)
+                if self.faults is not None
+                else None
+            )
+            if decision:
+                if decision.kind == "drop":
+                    last_error = ProxyFetchError(
+                        f"{self.ipc_id}: fetch dropped"
+                    )
+                    continue
+                if decision.kind == "timeout":
+                    last_error = ProxyTimeout(f"{self.ipc_id}: fetch timed out")
+                    continue
+                if decision.kind == "delay" and timeout_slowdown is not None:
+                    if self.slowdown * decision.delay_factor > timeout_slowdown:
+                        last_error = ProxyTimeout(
+                            f"{self.ipc_id}: delay spike exceeded the "
+                            f"proxy timeout budget"
+                        )
+                        continue
+            fetch = self.fetch(url)
+            if decision and decision.kind == "corrupt":
+                fetch.html = self.faults.corrupt_text(fetch.html)
+            return fetch, attempt
+        self.failures_total += 1
+        assert last_error is not None
+        raise last_error
+
 
 def build_default_ipcs(
     internet: Internet,
@@ -119,6 +195,7 @@ def build_default_ipcs(
     clock: Clock,
     geodb: GeoDatabase,
     sites: Sequence[Tuple[str, str, float]] = DEFAULT_IPC_SITES,
+    faults: Optional[FaultPlan] = None,
 ) -> List[InfrastructureProxyClient]:
     """Stand up the default geo-dispersed IPC fleet."""
     ipcs = []
@@ -131,6 +208,7 @@ def build_default_ipcs(
                 clock=clock,
                 location=geodb.make_location(country, city),
                 slowdown=slowdown,
+                faults=faults,
             )
         )
     return ipcs

@@ -26,8 +26,13 @@ from repro.browser.fingerprint import parse_user_agent
 from repro.browser.sandbox import sandboxed_fetch
 from repro.core.aggregator import Aggregator, NoDoppelgangerAssigned
 from repro.core.coordinator import Coordinator
+from repro.net.faults import ROLE_STATE, BackoffPolicy, FaultPlan
 from repro.profiles.doppelganger import PollutionBudget
 from repro.web.internet import parse_url
+
+
+class StateFetchFailed(ConnectionError):
+    """The doppelganger state fetch failed after its retry budget."""
 
 
 class PeerProxyClient:
@@ -40,6 +45,9 @@ class PeerProxyClient:
         coordinator: Coordinator,
         aggregator: Aggregator,
         anonymity=None,
+        faults: Optional[FaultPlan] = None,
+        max_state_retries: int = 2,
+        backoff: Optional[BackoffPolicy] = None,
     ) -> None:
         self.peer_id = peer_id
         self.browser = browser
@@ -49,10 +57,18 @@ class PeerProxyClient:
         #: present, doppelganger state requests are onion-routed so the
         #: Coordinator cannot map this peer to a doppelganger (Sect. 3.7)
         self.anonymity = anonymity
+        #: chaos schedule; the anonymity circuit to the Coordinator is
+        #: one more link that can drop requests under chaos
+        self.faults = faults
+        self.max_state_retries = max_state_retries
+        self.backoff = backoff if backoff is not None else BackoffPolicy(base=0.25)
         self.budget = PollutionBudget()
         self.requests_served = 0
         self.requests_with_real_profile = 0
         self.requests_with_doppelganger = 0
+        self.state_fetch_retries = 0
+        self.state_fetch_failures = 0
+        self.backoff_seconds = 0.0
 
     # -- the message handler registered with the overlay --------------------
     def handle(self, message: Dict[str, Any]) -> Dict[str, Any]:
@@ -69,18 +85,39 @@ class PeerProxyClient:
         With an anonymity network configured the request is onion
         routed, so the Coordinator sees only the exit relay; otherwise
         it falls back to a direct call (tests / minimal deployments).
+
+        The fetch gets a bounded, jittered retry budget: the anonymity
+        circuit is one more hop that can drop requests under chaos.
+        Raises :class:`StateFetchFailed` once the budget is exhausted.
         """
-        if self.anonymity is None:
-            return self.coordinator.doppelganger_client_state(token)
-        circuit = self.anonymity.build_circuit()
-        try:
-            return circuit.send(
-                token.encode("utf-8"),
-                destination=self.coordinator.handle_anonymous_state_request,
-                sender_name=self.peer_id,
-            )
-        finally:
-            circuit.close()
+        for attempt in range(self.max_state_retries + 1):
+            if attempt > 0:
+                self.state_fetch_retries += 1
+                self.backoff_seconds += self.backoff.delay(
+                    attempt - 1, self.faults.rng if self.faults else None
+                )
+            if self.faults is not None:
+                decision = self.faults.decide(
+                    self.peer_id, "coordinator", role=ROLE_STATE
+                )
+                if decision.kind in ("drop", "timeout"):
+                    continue
+            if self.anonymity is None:
+                return self.coordinator.doppelganger_client_state(token)
+            circuit = self.anonymity.build_circuit()
+            try:
+                return circuit.send(
+                    token.encode("utf-8"),
+                    destination=self.coordinator.handle_anonymous_state_request,
+                    sender_name=self.peer_id,
+                )
+            finally:
+                circuit.close()
+        self.state_fetch_failures += 1
+        raise StateFetchFailed(
+            f"peer {self.peer_id}: doppelganger state fetch failed after "
+            f"{self.max_state_retries + 1} attempts"
+        )
 
     # -- serving --------------------------------------------------------------
     def serve_remote_request(self, url: str) -> Dict[str, Any]:
@@ -108,7 +145,13 @@ class PeerProxyClient:
             self.requests_with_real_profile += 1
         else:
             token = self.aggregator.doppelganger_id_for(self.peer_id)  # step 3.3
-            state = self._fetch_doppelganger_state(token)  # step 3.4
+            try:
+                state = self._fetch_doppelganger_state(token)  # step 3.4
+            except StateFetchFailed as exc:
+                # Never trade privacy for availability: with no
+                # doppelganger state this peer sits the request out and
+                # the job degrades to fewer vantage points.
+                return {"error": str(exc)}
             result = sandboxed_fetch(self.browser, url, client_state=state)
             self.coordinator.update_doppelganger_state(
                 token, result.client_state_after

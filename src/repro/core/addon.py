@@ -33,11 +33,17 @@ from typing import List, Optional, Sequence, Tuple
 from repro.browser.browser import Browser
 from repro.browser.fingerprint import parse_user_agent
 from repro.core.aggregator import Aggregator
-from repro.core.coordinator import Coordinator, RequestTicket
-from repro.core.measurement import MeasurementServer, PriceCheckJob
+from repro.core.coordinator import (
+    Coordinator,
+    RequestTicket,
+    RetryBudgetExhausted,
+)
+from repro.core.dispatch import NoServerAvailable
+from repro.core.measurement import MeasurementServer, PriceCheckJob, QuorumNotMet
 from repro.core.pricecheck import PriceCheckResult
 from repro.core.tagspath import TagsPath, build_tags_path
 from repro.currency.detect import detect_price
+from repro.net.faults import ROLE_SERVER
 from repro.net.p2p import PeerOverlay, make_peer_id
 from repro.web.html import Element, find_all, parse
 from repro.web.store import PRICE_CLASSES
@@ -49,6 +55,20 @@ class ConsentRequired(RuntimeError):
 
 class PriceSelectionError(ValueError):
     """No plausible price element could be selected on the page."""
+
+
+class PriceCheckFailed(RuntimeError):
+    """The price check ended in an *explicit* failure report.
+
+    Raised after the system exhausted its corrective measures — retry
+    budget, dead-server failover, quorum degradation — so the user sees
+    an error page instead of a silent hang or a one-point comparison.
+    """
+
+    def __init__(self, job_id: str, reason: str) -> None:
+        super().__init__(f"price check {job_id!r} failed: {reason}")
+        self.job_id = job_id
+        self.reason = reason
 
 
 class SheriffAddon:
@@ -84,6 +104,7 @@ class SheriffAddon:
             coordinator=coordinator,
             aggregator=aggregator,
             anonymity=anonymity,
+            faults=coordinator.faults,
         )
         self.checks_initiated = 0
         self.serve_as_ppc = serve_as_ppc
@@ -153,7 +174,6 @@ class SheriffAddon:
             # release the assigned job so the server's counter stays true
             self.coordinator.job_completed(ticket.job_id)
             raise
-        server: MeasurementServer = self._measurement_lookup(ticket.server_name)
         os_name, browser_name = parse_user_agent(self.browser.agent.string)
         job = PriceCheckJob(  # step 3
             job_id=ticket.job_id,
@@ -168,9 +188,55 @@ class SheriffAddon:
             ppc_ids=ppc_ids,
             third_party_domains=response.tracker_domains,
         )
-        result = server.handle_price_check(job)  # steps 3.1–5
+        result = self._send_job(job, ticket)  # steps 3.1–5, with failover
         self.checks_initiated += 1
         return result
+
+    def _send_job(
+        self, job: PriceCheckJob, ticket: RequestTicket
+    ) -> PriceCheckResult:
+        """Send the job, failing over dead Measurement servers.
+
+        Each attempt may find the assigned server dark (missed
+        heartbeats, or the send itself is dropped by the fault plan);
+        the add-on then reports the failure, backs off (capped
+        exponential with jitter), asks the Coordinator to reassign
+        within the per-job retry budget, and re-sends.  Exhausting the
+        budget — or degrading below the result quorum — raises
+        :class:`PriceCheckFailed`, never a hang.
+        """
+        coordinator = self.coordinator
+        attempt = 0
+        while True:
+            server_name = ticket.server_name
+            record = coordinator.distributor.server(server_name)
+            faults = coordinator.faults
+            send_failed = not record.online
+            if not send_failed and faults is not None:
+                send_failed = faults.host_down(
+                    server_name, coordinator.clock.now, role=ROLE_SERVER
+                ) or bool(
+                    faults.decide(
+                        self.peer_id, server_name, role=ROLE_SERVER,
+                        kinds=("drop", "timeout"),
+                    )
+                )
+            if not send_failed:
+                server: MeasurementServer = self._measurement_lookup(server_name)
+                try:
+                    return server.handle_price_check(job)
+                except QuorumNotMet as exc:
+                    # the Measurement server already reported the job
+                    # failed to the Coordinator
+                    raise PriceCheckFailed(job.job_id, str(exc)) from exc
+            coordinator.handle_server_failure(server_name, exclude_job=job.job_id)
+            coordinator.next_backoff(attempt)  # accounted, not slept
+            attempt += 1
+            try:
+                ticket = coordinator.reassign_job(job.job_id)
+            except (RetryBudgetExhausted, NoServerAvailable) as exc:
+                coordinator.fail_job(job.job_id, str(exc))
+                raise PriceCheckFailed(job.job_id, str(exc)) from exc
 
     # -- history donation (requirement 3 of Sect. 2.2) --------------------------
     def donated_history_counts(self) -> Counter:

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.measurement import MeasurementServer
-from repro.core.monitoring import peers_panel, servers_panel
+from repro.core.monitoring import faults_panel, peers_panel, servers_panel
 
 
 class ProbeFailed(RuntimeError):
@@ -46,6 +46,7 @@ class AdminConsole:
             overlay=sheriff.overlay,
             clock=sheriff.world.clock,
             diffstore=sheriff.diffstore,
+            quorum=getattr(sheriff, "quorum", 1),
         )
         self.probe(server)
         sheriff.measurement_servers[name] = server
@@ -82,3 +83,6 @@ class AdminConsole:
 
     def peers_panel(self, self_peer_id: str = "") -> str:
         return peers_panel(self._sheriff.overlay, self_peer_id)
+
+    def faults_panel(self) -> str:
+        return faults_panel(self._sheriff.fault_report())

@@ -24,8 +24,9 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.dispatch import RequestDistributor, ServerRecord
+from repro.core.dispatch import NoServerAvailable, RequestDistributor, ServerRecord
 from repro.core.whitelist import Whitelist
+from repro.net.faults import ROLE_SERVER, BackoffPolicy, FaultPlan
 from repro.net.geo import GeoDatabase, Location
 from repro.net.p2p import PeerOverlay
 from repro.profiles.doppelganger import DoppelgangerManager
@@ -39,6 +40,17 @@ class RequestRejected(Exception):
         super().__init__(f"request for {url} rejected: {reason}")
         self.url = url
         self.reason = reason
+
+
+class RetryBudgetExhausted(RuntimeError):
+    """A job burned through its per-job retry budget without landing."""
+
+    def __init__(self, job_id: str, attempts: int) -> None:
+        super().__init__(
+            f"job {job_id!r} failed after {attempts} assignment attempts"
+        )
+        self.job_id = job_id
+        self.attempts = attempts
 
 
 @dataclass(frozen=True)
@@ -59,6 +71,15 @@ class JobRecord:
     domain: str
     server_name: str
     completed: bool = False
+    #: how many servers this job has been assigned to (1 = no failover)
+    attempts: int = 1
+    failed: bool = False
+    failure_reason: Optional[str] = None
+
+    @property
+    def resolved(self) -> bool:
+        """Terminal: either completed or explicitly reported failed."""
+        return self.completed or self.failed
 
 
 class Coordinator:
@@ -74,6 +95,9 @@ class Coordinator:
         dopp_manager: Optional[DoppelgangerManager] = None,
         max_ppcs_per_request: int = 5,
         rng: Optional[random.Random] = None,
+        faults: Optional[FaultPlan] = None,
+        retry_budget: int = 3,
+        backoff: Optional[BackoffPolicy] = None,
     ) -> None:
         self.whitelist = whitelist
         self.distributor = distributor
@@ -85,6 +109,16 @@ class Coordinator:
         self._rng = rng if rng is not None else random.Random(1099)
         self._job_seq = itertools.count(1)
         self.jobs: Dict[str, JobRecord] = {}
+        #: chaos schedule; None means a clean network
+        self.faults = faults
+        #: how many server assignments one job may consume in total
+        self.retry_budget = retry_budget
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.failovers = 0
+        self.jobs_failed = 0
+        self.jobs_reassigned = 0
+        #: total simulated seconds callers were told to back off
+        self.backoff_seconds = 0.0
 
     # -- PPC tracking ----------------------------------------------------------
     def select_ppcs(self, initiator_peer_id: str, location: Location) -> List[str]:
@@ -119,6 +153,7 @@ class Coordinator:
         PII-blacklisted URLs.  Returns the ticket plus the PPC list that
         is forwarded to the selected Measurement server.
         """
+        self.chaos_tick()
         domain, path = parse_url(url)
         allowed, reason = self.whitelist.check(url, domain, path, self.clock.now)
         if not allowed:
@@ -141,13 +176,124 @@ class Coordinator:
         )
 
     def job_completed(self, job_id: str) -> None:
-        """Step 4: the Measurement server reports completion."""
+        """Step 4: the Measurement server reports completion.
+
+        Late completions — a server that finished a job the Coordinator
+        already failed over or reported failed — are ignored rather than
+        double-counted (App. 10.3's lost-message reconciliation).
+        """
         record = self.jobs.get(job_id)
         if record is None:
             raise KeyError(f"unknown job {job_id!r}")
-        if not record.completed:
-            record.completed = True
-            self.distributor.complete_job(job_id)
+        if record.resolved:
+            return
+        record.completed = True
+        self.distributor.complete_job(job_id)
+
+    # -- failover (heartbeat expiry + dead-server reassignment) -----------------
+    def chaos_tick(self) -> List[str]:
+        """One heartbeat/expiry sweep at the current simulated time.
+
+        Live servers heartbeat implicitly; servers inside a fault-plan
+        flap window miss theirs.  Whoever exceeds the heartbeat timeout
+        is marked offline ("absence of heartbeat messages … results in
+        the Measurement server being marked as offline") and its pending
+        jobs are reassigned to the survivors.  Returns the names of the
+        servers that expired this tick.
+
+        Without a fault plan this is a no-op: on a clean network every
+        heartbeat arrives and nothing ever expires.
+        """
+        if self.faults is None:
+            return []
+        now = self.clock.now
+        for record in self.distributor.servers():
+            flapped = (
+                self.faults is not None
+                and self.faults.host_down(record.name, now, role=ROLE_SERVER)
+            )
+            if not flapped:
+                self.distributor.heartbeat(record.name, now)
+        expired = self.distributor.expire_stale(now)
+        for name in expired:
+            self._requeue_jobs_of(name)
+        return expired
+
+    def _requeue_jobs_of(self, server_name: str) -> None:
+        for job_id in self.distributor.jobs_on(server_name):
+            try:
+                self.reassign_job(job_id)
+            except (RetryBudgetExhausted, NoServerAvailable) as exc:
+                self.fail_job(job_id, str(exc))
+
+    def handle_server_failure(
+        self, server_name: str, exclude_job: Optional[str] = None
+    ) -> None:
+        """A send to this server failed: mark it offline immediately and
+        move its pending jobs elsewhere (dead-server failover).
+
+        ``exclude_job`` is the job whose send just failed — its owner
+        re-sends via :meth:`reassign_job` itself and must not be moved
+        twice.
+        """
+        self.failovers += 1
+        try:
+            job_ids = self.distributor.mark_offline(server_name)
+        except KeyError:
+            return
+        for job_id in job_ids:
+            if job_id == exclude_job:
+                continue
+            try:
+                self.reassign_job(job_id)
+            except (RetryBudgetExhausted, NoServerAvailable) as exc:
+                self.fail_job(job_id, str(exc))
+
+    def reassign_job(self, job_id: str) -> RequestTicket:
+        """Move a job to a new Measurement server, within its retry budget.
+
+        Raises :class:`RetryBudgetExhausted` once the job has consumed
+        ``retry_budget`` assignments, or :class:`NoServerAvailable` when
+        no online server remains.  The caller is expected to back off
+        (capped exponential, jittered) between attempts —
+        :meth:`next_backoff` computes the wait.
+        """
+        record = self.jobs.get(job_id)
+        if record is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        if record.attempts >= self.retry_budget:
+            raise RetryBudgetExhausted(job_id, record.attempts)
+        server = self.distributor.reassign_job(job_id)
+        record.attempts += 1
+        record.server_name = server.name
+        self.jobs_reassigned += 1
+        return RequestTicket(
+            job_id=job_id,
+            server_name=server.name,
+            server_url=server.url,
+            server_port=server.port,
+        )
+
+    def next_backoff(self, attempt: int) -> float:
+        """Jittered, capped-exponential wait before retry ``attempt``."""
+        delay = self.backoff.delay(attempt, self._rng)
+        self.backoff_seconds += delay
+        return delay
+
+    def fail_job(self, job_id: str, reason: str) -> None:
+        """Terminal failure: report the job failed, exactly once."""
+        record = self.jobs.get(job_id)
+        if record is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        if record.resolved:
+            return
+        record.failed = True
+        record.failure_reason = reason
+        self.distributor.fail_job(job_id)
+        self.jobs_failed += 1
+
+    def failed_jobs(self) -> List[JobRecord]:
+        return [j for j in self.jobs.values() if j.failed]
 
     # -- doppelganger state service (steps 3.3/3.4 of Fig. 1) -------------------
     def doppelganger_client_state(self, token: str) -> Dict[str, Dict[str, str]]:

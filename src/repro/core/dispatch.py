@@ -9,14 +9,17 @@ problem; ``policy="round_robin"`` is retained for the ablation
 benchmark.
 
 "Absence of heartbeat messages for a specified time threshold results in
-the Measurement server being marked as offline."
+the Measurement server being marked as offline."  When that happens the
+jobs pending on the dead server are *reassigned* to the survivors (and
+on exhaustion reported failed) rather than silently lost — the
+corrective measures of App. 10.3 made continuous instead of manual.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 
 class NoServerAvailable(RuntimeError):
@@ -25,14 +28,25 @@ class NoServerAvailable(RuntimeError):
 
 @dataclass
 class ServerRecord:
-    """One row of the Measurement server list (bottom of Fig. 6)."""
+    """One row of the Measurement server list (bottom of Fig. 6).
+
+    ``timestamp`` is the last heartbeat, or ``None`` before the first
+    one arrives; ``registered_at`` anchors the staleness clock until
+    then, so a freshly registered server is never instantly expired.
+    """
 
     name: str
     url: str
     port: int
     online: bool = True
     jobs: int = 0
-    timestamp: float = 0.0
+    timestamp: Optional[float] = None
+    registered_at: float = 0.0
+
+    @property
+    def last_seen(self) -> float:
+        """The time the server last proved it was alive."""
+        return self.timestamp if self.timestamp is not None else self.registered_at
 
     def panel_row(self) -> Dict[str, object]:
         """One row of the Fig. 7 monitoring panel."""
@@ -61,6 +75,9 @@ class RequestDistributor:
         self._job_server: Dict[str, str] = {}
         self.assignments = 0
         self.completions = 0
+        self.failures = 0
+        self.reassignments = 0
+        self.offline_events = 0
 
     # -- registry ------------------------------------------------------------
     def register_server(
@@ -68,7 +85,7 @@ class RequestDistributor:
     ) -> ServerRecord:
         if name in self._servers:
             raise ValueError(f"server {name!r} already registered")
-        record = ServerRecord(name=name, url=url, port=port, timestamp=now)
+        record = ServerRecord(name=name, url=url, port=port, registered_at=now)
         self._servers[name] = record
         return record
 
@@ -96,20 +113,37 @@ class RequestDistributor:
         record.online = True
 
     def expire_stale(self, now: float) -> List[str]:
-        """Mark servers offline whose heartbeat is older than the timeout."""
+        """Mark servers offline whose heartbeat is older than the timeout.
+
+        A server that has not heartbeated *yet* is measured from its
+        registration time, so registration alone buys one full timeout
+        window (regression: a fresh server with the old ``0.0`` default
+        was instantly stale).
+        """
         expired = []
         for record in self._servers.values():
-            if record.online and now - record.timestamp > self.heartbeat_timeout:
+            if record.online and now - record.last_seen > self.heartbeat_timeout:
                 record.online = False
+                self.offline_events += 1
                 expired.append(record.name)
         return expired
+
+    def mark_offline(self, name: str) -> List[str]:
+        """Declare a server dead (e.g. a send failed); return its jobs."""
+        record = self.server(name)
+        if record.online:
+            record.online = False
+            self.offline_events += 1
+        return self.jobs_on(name)
 
     # -- assignment ---------------------------------------------------------------
     def _online(self) -> List[ServerRecord]:
         return [s for s in self._servers.values() if s.online]
 
-    def select_server(self) -> ServerRecord:
-        online = self._online()
+    def select_server(
+        self, exclude: Sequence[str] = ()
+    ) -> ServerRecord:
+        online = [s for s in self._online() if s.name not in exclude]
         if not online:
             raise NoServerAvailable("no online Measurement server")
         if self.policy == "round_robin":
@@ -124,15 +158,53 @@ class RequestDistributor:
         self.assignments += 1
         return record
 
-    def complete_job(self, job_id: str) -> None:
-        """Step 4 of Fig. 6: the server reports the job finished."""
+    def reassign_job(
+        self, job_id: str, exclude: Sequence[str] = ()
+    ) -> ServerRecord:
+        """Move a pending job off its (dead) server onto a survivor.
+
+        Keeps the assignment counter untouched — the job was already
+        counted once — so the conservation invariant becomes
+        ``assignments == completions + failures + pending``.
+        """
+        old_name = self._job_server.get(job_id)
+        if old_name is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        exclude = list(exclude)
+        if old_name not in exclude:
+            exclude.append(old_name)
+        record = self.select_server(exclude=exclude)
+        old = self._servers.get(old_name)
+        if old is not None and old.jobs > 0:
+            old.jobs -= 1
+        record.jobs += 1
+        self._job_server[job_id] = record.name
+        self.reassignments += 1
+        return record
+
+    def jobs_on(self, name: str) -> List[str]:
+        """Job IDs currently pending on one server."""
+        return [j for j, s in self._job_server.items() if s == name]
+
+    def _release(self, job_id: str) -> None:
         name = self._job_server.pop(job_id, None)
         if name is None:
             raise KeyError(f"unknown job {job_id!r}")
         record = self._servers.get(name)
         if record is not None and record.jobs > 0:
             record.jobs -= 1
+
+    def complete_job(self, job_id: str) -> None:
+        """Step 4 of Fig. 6: the server reports the job finished."""
+        self._release(job_id)
         self.completions += 1
+
+    def fail_job(self, job_id: str) -> None:
+        """Release a job that is being reported failed (retry budget
+        exhausted / quorum not met) — counted separately so failures are
+        explicit, never silent."""
+        self._release(job_id)
+        self.failures += 1
 
     def reconcile_lost_job(self, job_id: str) -> None:
         """Corrective measure for completion messages lost to the network

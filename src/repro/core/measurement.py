@@ -33,12 +33,51 @@ from repro.core.tagspath import TagsPath, extract_price_text
 from repro.currency.detect import Confidence, CurrencyDetectionError, detect_price
 from repro.currency.rates import ExchangeRateProvider, UnknownCurrencyError
 from repro.net.events import Clock
+from repro.net.faults import PeerTimeout, ProxyFetchError, ProxyTimeout
 from repro.net.geo import Location
 from repro.net.p2p import PeerOverlay
 from repro.web.internet import parse_url
 
 if TYPE_CHECKING:  # avoid a core ↔ clients import cycle at runtime
     from repro.clients.ipc import InfrastructureProxyClient
+
+
+class QuorumNotMet(RuntimeError):
+    """Too few vantage points returned a page to trust the comparison."""
+
+    def __init__(self, job_id: str, got: int, needed: int) -> None:
+        super().__init__(
+            f"job {job_id!r}: only {got} vantage point(s) responded, "
+            f"quorum is {needed}"
+        )
+        self.job_id = job_id
+        self.got = got
+        self.needed = needed
+
+
+@dataclass
+class MeasurementStats:
+    """Per-server retry/degradation counters (Fig. 7-style panel)."""
+
+    ipc_fetches: int = 0
+    ipc_failures: int = 0
+    ipc_retries: int = 0
+    ppc_ok: int = 0
+    ppc_dropped: int = 0
+    ppc_timeouts: int = 0
+    ppc_corrupt: int = 0
+    degraded_jobs: int = 0
+    quorum_failures: int = 0
+
+    def add(self, other: "MeasurementStats") -> None:
+        for f in self.__dataclass_fields__:
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+
+    def rows(self) -> List[Dict[str, int]]:
+        return [
+            {"Counter": name, "Value": getattr(self, name)}
+            for name in self.__dataclass_fields__
+        ]
 
 
 @dataclass
@@ -75,6 +114,7 @@ class MeasurementServer:
         overlay: PeerOverlay,
         clock: Clock,
         diffstore: Optional[DiffStorage] = None,
+        quorum: int = 1,
     ) -> None:
         self.name = name
         self.coordinator = coordinator
@@ -84,7 +124,12 @@ class MeasurementServer:
         self.overlay = overlay
         self.clock = clock
         self.diffstore = diffstore if diffstore is not None else DiffStorage()
+        #: minimum number of vantage points (initiator included) that
+        #: must return a page; below it the job is reported failed
+        #: instead of producing a one-sided comparison
+        self.quorum = max(1, quorum)
         self.jobs_processed = 0
+        self.stats = MeasurementStats()
 
     # -- price extraction + conversion on one page -----------------------------
     def _row_from_page(
@@ -345,11 +390,20 @@ class MeasurementServer:
             )
         )
 
-        # Step 3.1: all IPCs fetch the page.
+        # Step 3.1: all IPCs fetch the page.  Each fetch carries its own
+        # bounded retry budget; an IPC that still fails is dropped from
+        # this job — counted, never silently (Sect. 5's per-proxy
+        # timeout, applied per fetch instead of statically).
         for ipc in self.ipcs:
-            if ipc.slowdown > self.PROXY_SLOWDOWN_TIMEOUT:
-                continue  # the 2-minute proxy timeout fired
-            fetch = ipc.fetch(job.url)
+            try:
+                fetch, retries = ipc.fetch_with_retry(
+                    job.url, timeout_slowdown=self.PROXY_SLOWDOWN_TIMEOUT
+                )
+            except ProxyFetchError:
+                self.stats.ipc_failures += 1
+                continue
+            self.stats.ipc_fetches += 1
+            self.stats.ipc_retries += retries
             self.diffstore.store_response(job.job_id, ipc.ipc_id, fetch.html)
             result.rows.append(
                 self._row_from_page(
@@ -362,15 +416,28 @@ class MeasurementServer:
                 )
             )
 
-        # Step 3.2: the selected PPCs fetch the page.
+        # Step 3.2: the selected PPCs fetch the page.  Volunteer peers
+        # are the least reliable vantage points: a peer may be gone,
+        # time out, answer with an error, or return a mangled reply.
+        # Every outcome is accounted — the price check degrades to fewer
+        # vantage points, it never mistakes a lost reply for data.
         for peer_id in job.ppc_ids:
             try:
-                channel = self.overlay.connect(peer_id)
+                channel = self.overlay.connect(peer_id, src=self.name)
                 reply = channel.send({"type": "remote_page_request", "url": job.url})
-            except ConnectionError:
-                continue  # peer left; the request simply has fewer points
-            if "error" in reply:
+            except PeerTimeout:
+                self.stats.ppc_timeouts += 1
                 continue
+            except ConnectionError:
+                self.stats.ppc_dropped += 1
+                continue
+            if not self._valid_ppc_reply(reply):
+                self.stats.ppc_corrupt += 1
+                continue
+            if "error" in reply:
+                self.stats.ppc_dropped += 1
+                continue
+            self.stats.ppc_ok += 1
             self.diffstore.store_response(job.job_id, peer_id, reply["html"])
             result.rows.append(
                 self._row_from_page(
@@ -383,6 +450,22 @@ class MeasurementServer:
                 )
             )
 
+        expected = 1 + len(self.ipcs) + len(job.ppc_ids)
+        result.vantage_expected = expected
+        result.degraded = len(result.rows) < expected
+        if result.degraded:
+            self.stats.degraded_jobs += 1
+        if len(result.rows) < self.quorum:
+            # Degrading below the quorum turns the job into an explicit
+            # failure: the Coordinator releases it and the add-on shows
+            # an error instead of a one-point "comparison".
+            self.stats.quorum_failures += 1
+            self.coordinator.fail_job(
+                job.job_id,
+                f"quorum not met ({len(result.rows)}/{self.quorum})",
+            )
+            raise QuorumNotMet(job.job_id, len(result.rows), self.quorum)
+
         result.rows = self._reconcile_ambiguous_rows(
             result.rows, job.requested_currency
         )
@@ -390,6 +473,16 @@ class MeasurementServer:
         self.coordinator.job_completed(job.job_id)
         self.jobs_processed += 1
         return result
+
+    @staticmethod
+    def _valid_ppc_reply(reply) -> bool:
+        """Schema check against corrupt replies: a usable observation
+        needs a page and a resolvable location (or an explicit error)."""
+        if not isinstance(reply, dict):
+            return False
+        if "error" in reply:
+            return True
+        return all(k in reply for k in ("html", "country", "region", "city"))
 
     # -- persistence ---------------------------------------------------------------
     def _persist(self, job: PriceCheckJob, result: PriceCheckResult) -> None:

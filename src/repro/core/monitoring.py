@@ -35,6 +35,14 @@ def servers_panel(distributor: RequestDistributor) -> str:
     return "Available Sheriff servers and jobs.\n" + table
 
 
+def faults_panel(report: Dict[str, object]) -> str:
+    """Retry/failover counters for the robustness view of the Fig. 7
+    panel — the numbers an operator watches during a chaos drill."""
+    rows = [{"Counter": k, "Value": v} for k, v in report.items()]
+    table = render_table(rows, columns=("Counter", "Value"))
+    return "Fault injection and recovery counters.\n" + table
+
+
 def peers_panel(overlay: PeerOverlay, self_peer_id: str = "") -> str:
     """The Fig. 16 peer-proxy monitoring panel."""
     rows: List[Dict[str, object]] = []

@@ -61,6 +61,15 @@ class PriceCheckResult:
     time: float
     rows: List[ResultRow] = field(default_factory=list)
     third_party_domains: Tuple[str, ...] = ()
+    #: vantage points the Measurement server fanned out to (initiator +
+    #: IPCs + selected PPCs); ``len(rows) < vantage_expected`` means the
+    #: job degraded to fewer points (faults, slow proxies, gone peers)
+    vantage_expected: int = 0
+    degraded: bool = False
+
+    @property
+    def vantage_reached(self) -> int:
+        return len(self.rows)
 
     # -- row access ----------------------------------------------------------
     def valid_rows(self) -> List[ResultRow]:

@@ -34,13 +34,15 @@ from repro.core.dispatch import RequestDistributor
 from repro.core.measurement import MeasurementServer
 from repro.core.pricecheck import PriceCheckResult
 from repro.core.whitelist import Whitelist
+from repro.core.measurement import MeasurementStats
 from repro.crypto.group import SchnorrGroup, TEST_GROUP
 from repro.crypto.secure_kmeans import KMeansCoordinator
 from repro.currency.rates import ExchangeRateProvider
 from repro.net.anonymity import AnonymityNetwork
 from repro.net.events import Clock
+from repro.net.faults import BackoffPolicy, FaultPlan, chaos_plan
 from repro.net.geo import GeoDatabase
-from repro.net.p2p import PeerOverlay
+from repro.net.p2p import PeerOverlay, make_peer_id
 from repro.profiles.doppelganger import Doppelganger, DoppelgangerManager
 from repro.profiles.vector import ProfileVector
 from repro.web.internet import Internet
@@ -116,8 +118,19 @@ class PriceSheriff:
         crypto_group: Optional[SchnorrGroup] = None,
         max_ppcs_per_request: int = 5,
         overlay: Optional[PeerOverlay] = None,
+        faults: Optional[FaultPlan] = None,
+        chaos_profile: Optional[str] = None,
+        chaos_seed: int = 0,
+        retry_budget: int = 3,
+        quorum: int = 1,
+        backoff: Optional[BackoffPolicy] = None,
     ) -> None:
         self.world = world
+        if faults is None and chaos_profile is not None:
+            faults = chaos_plan(chaos_profile, seed=chaos_seed)
+        #: the chaos schedule every layer below consults (None = clean)
+        self.faults = faults
+        self.quorum = quorum
         if whitelist_domains is None:
             # default: sanction every e-commerce store currently online
             whitelist_domains = [s.domain for s in world.internet.stores()]
@@ -126,7 +139,9 @@ class PriceSheriff:
         self.diffstore = DiffStorage()
         # A crawling back-end can share the PPC network of the live
         # deployment by passing the live overlay (Sect. 7.1).
-        self.overlay = overlay if overlay is not None else PeerOverlay()
+        self.overlay = overlay if overlay is not None else PeerOverlay(faults=faults)
+        if self.overlay.faults is None and faults is not None:
+            self.overlay.faults = faults
         self.distributor = RequestDistributor(policy=dispatch_policy)
         self.dopp_manager = DoppelgangerManager(
             internet=world.internet,
@@ -143,6 +158,9 @@ class PriceSheriff:
             clock=world.clock,
             dopp_manager=self.dopp_manager,
             max_ppcs_per_request=max_ppcs_per_request,
+            faults=faults,
+            retry_budget=retry_budget,
+            backoff=backoff,
         )
         self.crypto_group = crypto_group if crypto_group is not None else TEST_GROUP
         self.aggregator = Aggregator(group=self.crypto_group, rng=world.rng)
@@ -155,6 +173,7 @@ class PriceSheriff:
             clock=world.clock,
             geodb=world.geodb,
             sites=ipc_sites,
+            faults=faults,
         )
         self.measurement_servers: Dict[str, MeasurementServer] = {}
         for i in range(n_measurement_servers):
@@ -172,6 +191,7 @@ class PriceSheriff:
             overlay=self.overlay,
             clock=self.world.clock,
             diffstore=self.diffstore,
+            quorum=self.quorum,
         )
         self.measurement_servers[name] = server
         self.distributor.register_server(
@@ -191,6 +211,39 @@ class PriceSheriff:
         for name in self.measurement_servers:
             self.distributor.heartbeat(name, self.world.clock.now)
 
+    # -- chaos / robustness accounting --------------------------------------
+    def measurement_stats(self) -> MeasurementStats:
+        """Retry/degradation counters aggregated over all servers."""
+        total = MeasurementStats()
+        for server in self.measurement_servers.values():
+            total.add(server.stats)
+        return total
+
+    def fault_report(self) -> Dict[str, object]:
+        """Everything the Fig. 7-style robustness panel displays."""
+        stats = self.measurement_stats()
+        report: Dict[str, object] = {
+            "chaos_profile": self.faults.name if self.faults else "none",
+            "faults_injected": self.faults.stats.total if self.faults else 0,
+            "failovers": self.coordinator.failovers,
+            "jobs_reassigned": self.coordinator.jobs_reassigned,
+            "jobs_failed": self.coordinator.jobs_failed,
+            "backoff_seconds": round(
+                self.coordinator.backoff_seconds
+                + sum(i.backoff_seconds for i in self.ipcs),
+                3,
+            ),
+            "ipc_retries": stats.ipc_retries,
+            "ipc_failures": stats.ipc_failures,
+            "ppc_dropped": stats.ppc_dropped,
+            "ppc_timeouts": stats.ppc_timeouts,
+            "ppc_corrupt": stats.ppc_corrupt,
+            "degraded_jobs": stats.degraded_jobs,
+            "quorum_failures": stats.quorum_failures,
+            "server_offline_events": self.distributor.offline_events,
+        }
+        return report
+
     # -- users ------------------------------------------------------------------
     def install_addon(
         self,
@@ -207,7 +260,9 @@ class PriceSheriff:
             overlay=self.overlay,
             measurement_lookup=self.measurement_server,
             consent=consent,
-            peer_id=peer_id,
+            # minted from the world's seeded RNG so chaos event logs
+            # replay identically from the same seed
+            peer_id=peer_id or make_peer_id(rng=self.world.rng),
             history_donation_opt_in=history_donation_opt_in,
             serve_as_ppc=serve_as_ppc,
             anonymity=self.anonymity,

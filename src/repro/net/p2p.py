@@ -13,16 +13,33 @@ associate page requests with the initiator's identity.
 
 from __future__ import annotations
 
+import random
 import secrets
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.net.faults import ROLE_PPC, FaultPlan, PeerTimeout
 from repro.net.geo import Location
 
+_PEER_ID_ALPHABET = (
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_"
+)
 
-def make_peer_id(rng_token: Optional[str] = None) -> str:
-    """Generate a peerjs-style opaque identifier."""
-    return rng_token if rng_token is not None else secrets.token_urlsafe(9)
+
+def make_peer_id(
+    rng_token: Optional[str] = None, rng: Optional[random.Random] = None
+) -> str:
+    """Generate a peerjs-style opaque identifier.
+
+    Pass a seeded ``rng`` to mint the ID deterministically — simulations
+    route all identity randomness through their injected RNG so that a
+    chaos run's event log replays identically from its seed.
+    """
+    if rng_token is not None:
+        return rng_token
+    if rng is not None:
+        return "".join(rng.choice(_PEER_ID_ALPHABET) for _ in range(12))
+    return secrets.token_urlsafe(9)
 
 
 @dataclass
@@ -46,26 +63,54 @@ class PeerRecord:
 
 
 class PeerChannel:
-    """A point-to-point data channel to a single peer."""
+    """A point-to-point data channel to a single peer.
 
-    def __init__(self, record: PeerRecord) -> None:
+    With a :class:`~repro.net.faults.FaultPlan` installed on the
+    overlay, each ``send`` is one delivery attempt the plan may drop,
+    time out, or corrupt — exactly the flaky-volunteer behaviour the
+    crowd-assisted predecessor measured.
+    """
+
+    def __init__(
+        self,
+        record: PeerRecord,
+        faults: Optional[FaultPlan] = None,
+        src: str = "measurement",
+    ) -> None:
         self._record = record
+        self._faults = faults
+        self._src = src
 
     @property
     def peer_id(self) -> str:
         return self._record.peer_id
 
     def send(self, message: Any) -> Any:
+        peer_id = self._record.peer_id
         if not self._record.online:
-            raise ConnectionError(f"peer {self._record.peer_id} is offline")
-        return self._record.handler(message)
+            raise ConnectionError(f"peer {peer_id} is offline")
+        decision = (
+            self._faults.decide(self._src, peer_id, role=ROLE_PPC)
+            if self._faults is not None
+            else None
+        )
+        if decision:
+            if decision.kind == "drop":
+                raise ConnectionError(f"request to peer {peer_id} was dropped")
+            if decision.kind == "timeout":
+                raise PeerTimeout(f"peer {peer_id} did not answer in time")
+        reply = self._record.handler(message)
+        if decision and decision.kind == "corrupt" and isinstance(reply, dict):
+            reply = self._faults.corrupt_reply(reply)
+        return reply
 
 
 class PeerOverlay:
     """Signaling server + registry for the P2P network of PPCs."""
 
-    def __init__(self) -> None:
+    def __init__(self, faults: Optional[FaultPlan] = None) -> None:
         self._peers: Dict[str, PeerRecord] = {}
+        self.faults = faults
 
     def register(
         self,
@@ -93,12 +138,12 @@ class PeerOverlay:
         except KeyError:
             raise KeyError(f"unknown peer {peer_id!r}") from None
 
-    def connect(self, peer_id: str) -> PeerChannel:
+    def connect(self, peer_id: str, src: str = "measurement") -> PeerChannel:
         try:
             record = self._peers[peer_id]
         except KeyError:
             raise ConnectionError(f"unknown peer {peer_id!r}") from None
-        return PeerChannel(record)
+        return PeerChannel(record, faults=self.faults, src=src)
 
     # -- presence queries (used by the Coordinator) ------------------------
     def online_peers(self) -> List[PeerRecord]:

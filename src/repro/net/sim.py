@@ -15,11 +15,16 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.net.faults import FaultPlan
 from repro.net.geo import Location
 
 
 class NetworkError(RuntimeError):
     """Raised when a request cannot be delivered (host down / unknown)."""
+
+
+class NetworkTimeout(NetworkError):
+    """The request was sent but no response arrived before the deadline."""
 
 
 @dataclass
@@ -86,10 +91,19 @@ class _Transfer:
 class SimNetwork:
     """Registry of hosts plus synchronous request delivery."""
 
-    def __init__(self, latency: Optional[LatencyModel] = None) -> None:
+    def __init__(
+        self,
+        latency: Optional[LatencyModel] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
         self.latency_model = latency if latency is not None else LatencyModel()
+        self.faults = faults
         self._hosts: Dict[str, Host] = {}
         self.transfers: List[_Transfer] = []
+
+    def install_fault_plan(self, faults: Optional[FaultPlan]) -> None:
+        """Attach (or clear) the chaos schedule consulted on delivery."""
+        self.faults = faults
 
     # -- host management ---------------------------------------------------
     def add_host(self, host: Host) -> Host:
@@ -128,6 +142,20 @@ class SimNetwork:
         if not target.online:
             raise NetworkError(f"host {dst!r} is offline")
         rtt = self.rtt(src, dst)
+        decision = (
+            self.faults.decide(src, dst, role="host")
+            if self.faults is not None
+            else None
+        )
+        if decision:
+            if decision.kind == "drop":
+                raise NetworkError(f"request {src!r} → {dst!r} was dropped")
+            if decision.kind == "timeout":
+                raise NetworkTimeout(f"request {src!r} → {dst!r} timed out")
+            if decision.kind == "delay":
+                rtt *= decision.delay_factor
         response = target.handle(payload)
+        if decision and decision.kind == "corrupt" and isinstance(response, str):
+            response = self.faults.corrupt_text(response)
         self.transfers.append(_Transfer(src=src, dst=dst, rtt=rtt))
         return response, rtt

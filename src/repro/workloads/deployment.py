@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.clients.ipc import DEFAULT_IPC_SITES
-from repro.core.addon import PriceSelectionError
+from repro.core.addon import PriceCheckFailed, PriceSelectionError
 from repro.core.coordinator import RequestRejected
 from repro.core.pricecheck import PriceCheckResult
 from repro.core.sheriff import PriceSheriff, SheriffWorld
@@ -60,6 +60,12 @@ class DeploymentConfig:
     spotlight_products: Tuple[Tuple[str, str], ...] = (
         ("digitalrev.com", "digitalrev-iq280"),
     )
+    #: named fault-injection profile from repro.net.faults.CHAOS_PROFILES
+    #: (None = clean network) and the seed its RNG runs from
+    chaos_profile: Optional[str] = None
+    chaos_seed: int = 0
+    #: minimum vantage points per price check before the job is failed
+    quorum: int = 1
 
     @classmethod
     def paper_scale(cls) -> "DeploymentConfig":
@@ -96,6 +102,10 @@ class DeploymentDataset:
     results: List[PriceCheckResult]
     failures: Counter
     request_countries: Counter
+    #: price checks attempted / ending in an explicit failure report
+    #: (rejections, selection errors, exhausted retries, lost quorum)
+    n_attempted: int = 0
+    n_explicit_failures: int = 0
 
     @property
     def n_domains_checked(self) -> int:
@@ -108,6 +118,18 @@ class DeploymentDataset:
     @property
     def n_responses(self) -> int:
         return sum(len(r.rows) for r in self.results)
+
+    @property
+    def n_resolved(self) -> int:
+        """Checks that ended in a terminal outcome: a result page or an
+        explicit failure report — never a hang or a silent drop."""
+        return len(self.results) + self.n_explicit_failures
+
+    @property
+    def resolution_rate(self) -> float:
+        if self.n_attempted == 0:
+            return 1.0
+        return self.n_resolved / self.n_attempted
 
     def results_for_domain(self, domain: str) -> List[PriceCheckResult]:
         return [r for r in self.results if r.domain == domain]
@@ -135,6 +157,9 @@ class LiveDeployment:
             self.world,
             n_measurement_servers=cfg.n_measurement_servers,
             ipc_sites=cfg.ipc_sites,
+            chaos_profile=cfg.chaos_profile,
+            chaos_seed=cfg.chaos_seed,
+            quorum=cfg.quorum,
         )
         self.population = Population(
             self.sheriff, self.content_web,
@@ -153,6 +178,8 @@ class LiveDeployment:
         results: List[PriceCheckResult] = []
         failures: Counter = Counter()
         request_countries: Counter = Counter()
+        attempted = 0
+        explicit_failures = 0
         gap_seconds = cfg.duration_days * SECONDS_PER_DAY / max(1, cfg.n_requests)
 
         for _ in range(cfg.n_requests):
@@ -162,10 +189,12 @@ class LiveDeployment:
             store = self.stores[spec.domain]
             product = store.catalog.sample(self._rng, 1)[0]
             url = store.product_url(product.product_id)
+            attempted += 1
             try:
                 result = addon.check_price(url)
-            except (RequestRejected, PriceSelectionError):
+            except (RequestRejected, PriceSelectionError, PriceCheckFailed):
                 failures[spec.domain] += 1
+                explicit_failures += 1
                 continue
             results.append(result)
             request_countries[addon.browser.location.country] += 1
@@ -178,10 +207,12 @@ class LiveDeployment:
             for _ in range(cfg.spotlight_checks):
                 self.world.clock.advance(gap_seconds * self._rng.uniform(0.5, 1.5))
                 addon = self.population.pick_user(self._rng)
+                attempted += 1
                 try:
                     result = addon.check_price(url)
-                except (RequestRejected, PriceSelectionError):
+                except (RequestRejected, PriceSelectionError, PriceCheckFailed):
                     failures[domain] += 1
+                    explicit_failures += 1
                     continue
                 results.append(result)
                 request_countries[addon.browser.location.country] += 1
@@ -200,6 +231,8 @@ class LiveDeployment:
             results=results,
             failures=failures,
             request_countries=request_countries,
+            n_attempted=attempted,
+            n_explicit_failures=explicit_failures,
         )
 
 

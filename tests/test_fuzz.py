@@ -6,19 +6,27 @@ only allowed outcomes: a well-typed result or the module's declared
 exception.
 """
 
+import random
 import string
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.tagspath import TagsPath, extract_price_text
+from repro.core.tagspath import (
+    TagsPath,
+    build_tags_path,
+    extract_price_element,
+    extract_price_text,
+)
 from repro.currency.detect import (
     CurrencyDetectionError,
     DetectedPrice,
     detect_price,
+    format_price,
     parse_amount,
 )
-from repro.web.html import HTMLParseError, parse
+from repro.net.faults import FaultPlan
+from repro.web.html import HTMLParseError, find_all, parse
 
 _price_chars = st.text(
     alphabet=string.ascii_letters + string.digits + " .,€$¥£+-()'<>/",
@@ -82,3 +90,142 @@ def test_parse_amount_roundtrips_plain_floats(amount):
     parsed = parse_amount(text)
     assert parsed is not None
     assert abs(parsed - round(amount, 2)) < 1e-6 * max(1.0, amount)
+
+
+# -- format → detect round trips ---------------------------------------------
+
+_ROUNDTRIP_CODES = ("EUR", "USD", "GBP", "JPY", "SEK", "PLN", "ILS")
+
+
+@given(
+    amount=st.floats(min_value=0.01, max_value=1e7,
+                     allow_nan=False, allow_infinity=False),
+    code=st.sampled_from(_ROUNDTRIP_CODES),
+    style=st.sampled_from(("iso_tight", "iso_space")),
+)
+@settings(max_examples=200, deadline=None)
+def test_format_detect_roundtrip_iso(amount, code, style):
+    """A price rendered with an ISO code detects back to the same
+    currency and amount — the inverse-function property of Sect. 4."""
+    text = format_price(amount, code, style=style)
+    detected = detect_price(text)
+    assert detected.currency == code
+    assert detected.amount is not None
+    from repro.currency.detect import CURRENCIES
+
+    expected = round(amount, CURRENCIES[code].decimals)
+    assert abs(detected.amount - expected) < 1e-6 * max(1.0, expected)
+
+
+@given(
+    amount=st.floats(min_value=0.01, max_value=1e7,
+                     allow_nan=False, allow_infinity=False),
+    code=st.sampled_from(_ROUNDTRIP_CODES),
+)
+@settings(max_examples=100, deadline=None)
+def test_format_detect_roundtrip_symbol_amount(amount, code):
+    """Symbol styles may be ambiguous about the currency ($ lands on
+    several codes) but the amount must always survive the round trip."""
+    text = format_price(amount, code, style="symbol")
+    detected = detect_price(text)
+    assert detected.amount is not None
+    from repro.currency.detect import CURRENCIES
+
+    expected = round(amount, CURRENCIES[code].decimals)
+    assert abs(detected.amount - expected) < 1e-6 * max(1.0, expected)
+    if detected.currency is not None and detected.currency != code:
+        assert code in detected.candidates or detected.candidates == ()
+
+
+# -- seeded fuzzing against malformed / truncated store pages ----------------
+
+def _store_page(price_text: str) -> str:
+    """A realistic product page in the shape EStore renders."""
+    return (
+        "<html><head><title>store</title></head><body>"
+        '<div class="nav"><span class="cart">0</span></div>'
+        '<div class="product"><h1 class="name">Widget</h1>'
+        f'<span class="price">{price_text}</span>'
+        '<span class="stock">in stock</span></div>'
+        "</body></html>"
+    )
+
+
+_PRICE_PATH = TagsPath(
+    entries=("html", "body", "div.product"), target="span.price"
+)
+
+
+@given(seed=st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=150, deadline=None)
+def test_truncated_store_page_never_crashes_extraction(seed):
+    """Fault-plan-corrupted pages (the shape a half-delivered HTTP body
+    takes under the ``corrupt`` fault) run the whole extraction +
+    detection pipeline without crashing."""
+    plan = FaultPlan(seed=seed)
+    page = plan.corrupt_text(_store_page("EUR 1,234.56"))
+    out = extract_price_text(page, _PRICE_PATH)
+    assert out is None or isinstance(out, str)
+    if out is not None:
+        try:
+            detected = detect_price(out)
+        except CurrencyDetectionError:
+            return
+        assert isinstance(detected, DetectedPrice)
+
+
+@given(seed=st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=150, deadline=None)
+def test_randomly_mangled_page_never_crashes(seed):
+    """Beyond truncation: splice, duplicate, and delete random slices of
+    the page; parsing either yields a tree or raises HTMLParseError and
+    extraction stays total."""
+    rng = random.Random(seed)
+    page = _store_page("$99.99")
+    for _ in range(rng.randint(1, 4)):
+        a, b = sorted(rng.randrange(len(page) + 1) for _ in range(2))
+        op = rng.choice(("del", "dup", "swap"))
+        if op == "del":
+            page = page[:a] + page[b:]
+        elif op == "dup":
+            page = page[:a] + page[a:b] + page[a:b] + page[b:]
+        else:
+            page = page[:b] + page[a:b] + page[b:]
+        if not page:
+            page = "<"
+    out = extract_price_text(page, _PRICE_PATH)
+    assert out is None or isinstance(out, str)
+
+
+@given(
+    amount=st.floats(min_value=0.01, max_value=99_999,
+                     allow_nan=False, allow_infinity=False),
+    code=st.sampled_from(_ROUNDTRIP_CODES),
+)
+@settings(max_examples=100, deadline=None)
+def test_tags_path_roundtrip_on_clean_page(amount, code):
+    """Recording a Tags Path for the price element and replaying it on
+    the same page lands on the same element with the same text."""
+    price_text = format_price(amount, code, style="iso_space")
+    root = parse(_store_page(price_text))
+    target = find_all(root, tag="span", cls="price")[0]
+    path = build_tags_path(root, target)
+    found = extract_price_element(root, path)
+    assert found is not None
+    assert found.text().strip() == target.text().strip() == price_text
+
+
+def test_tags_path_survives_page_variant():
+    """The similarity match still finds the price when the page gains a
+    wrapper div — the robustness property of the Tags Path design."""
+    root = parse(_store_page("EUR 10.00"))
+    target = find_all(root, tag="span", cls="price")[0]
+    path = build_tags_path(root, target)
+    variant = (
+        "<html><body><div class=\"wrap\">"
+        '<div class="product"><span class="price">EUR 10.00</span></div>'
+        "</div></body></html>"
+    )
+    found = extract_price_element(parse(variant), path)
+    assert found is not None
+    assert found.text().strip() == "EUR 10.00"
