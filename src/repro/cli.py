@@ -8,7 +8,9 @@ Gives the library a tool-shaped front door:
 * ``geoblock``    — scan a demo URL for geoblocking;
 * ``panels``      — render the Fig. 7 / Fig. 16 monitoring panels;
 * ``chaos``       — run a deployment under a named fault-injection
-  profile and report resolution/recovery counters.
+  profile and report resolution/recovery counters;
+* ``throughput``  — benchmark serial vs pipelined price-check
+  execution and emit ``BENCH_throughput.json``.
 
 Everything runs against the simulated world; the CLI exists so the
 reproduction can be driven without writing Python.
@@ -78,6 +80,32 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="size of the simulated population")
     chaos.add_argument("--quorum", type=int, default=1,
                        help="minimum vantage points per accepted result")
+
+    throughput = sub.add_parser(
+        "throughput",
+        help="benchmark serial vs pipelined price-check throughput",
+    )
+    throughput.add_argument("--scale", default="default",
+                            choices=("smoke", "default"),
+                            help="smoke = reduced CI instance")
+    throughput.add_argument("--users", type=int, nargs="+", default=None,
+                            help="concurrency levels to sweep (overrides scale)")
+    throughput.add_argument("--checks", type=int, default=None,
+                            help="price checks per level")
+    throughput.add_argument("--ipcs", type=int, default=None,
+                            help="IPC fleet size (max 30)")
+    throughput.add_argument("--servers", type=int, default=None,
+                            help="number of Measurement servers")
+    throughput.add_argument("--workers", type=int, default=None,
+                            help="fetch workers per server (pipelined)")
+    throughput.add_argument("--cache-ttl", type=float, default=None,
+                            help="page cache TTL in simulated seconds")
+    throughput.add_argument("--seed", type=int, default=None)
+    throughput.add_argument("--out", default="BENCH_throughput.json",
+                            help="where to write the JSON report")
+    throughput.add_argument("--require-speedup", type=float, default=None,
+                            metavar="X",
+                            help="exit 1 unless the top-level speedup > X")
 
     return parser
 
@@ -276,6 +304,58 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.clients.ipc import DEFAULT_IPC_SITES
+    from repro.workloads.throughput import ThroughputConfig, run_throughput
+
+    config = (
+        ThroughputConfig.smoke_scale()
+        if args.scale == "smoke"
+        else ThroughputConfig()
+    )
+    if args.users is not None:
+        config.levels = tuple(args.users)
+    if args.checks is not None:
+        config.total_checks = args.checks
+    if args.ipcs is not None:
+        config.ipc_sites = DEFAULT_IPC_SITES[: args.ipcs]
+    if args.servers is not None:
+        config.n_servers = args.servers
+    if args.workers is not None:
+        config.max_fetch_workers = args.workers
+    if args.cache_ttl is not None:
+        config.page_cache_ttl = args.cache_ttl
+    if args.seed is not None:
+        config.seed = args.seed
+
+    report = run_throughput(config)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    print(f"{'users':>6} {'serial c/s':>12} {'pipelined c/s':>14} {'speedup':>8}")
+    for level in report["levels"]:
+        print(
+            f"{level['users']:>6} "
+            f"{level['serial']['checks_per_sec']:>12.4f} "
+            f"{level['pipelined']['checks_per_sec']:>14.4f} "
+            f"{level['speedup']:>7.2f}x"
+        )
+    print(f"report written to {args.out}")
+    if args.require_speedup is not None:
+        top = report["speedup_at_top_level"]
+        if top <= args.require_speedup:
+            print(
+                f"FAIL: top-level speedup {top:.2f}x is not above "
+                f"{args.require_speedup:.2f}x"
+            )
+            return 1
+        print(f"OK: top-level speedup {top:.2f}x > {args.require_speedup:.2f}x")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -286,6 +366,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "panels": _cmd_panels,
         "watch": _cmd_watch,
         "chaos": _cmd_chaos,
+        "throughput": _cmd_throughput,
     }
     return handlers[args.command](args)
 

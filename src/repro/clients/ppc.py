@@ -26,13 +26,12 @@ from repro.browser.fingerprint import parse_user_agent
 from repro.browser.sandbox import sandboxed_fetch
 from repro.core.aggregator import Aggregator, NoDoppelgangerAssigned
 from repro.core.coordinator import Coordinator
+from repro.core.errors import StateFetchFailed
 from repro.net.faults import ROLE_STATE, BackoffPolicy, FaultPlan
 from repro.profiles.doppelganger import PollutionBudget
 from repro.web.internet import parse_url
 
-
-class StateFetchFailed(ConnectionError):
-    """The doppelganger state fetch failed after its retry budget."""
+__all__ = ["PeerProxyClient", "StateFetchFailed"]
 
 
 class PeerProxyClient:

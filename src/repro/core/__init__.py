@@ -17,9 +17,14 @@
 * :mod:`repro.core.pricecheck` — result rows and the Fig. 2 result page;
 * :mod:`repro.core.detector` — price-variation classification;
 * :mod:`repro.core.monitoring` — the Figs. 7/16 monitoring panels;
+* :mod:`repro.core.engine` — the pipelined price-check engine (worker
+  pools, page cache, job handles);
+* :mod:`repro.core.errors` — the typed :class:`SheriffError` hierarchy;
 * :mod:`repro.core.sheriff` — the facade that wires a full deployment.
 """
 
+from repro.core.errors import SheriffError
+from repro.core.engine import JobHandle, PageCache, PriceCheckEngine
 from repro.core.tagspath import TagsPath, build_tags_path, extract_price_text
 from repro.core.whitelist import Whitelist
 from repro.core.database import DatabaseServer
@@ -37,6 +42,10 @@ from repro.core.persistence import load_results, save_results
 from repro.core.pii_audit import PiiAuditReport, run_pii_audit
 
 __all__ = [
+    "JobHandle",
+    "PageCache",
+    "PriceCheckEngine",
+    "SheriffError",
     "TagsPath",
     "build_tags_path",
     "extract_price_text",

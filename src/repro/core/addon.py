@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import random
 from collections import Counter
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.browser.browser import Browser
@@ -39,6 +40,12 @@ from repro.core.coordinator import (
     RetryBudgetExhausted,
 )
 from repro.core.dispatch import NoServerAvailable
+from repro.core.errors import (
+    ConsentRequired,
+    PriceCheckFailed,
+    PriceSelectionError,
+)
+from repro.core.engine import JobHandle
 from repro.core.measurement import MeasurementServer, PriceCheckJob, QuorumNotMet
 from repro.core.pricecheck import PriceCheckResult
 from repro.core.tagspath import TagsPath, build_tags_path
@@ -48,27 +55,29 @@ from repro.net.p2p import PeerOverlay, make_peer_id
 from repro.web.html import Element, find_all, parse
 from repro.web.store import PRICE_CLASSES
 
+__all__ = [
+    "ConsentRequired",
+    "PendingCheck",
+    "PriceCheckFailed",
+    "PriceSelectionError",
+    "SheriffAddon",
+]
 
-class ConsentRequired(RuntimeError):
-    """The add-on was installed but the user never gave consent."""
 
+@dataclass
+class PendingCheck:
+    """An in-flight price check: the handle plus the server holding it.
 
-class PriceSelectionError(ValueError):
-    """No plausible price element could be selected on the page."""
-
-
-class PriceCheckFailed(RuntimeError):
-    """The price check ended in an *explicit* failure report.
-
-    Raised after the system exhausted its corrective measures — retry
-    budget, dead-server failover, quorum degradation — so the user sees
-    an error page instead of a silent hang or a one-point comparison.
+    Returned by :meth:`SheriffAddon.submit_price_check`; hand it back to
+    :meth:`SheriffAddon.collect` for the result (or the failure).
     """
 
-    def __init__(self, job_id: str, reason: str) -> None:
-        super().__init__(f"price check {job_id!r} failed: {reason}")
-        self.job_id = job_id
-        self.reason = reason
+    server: MeasurementServer
+    handle: JobHandle
+
+    @property
+    def job_id(self) -> str:
+        return self.handle.job_id
 
 
 class SheriffAddon:
@@ -153,12 +162,24 @@ class SheriffAddon:
         detect_price(text)  # raises CurrencyDetectionError when invalid
         return build_tags_path(root, element), text
 
-    # -- Controller: the price check entry point -----------------------------
+    # -- Controller: the price check entry points ------------------------------
     def check_price(self, url: str, requested_currency: str = "EUR") -> PriceCheckResult:
-        """Run a full price check (steps 1–5 of Fig. 1).
+        """Run a full price check (steps 1–5 of Fig. 1), blocking.
 
-        The navigation to the product page is a *real* visit — the user
-        is shopping; only tunneled requests are sandboxed.
+        Thin wrapper over the job lifecycle: submit, then collect.
+        """
+        return self.collect(self.submit_price_check(url, requested_currency))
+
+    def submit_price_check(
+        self, url: str, requested_currency: str = "EUR"
+    ) -> PendingCheck:
+        """Steps 1–3 of Fig. 1: admission, navigation, job submission.
+
+        Returns a :class:`PendingCheck` whose fetches are in flight on
+        the engine's simulated timeline; pass it to :meth:`collect` (or
+        poll the server directly) for the rows.  The navigation to the
+        product page is a *real* visit — the user is shopping; only
+        tunneled requests are sandboxed.
         """
         self._require_consent()
         # Admission first: if the domain is not whitelisted or the URL is
@@ -188,22 +209,33 @@ class SheriffAddon:
             ppc_ids=ppc_ids,
             third_party_domains=response.tracker_domains,
         )
-        result = self._send_job(job, ticket)  # steps 3.1–5, with failover
+        return self._send_job(job, ticket)  # steps 3.1–3.2, with failover
+
+    def collect(self, pending: PendingCheck) -> PriceCheckResult:
+        """Steps 4–5: wait for the job's terminal state, return the result.
+
+        A job that degraded below the result quorum raises
+        :class:`PriceCheckFailed` — the server already reported it
+        failed to the Coordinator.
+        """
+        try:
+            result = pending.server.result(pending.handle)
+        except QuorumNotMet as exc:
+            raise PriceCheckFailed(pending.job_id, str(exc)) from exc
         self.checks_initiated += 1
         return result
 
     def _send_job(
         self, job: PriceCheckJob, ticket: RequestTicket
-    ) -> PriceCheckResult:
-        """Send the job, failing over dead Measurement servers.
+    ) -> PendingCheck:
+        """Submit the job, failing over dead Measurement servers.
 
         Each attempt may find the assigned server dark (missed
         heartbeats, or the send itself is dropped by the fault plan);
         the add-on then reports the failure, backs off (capped
         exponential with jitter), asks the Coordinator to reassign
-        within the per-job retry budget, and re-sends.  Exhausting the
-        budget — or degrading below the result quorum — raises
-        :class:`PriceCheckFailed`, never a hang.
+        within the per-job retry budget, and re-submits.  Exhausting
+        the budget raises :class:`PriceCheckFailed`, never a hang.
         """
         coordinator = self.coordinator
         attempt = 0
@@ -223,12 +255,7 @@ class SheriffAddon:
                 )
             if not send_failed:
                 server: MeasurementServer = self._measurement_lookup(server_name)
-                try:
-                    return server.handle_price_check(job)
-                except QuorumNotMet as exc:
-                    # the Measurement server already reported the job
-                    # failed to the Coordinator
-                    raise PriceCheckFailed(job.job_id, str(exc)) from exc
+                return PendingCheck(server=server, handle=server.submit(job))
             coordinator.handle_server_failure(server_name, exclude_job=job.job_id)
             coordinator.next_backoff(attempt)  # accounted, not slept
             attempt += 1

@@ -19,12 +19,11 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.errors import ProbeFailed
 from repro.core.measurement import MeasurementServer
 from repro.core.monitoring import faults_panel, peers_panel, servers_panel
 
-
-class ProbeFailed(RuntimeError):
-    """The machine is not running (working) Measurement server code."""
+__all__ = ["AdminConsole", "ProbeFailed"]
 
 
 class AdminConsole:
@@ -47,6 +46,8 @@ class AdminConsole:
             clock=sheriff.world.clock,
             diffstore=sheriff.diffstore,
             quorum=getattr(sheriff, "quorum", 1),
+            engine=getattr(sheriff, "engine", None),
+            pipelined=getattr(sheriff, "pipelined", True),
         )
         self.probe(server)
         sheriff.measurement_servers[name] = server

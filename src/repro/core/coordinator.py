@@ -25,6 +25,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.dispatch import NoServerAvailable, RequestDistributor, ServerRecord
+from repro.core.errors import (
+    AdmissionDenied,
+    ConfigurationError,
+    RequestRejected,
+    RetryBudgetExhausted,
+    RetryExhausted,
+    UnknownJob,
+)
 from repro.core.whitelist import Whitelist
 from repro.net.faults import ROLE_SERVER, BackoffPolicy, FaultPlan
 from repro.net.geo import GeoDatabase, Location
@@ -32,25 +40,15 @@ from repro.net.p2p import PeerOverlay
 from repro.profiles.doppelganger import DoppelgangerManager
 from repro.web.internet import parse_url
 
-
-class RequestRejected(Exception):
-    """The price check request was refused (whitelist / blacklist)."""
-
-    def __init__(self, url: str, reason: str) -> None:
-        super().__init__(f"request for {url} rejected: {reason}")
-        self.url = url
-        self.reason = reason
-
-
-class RetryBudgetExhausted(RuntimeError):
-    """A job burned through its per-job retry budget without landing."""
-
-    def __init__(self, job_id: str, attempts: int) -> None:
-        super().__init__(
-            f"job {job_id!r} failed after {attempts} assignment attempts"
-        )
-        self.job_id = job_id
-        self.attempts = attempts
+__all__ = [
+    "AdmissionDenied",
+    "Coordinator",
+    "JobRecord",
+    "RequestRejected",
+    "RequestTicket",
+    "RetryBudgetExhausted",
+    "RetryExhausted",
+]
 
 
 @dataclass(frozen=True)
@@ -184,7 +182,7 @@ class Coordinator:
         """
         record = self.jobs.get(job_id)
         if record is None:
-            raise KeyError(f"unknown job {job_id!r}")
+            raise UnknownJob(f"unknown job {job_id!r}")
         if record.resolved:
             return
         record.completed = True
@@ -260,7 +258,7 @@ class Coordinator:
         """
         record = self.jobs.get(job_id)
         if record is None:
-            raise KeyError(f"unknown job {job_id!r}")
+            raise UnknownJob(f"unknown job {job_id!r}")
         if record.attempts >= self.retry_budget:
             raise RetryBudgetExhausted(job_id, record.attempts)
         server = self.distributor.reassign_job(job_id)
@@ -284,7 +282,7 @@ class Coordinator:
         """Terminal failure: report the job failed, exactly once."""
         record = self.jobs.get(job_id)
         if record is None:
-            raise KeyError(f"unknown job {job_id!r}")
+            raise UnknownJob(f"unknown job {job_id!r}")
         if record.resolved:
             return
         record.failed = True
@@ -303,7 +301,7 @@ class Coordinator:
         submit the correct token" — it never learns which peer asked.
         """
         if self.dopp_manager is None:
-            raise RuntimeError("no doppelganger manager configured")
+            raise ConfigurationError("no doppelganger manager configured")
         return self.dopp_manager.client_state_for(token)
 
     #: network identities seen on doppelganger state requests — with the
@@ -327,7 +325,7 @@ class Coordinator:
         """Account one doppelganger use; returns the fresh token if the
         budget triggered a regeneration, else None."""
         if self.dopp_manager is None:
-            raise RuntimeError("no doppelganger manager configured")
+            raise ConfigurationError("no doppelganger manager configured")
         dopp = self.dopp_manager.get(token)
         cluster = dopp.cluster_index
         self.dopp_manager.record_serve(token, domain)
@@ -339,7 +337,7 @@ class Coordinator:
     ) -> None:
         """Persist the client-side state a PPC accumulated for a dopp."""
         if self.dopp_manager is None:
-            raise RuntimeError("no doppelganger manager configured")
+            raise ConfigurationError("no doppelganger manager configured")
         try:
             self.dopp_manager.get(token).client_state = client_state
         except KeyError:

@@ -20,6 +20,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from repro.core.errors import ConnectionPoolExhausted, UnknownTable
+
 TABLES = (
     "users",
     "requests",
@@ -28,9 +30,12 @@ TABLES = (
     "history_donations",
 )
 
-
-class ConnectionPoolExhausted(RuntimeError):
-    """All pooled connections are in use."""
+__all__ = [
+    "ConnectionPoolExhausted",
+    "DatabaseServer",
+    "TABLES",
+    "UnknownTable",
+]
 
 
 class DatabaseServer:
@@ -43,6 +48,7 @@ class DatabaseServer:
         self._connections_in_use = 0
         self.peak_connections = 0
         self.query_count = 0
+        self.batched_writes = 0
 
     # -- connection pool ----------------------------------------------------
     @contextmanager
@@ -63,7 +69,7 @@ class DatabaseServer:
         try:
             return self._tables[name]
         except KeyError:
-            raise KeyError(f"unknown table {name!r}") from None
+            raise UnknownTable(f"unknown table {name!r}") from None
 
     def insert(self, table: str, row: Dict[str, Any]) -> int:
         self.query_count += 1
@@ -72,6 +78,25 @@ class DatabaseServer:
         row["_id"] = row_id
         self._table(table).append(row)
         return row_id
+
+    def insert_many(self, table: str, rows: List[Dict[str, Any]]) -> List[int]:
+        """One round trip for a batch of rows (multi-row ``INSERT``).
+
+        The pipelined engine lands a whole price check's responses in a
+        single query instead of one per vantage point — the connection
+        is held once and ``query_count`` grows by one.
+        """
+        self.query_count += 1
+        self.batched_writes += 1
+        target = self._table(table)
+        ids = []
+        for row in rows:
+            row = dict(row)
+            row_id = next(self._ids)
+            row["_id"] = row_id
+            target.append(row)
+            ids.append(row_id)
+        return ids
 
     def scan(
         self, table: str, where: Optional[Callable[[Dict[str, Any]], bool]] = None
@@ -104,6 +129,17 @@ class DatabaseServer:
         row = {"job_id": job_id}
         row.update(fields)
         return self.insert("responses", row)
+
+    def sp_record_responses(
+        self, job_id: str, rows: List[Dict[str, Any]]
+    ) -> List[int]:
+        """Batched variant of :meth:`sp_record_response`."""
+        stamped = []
+        for fields in rows:
+            row = {"job_id": job_id}
+            row.update(fields)
+            stamped.append(row)
+        return self.insert_many("responses", stamped)
 
     def sp_responses_for_job(self, job_id: str) -> List[Dict[str, Any]]:
         return self.scan("responses", lambda r: r["job_id"] == job_id)

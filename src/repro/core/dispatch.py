@@ -21,9 +21,20 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.errors import (
+    DispatchConfigError,
+    DuplicateServer,
+    NoServerAvailable,
+    ServerBusy,
+    UnknownJob,
+    UnknownServer,
+)
 
-class NoServerAvailable(RuntimeError):
-    """No online Measurement server can take the job."""
+__all__ = [
+    "NoServerAvailable",
+    "RequestDistributor",
+    "ServerRecord",
+]
 
 
 @dataclass
@@ -67,7 +78,7 @@ class RequestDistributor:
         heartbeat_timeout: float = 30.0,
     ) -> None:
         if policy not in ("least_jobs", "round_robin"):
-            raise ValueError(f"unknown dispatch policy {policy!r}")
+            raise DispatchConfigError(f"unknown dispatch policy {policy!r}")
         self.policy = policy
         self.heartbeat_timeout = heartbeat_timeout
         self._servers: Dict[str, ServerRecord] = {}
@@ -84,7 +95,7 @@ class RequestDistributor:
         self, name: str, url: str, port: int = 80, now: float = 0.0
     ) -> ServerRecord:
         if name in self._servers:
-            raise ValueError(f"server {name!r} already registered")
+            raise DuplicateServer(f"server {name!r} already registered")
         record = ServerRecord(name=name, url=url, port=port, registered_at=now)
         self._servers[name] = record
         return record
@@ -92,7 +103,7 @@ class RequestDistributor:
     def remove_server(self, name: str) -> None:
         record = self._servers.get(name)
         if record is not None and record.jobs > 0:
-            raise RuntimeError(
+            raise ServerBusy(
                 f"server {name!r} still has {record.jobs} pending jobs"
             )
         self._servers.pop(name, None)
@@ -101,7 +112,7 @@ class RequestDistributor:
         try:
             return self._servers[name]
         except KeyError:
-            raise KeyError(f"unknown server {name!r}") from None
+            raise UnknownServer(f"unknown server {name!r}") from None
 
     def servers(self) -> List[ServerRecord]:
         return list(self._servers.values())
@@ -169,7 +180,7 @@ class RequestDistributor:
         """
         old_name = self._job_server.get(job_id)
         if old_name is None:
-            raise KeyError(f"unknown job {job_id!r}")
+            raise UnknownJob(f"unknown job {job_id!r}")
         exclude = list(exclude)
         if old_name not in exclude:
             exclude.append(old_name)
@@ -189,7 +200,7 @@ class RequestDistributor:
     def _release(self, job_id: str) -> None:
         name = self._job_server.pop(job_id, None)
         if name is None:
-            raise KeyError(f"unknown job {job_id!r}")
+            raise UnknownJob(f"unknown job {job_id!r}")
         record = self._servers.get(name)
         if record is not None and record.jobs > 0:
             record.jobs -= 1

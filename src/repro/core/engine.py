@@ -1,0 +1,280 @@
+"""The pipelined price-check engine.
+
+The paper's deployment fans each check out to ~30 IPCs plus PPCs "at
+the same time" (Sect. 3.2), and Table 1 shows the architecture is sized
+by how many such fan-outs it can keep in flight.  The original
+reproduction executed the whole fan-out as a blocking serial loop; this
+module adds the concurrency model on top of the same computation:
+
+* every fetch a job performs becomes a task on a bounded per-server
+  :class:`WorkerPool` scheduled on a :class:`repro.net.events.EventLoop`
+  dedicated to the engine — the *world* clock stays frozen during a
+  check, preserving the "fetch at the same time" property;
+* a :class:`JobHandle` is the single lifecycle object of the unified
+  API (``submit → poll → result``): it tracks which rows have *landed*
+  in simulated time and which were already delivered to the add-on's
+  progressive AJAX polls;
+* a short-TTL :class:`PageCache` keyed by ``(url, vantage,
+  client-state)`` lets simultaneous checks of the same product reuse a
+  just-fetched page instead of re-fetching it.
+
+Determinism: the engine never decides *what* is fetched or in which
+order — the Measurement server performs the fan-out eagerly in the
+canonical serial order, so every RNG stream (world, faults, latency) is
+consumed identically whether the run is serial or pipelined.  The
+engine only decides *when* each fetch lands on the simulated timeline,
+which is what the throughput benchmark measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.core.pricecheck import PriceCheckResult
+from repro.net.events import Clock, EventLoop
+
+__all__ = ["JobHandle", "PageCache", "PriceCheckEngine", "WorkerPool"]
+
+#: lifecycle states of a JobHandle
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: simulated cost of serving a page out of the cache (a local lookup,
+#: no network round trip)
+CACHE_HIT_SECONDS = 0.005
+
+
+class JobHandle:
+    """The one lifecycle object of the job API (``submit`` returns it).
+
+    The handle owns everything the caller may ask about a job: its
+    terminal result or error, how far the simulated fan-out has
+    progressed (``rows_arrived``), and how many rows the progressive
+    polls already handed out (``rows_delivered``).
+    """
+
+    def __init__(self, job_id: str, server_name: str) -> None:
+        self.job_id = job_id
+        self.server_name = server_name
+        self.state = PENDING
+        #: sum of the simulated durations of every fetch this job made —
+        #: the job's cost on a one-fetch-at-a-time (serial) backend
+        self.service_seconds = 0.0
+        #: engine-loop time the job was submitted / finished (pipelined
+        #: runs only; serial handles complete instantly)
+        self.submitted_at = 0.0
+        self.finished_at: Optional[float] = None
+        self.error: Optional[BaseException] = None
+        self._result: Optional[PriceCheckResult] = None
+        #: rows whose fetch has landed on the simulated timeline
+        self.rows_arrived = 0
+        #: rows already handed to the caller through poll()
+        self.rows_delivered = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+    @property
+    def total_rows(self) -> int:
+        return len(self._result.rows) if self._result is not None else 0
+
+    @property
+    def result(self) -> Optional[PriceCheckResult]:
+        return self._result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JobHandle({self.job_id!r}, server={self.server_name!r}, "
+            f"state={self.state!r}, rows={self.rows_arrived}/{self.total_rows})"
+        )
+
+
+class WorkerPool:
+    """A bounded pool of fetch workers as a discrete-event resource.
+
+    ``submit`` queues one task; at most ``size`` tasks occupy workers at
+    any simulated instant, the rest wait their turn — exactly the
+    fetcher-thread pool a real Measurement server would run.
+    """
+
+    def __init__(self, loop: EventLoop, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"worker pool needs at least 1 worker, got {size}")
+        self.loop = loop
+        self.size = size
+        self._busy = 0
+        self._waiting: Deque[Tuple[float, Callable[[], None]]] = deque()
+        self.peak_busy = 0
+        self.tasks_run = 0
+
+    @property
+    def busy(self) -> int:
+        return self._busy
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiting)
+
+    def submit(self, duration: float, on_done: Callable[[], None]) -> None:
+        self._waiting.append((duration, on_done))
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._busy < self.size and self._waiting:
+            duration, on_done = self._waiting.popleft()
+            self._busy += 1
+            self.peak_busy = max(self.peak_busy, self._busy)
+
+            def fire(cb: Callable[[], None] = on_done) -> None:
+                self._busy -= 1
+                self.tasks_run += 1
+                cb()
+                self._drain()
+
+            self.loop.call_later(duration, fire)
+
+
+class PageCache:
+    """Short-TTL page cache keyed by ``(url, vantage, client-state)``.
+
+    Vantage matters because the same product renders differently per
+    country/profile — that is the phenomenon under measurement — so a
+    page is only reused for the *same* vantage point in the *same*
+    client state.  In practice only IPC fetches qualify (their state is
+    always ``"fresh"``); a PPC's client state mutates with every serve
+    (pollution budgets, doppelganger swaps), so no two PPC fetches share
+    a key.  TTL is in simulated seconds; ``ttl=0`` disables the cache.
+    """
+
+    def __init__(self, ttl: float = 0.0) -> None:
+        self.ttl = ttl
+        self._pages: Dict[Tuple[str, str, str], Tuple[float, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.ttl > 0
+
+    def get(self, key: Tuple[str, str, str], now: float) -> Optional[Any]:
+        if not self.enabled:
+            return None
+        entry = self._pages.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        stored_at, page = entry
+        if now - stored_at > self.ttl:
+            del self._pages[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return page
+
+    def put(self, key: Tuple[str, str, str], page: Any, now: float) -> None:
+        if self.enabled:
+            self._pages[key] = (now, page)
+
+    def purge_expired(self, now: float) -> None:
+        dead = [k for k, (t, _) in self._pages.items() if now - t > self.ttl]
+        for k in dead:
+            del self._pages[k]
+
+
+class PriceCheckEngine:
+    """Schedules every server's fetches on one shared event loop.
+
+    One engine per deployment: all Measurement servers share its loop
+    (so concurrent jobs on different servers overlap on the timeline)
+    but each server gets its own bounded :class:`WorkerPool`.
+    """
+
+    def __init__(
+        self,
+        loop: Optional[EventLoop] = None,
+        max_workers: int = 8,
+        cache: Optional[PageCache] = None,
+    ) -> None:
+        self.loop = loop if loop is not None else EventLoop(Clock())
+        self.max_workers = max_workers
+        self.cache = cache if cache is not None else PageCache(ttl=0.0)
+        self._pools: Dict[str, WorkerPool] = {}
+        self.jobs_scheduled = 0
+
+    @property
+    def now(self) -> float:
+        return self.loop.clock.now
+
+    def pool_for(self, server_name: str) -> WorkerPool:
+        pool = self._pools.get(server_name)
+        if pool is None:
+            pool = WorkerPool(self.loop, self.max_workers)
+            self._pools[server_name] = pool
+        return pool
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(
+        self, handle: JobHandle, tasks: List[Tuple[float, bool]]
+    ) -> None:
+        """Put one job's fetch timeline on the loop.
+
+        ``tasks`` carries one ``(duration, produced_row)`` entry per
+        fetch the job attempted, in canonical order (the initiator's
+        own page is first and costs nothing — it arrived with the
+        request; a failed fetch occupies a worker for its timeout but
+        lands no row).  ``rows_arrived`` counts the row-producing tasks
+        as they complete the worker pool, and the last task — row or
+        not — marks the handle finished.
+        """
+        handle.submitted_at = self.now
+        handle.state = RUNNING
+        self.jobs_scheduled += 1
+        pool = self.pool_for(handle.server_name)
+        remaining = len(tasks)
+        if remaining == 0:
+            self._finish(handle)
+            return
+
+        def landed(is_row: bool) -> None:
+            nonlocal remaining
+            if is_row:
+                handle.rows_arrived += 1
+            remaining -= 1
+            if remaining == 0:
+                self._finish(handle)
+
+        for duration, is_row in tasks:
+            pool.submit(duration, lambda r=is_row: landed(r))
+
+    def _finish(self, handle: JobHandle) -> None:
+        handle.finished_at = self.now
+        handle.state = FAILED if handle.error is not None else DONE
+
+    # -- pumping ---------------------------------------------------------
+    def pump(self, handle: JobHandle) -> None:
+        """Advance simulated time until the handle has something new.
+
+        Steps the loop until at least one undelivered row has arrived
+        or the job reached a terminal state — the discrete-event
+        equivalent of one AJAX poll blocking briefly on the server.
+        """
+        while (
+            not handle.finished
+            and handle.rows_arrived <= handle.rows_delivered
+        ):
+            if not self.loop.step():
+                break
+
+    def drive(self, handle: JobHandle) -> None:
+        """Advance simulated time until the handle is terminal."""
+        while not handle.finished:
+            if not self.loop.step():
+                break
+
+    def drain(self) -> None:
+        """Run the loop dry (all in-flight jobs land)."""
+        self.loop.run()

@@ -22,12 +22,19 @@ whose slowdown exceeds the timeout budget are dropped the same way.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.coordinator import Coordinator
 from repro.core.database import DatabaseServer
 from repro.core.diffstorage import DiffStorage
+from repro.core.engine import (
+    CACHE_HIT_SECONDS,
+    JobHandle,
+    PriceCheckEngine,
+)
+from repro.core.errors import QuorumNotMet, UnknownJob
 from repro.core.pricecheck import PriceCheckResult, ResultRow
 from repro.core.tagspath import TagsPath, extract_price_text
 from repro.currency.detect import Confidence, CurrencyDetectionError, detect_price
@@ -36,23 +43,21 @@ from repro.net.events import Clock
 from repro.net.faults import PeerTimeout, ProxyFetchError, ProxyTimeout
 from repro.net.geo import Location
 from repro.net.p2p import PeerOverlay
+from repro.net.sim import LatencyModel, fetch_duration
 from repro.web.internet import parse_url
 
 if TYPE_CHECKING:  # avoid a core ↔ clients import cycle at runtime
     from repro.clients.ipc import InfrastructureProxyClient
 
+__all__ = [
+    "MeasurementServer",
+    "MeasurementStats",
+    "PriceCheckJob",
+    "QuorumNotMet",
+]
 
-class QuorumNotMet(RuntimeError):
-    """Too few vantage points returned a page to trust the comparison."""
-
-    def __init__(self, job_id: str, got: int, needed: int) -> None:
-        super().__init__(
-            f"job {job_id!r}: only {got} vantage point(s) responded, "
-            f"quorum is {needed}"
-        )
-        self.job_id = job_id
-        self.got = got
-        self.needed = needed
+#: one fetch timeline entry: (simulated duration, produced a result row)
+FetchTask = Tuple[float, bool]
 
 
 @dataclass
@@ -68,6 +73,7 @@ class MeasurementStats:
     ppc_corrupt: int = 0
     degraded_jobs: int = 0
     quorum_failures: int = 0
+    page_cache_hits: int = 0
 
     def add(self, other: "MeasurementStats") -> None:
         for f in self.__dataclass_fields__:
@@ -115,6 +121,9 @@ class MeasurementServer:
         clock: Clock,
         diffstore: Optional[DiffStorage] = None,
         quorum: int = 1,
+        engine: Optional[PriceCheckEngine] = None,
+        pipelined: bool = True,
+        latency_model: Optional[LatencyModel] = None,
     ) -> None:
         self.name = name
         self.coordinator = coordinator
@@ -128,8 +137,28 @@ class MeasurementServer:
         #: must return a page; below it the job is reported failed
         #: instead of producing a one-sided comparison
         self.quorum = max(1, quorum)
+        #: the shared pipelined engine (None = every job completes
+        #: instantly in simulated time, the pre-engine behavior)
+        self.engine = engine
+        self.pipelined = pipelined and engine is not None
+        #: per-server latency model with a *dedicated* RNG: duration
+        #: draws must never perturb the world/fault RNG streams, or
+        #: serial and pipelined runs would diverge
+        self._latency = (
+            latency_model
+            if latency_model is not None
+            else LatencyModel(rng=random.Random(f"lat:{name}"))
+        )
+        #: where the server machine sits (the paper's back-end ran at
+        #: UPC Barcelona); only used to compute fetch round trips
+        self.location = Location(
+            country="ES", region="Catalonia", city="Barcelona",
+            ip=f"10.250.1.{sum(name.encode()) % 200 + 1}",
+        )
         self.jobs_processed = 0
         self.stats = MeasurementStats()
+        #: live job handles of the unified submit/poll/result API
+        self._handles: Dict[str, JobHandle] = {}
 
     # -- price extraction + conversion on one page -----------------------------
     def _row_from_page(
@@ -326,48 +355,136 @@ class MeasurementServer:
         expected = round(self.rates.to_eur(699.0, "USD", self.clock.now), 2)
         return row.converted_value == expected
 
-    # -- progressive delivery (the AJAX polling of Sect. 3.2) -------------------
+    # -- the unified job lifecycle (submit → poll → result) ---------------------
     #
     # "At this point the browser executes AJAX requests to the
     # Measurement server to receive any result updates until the
     # measurement server replies with a 'request finish' response."
-    # start_price_check() registers the job and processes proxies in
-    # stages; poll() hands back rows produced since the last poll plus
-    # the finished flag.  handle_price_check() is the blocking wrapper.
+    # submit() performs the fan-out and returns a JobHandle; poll()
+    # hands back rows that have *landed* on the engine's simulated
+    # timeline since the last poll plus the finished flag; result()
+    # drives the handle to its terminal state and returns (or raises)
+    # the outcome.  handle_price_check() and start_price_check() are
+    # thin compatibility wrappers over the same lifecycle.
 
-    def start_price_check(self, job: PriceCheckJob) -> str:
-        """Begin a job whose rows are delivered incrementally."""
-        if not hasattr(self, "_progressive"):
-            self._progressive: Dict[str, Dict[str, Any]] = {}
-        result = self._process_job(job)
-        self._progressive[job.job_id] = {
-            "result": result,
-            "delivered": 0,
-        }
-        return job.job_id
+    def submit(self, job: PriceCheckJob) -> JobHandle:
+        """Run the fan-out and return the handle tracking its delivery.
 
-    def poll(self, job_id: str):
-        """One AJAX poll: (new rows since last poll, finished flag)."""
-        state = getattr(self, "_progressive", {}).get(job_id)
-        if state is None:
-            raise KeyError(f"unknown or finished job {job_id!r}")
-        result: PriceCheckResult = state["result"]
-        delivered = state["delivered"]
-        # deliver rows in proxy-arrival order, a few per poll (IPCs and
-        # PPCs respond at different speeds in the real system)
-        batch = result.rows[delivered: delivered + 8]
-        state["delivered"] = delivered + len(batch)
-        finished = state["delivered"] >= len(result.rows)
+        The fetches themselves execute eagerly in the canonical serial
+        order — that is what keeps every RNG stream identical between
+        serial and pipelined runs — while the *timing* of each fetch is
+        scheduled on the engine's worker pool, so concurrent jobs
+        overlap on the simulated timeline.
+        """
+        handle = JobHandle(job.job_id, self.name)
+        result, tasks, error = self._execute(job)
+        handle._result = result
+        handle.error = error
+        handle.service_seconds = sum(d for d, _ in tasks)
+        self._handles[job.job_id] = handle
+        if error is None and self.pipelined and self.engine is not None:
+            self.engine.schedule(handle, tasks)
+        else:
+            # serial mode (or a failed job): everything lands at once
+            handle.rows_arrived = handle.total_rows
+            handle.state = "failed" if error is not None else "done"
+        return handle
+
+    def _resolve(self, handle: Union[JobHandle, str]) -> JobHandle:
+        job_id = handle.job_id if isinstance(handle, JobHandle) else handle
+        found = self._handles.get(job_id)
+        if found is None or (isinstance(handle, JobHandle) and found is not handle):
+            raise UnknownJob(f"unknown or finished job {job_id!r}")
+        return found
+
+    def poll(self, handle: Union[JobHandle, str]):
+        """One AJAX poll: (rows landed since last poll, finished flag).
+
+        Rows are delivered a few per poll, in canonical row order, as
+        their fetches complete on the simulated timeline (IPCs and PPCs
+        respond at different speeds).  After the final ('request
+        finish') poll the job is gone: further polls raise
+        :class:`UnknownJob`.
+        """
+        h = self._resolve(handle)
+        if h.error is not None:
+            self._handles.pop(h.job_id, None)
+            raise h.error
+        if self.pipelined and self.engine is not None and not h.finished:
+            self.engine.pump(h)
+        available = h.rows_arrived - h.rows_delivered
+        batch = h._result.rows[h.rows_delivered : h.rows_delivered + min(8, available)]
+        h.rows_delivered += len(batch)
+        finished = h.finished and h.rows_delivered >= h.total_rows
         if finished:
-            del self._progressive[job_id]  # 'request finish'
+            del self._handles[h.job_id]  # 'request finish'
         return list(batch), finished
 
-    # -- the job ------------------------------------------------------------------
-    def handle_price_check(self, job: PriceCheckJob) -> PriceCheckResult:
-        """Blocking entry point: process and return the full result."""
-        return self._process_job(job)
+    def result(self, handle: Union[JobHandle, str]) -> PriceCheckResult:
+        """Drive the job to its terminal state and return the outcome.
 
-    def _process_job(self, job: PriceCheckJob) -> PriceCheckResult:
+        Raises the job's error (e.g. :class:`QuorumNotMet`) when it
+        ended in an explicit failure report.
+        """
+        h = self._resolve(handle)
+        if self.pipelined and self.engine is not None:
+            self.engine.drive(h)
+        h.rows_delivered = h.total_rows
+        self._handles.pop(h.job_id, None)
+        if h.error is not None:
+            raise h.error
+        assert h._result is not None
+        return h._result
+
+    # -- compatibility wrappers --------------------------------------------------
+    def start_price_check(self, job: PriceCheckJob) -> str:
+        """Legacy entry point: begin a job, return its ID for poll()."""
+        handle = self.submit(job)
+        if handle.error is not None:
+            self._handles.pop(handle.job_id, None)
+            raise handle.error
+        return handle.job_id
+
+    def handle_price_check(self, job: PriceCheckJob) -> PriceCheckResult:
+        """Blocking entry point: submit and wait for the full result."""
+        return self.result(self.submit(job))
+
+    # -- the fan-out --------------------------------------------------------------
+    def _fetch_page_cached(self, job: PriceCheckJob, ipc) -> Tuple[Any, int, bool]:
+        """One IPC fetch through the engine's page cache.
+
+        Returns ``(fetch, retries, was_cache_hit)``.  Only IPC fetches
+        are cacheable — their client state is always ``"fresh"`` — and
+        only within the cache TTL (simulated seconds on the world
+        clock), so simultaneous checks of the same product reuse the
+        page instead of re-fetching.
+        """
+        cache = self.engine.cache if self.engine is not None else None
+        if cache is None or not cache.enabled:
+            fetch, retries = ipc.fetch_with_retry(
+                job.url, timeout_slowdown=self.PROXY_SLOWDOWN_TIMEOUT
+            )
+            return fetch, retries, False
+        key = (job.url, ipc.ipc_id, "fresh")
+        cached = cache.get(key, self.clock.now)
+        if cached is not None:
+            return cached, 0, True
+        fetch, retries = ipc.fetch_with_retry(
+            job.url, timeout_slowdown=self.PROXY_SLOWDOWN_TIMEOUT
+        )
+        cache.put(key, fetch, self.clock.now)
+        return fetch, retries, False
+
+    def _execute(
+        self, job: PriceCheckJob
+    ) -> Tuple[Optional[PriceCheckResult], List[FetchTask], Optional[Exception]]:
+        """The fan-out: returns (result, fetch timeline, error).
+
+        Exactly one of result/error is non-None.  The timeline carries
+        one ``(duration, produced_row)`` entry per fetch attempt — a
+        failed fetch still occupies a worker for its timeout — plus the
+        zero-cost entry for the initiator's own page.
+        """
         domain, _ = parse_url(job.url)
         result = PriceCheckResult(
             job_id=job.job_id,
@@ -377,8 +494,10 @@ class MeasurementServer:
             time=self.clock.now,
             third_party_domains=tuple(job.third_party_domains),
         )
+        tasks: List[FetchTask] = []
 
-        # The initiator's own observation ("You").
+        # The initiator's own observation ("You") — the page arrived
+        # with the request, so it costs the pool nothing.
         self.diffstore.store_reference(job.job_id, job.initiator_html)
         loc = job.initiator_location
         result.rows.append(
@@ -389,19 +508,26 @@ class MeasurementServer:
                 ua=(job.initiator_os, job.initiator_browser),
             )
         )
+        tasks.append((0.0, True))
 
         # Step 3.1: all IPCs fetch the page.  Each fetch carries its own
         # bounded retry budget; an IPC that still fails is dropped from
         # this job — counted, never silently (Sect. 5's per-proxy
         # timeout, applied per fetch instead of statically).
         for ipc in self.ipcs:
+            duration = fetch_duration(
+                self._latency, self.location, ipc.location,
+                slowdown=min(ipc.slowdown, self.PROXY_SLOWDOWN_TIMEOUT),
+            )
             try:
-                fetch, retries = ipc.fetch_with_retry(
-                    job.url, timeout_slowdown=self.PROXY_SLOWDOWN_TIMEOUT
-                )
+                fetch, retries, cache_hit = self._fetch_page_cached(job, ipc)
             except ProxyFetchError:
                 self.stats.ipc_failures += 1
+                tasks.append((duration, False))
                 continue
+            if cache_hit:
+                self.stats.page_cache_hits += 1
+                duration = CACHE_HIT_SECONDS
             self.stats.ipc_fetches += 1
             self.stats.ipc_retries += retries
             self.diffstore.store_response(job.job_id, ipc.ipc_id, fetch.html)
@@ -415,6 +541,7 @@ class MeasurementServer:
                     ua=(fetch.ua_os, fetch.ua_browser),
                 )
             )
+            tasks.append((duration, True))
 
         # Step 3.2: the selected PPCs fetch the page.  Volunteer peers
         # are the least reliable vantage points: a peer may be gone,
@@ -422,20 +549,27 @@ class MeasurementServer:
         # Every outcome is accounted — the price check degrades to fewer
         # vantage points, it never mistakes a lost reply for data.
         for peer_id in job.ppc_ids:
+            duration = fetch_duration(
+                self._latency, self.location, self.overlay.location_of(peer_id)
+            )
             try:
                 channel = self.overlay.connect(peer_id, src=self.name)
                 reply = channel.send({"type": "remote_page_request", "url": job.url})
             except PeerTimeout:
                 self.stats.ppc_timeouts += 1
+                tasks.append((duration, False))
                 continue
             except ConnectionError:
                 self.stats.ppc_dropped += 1
+                tasks.append((duration, False))
                 continue
             if not self._valid_ppc_reply(reply):
                 self.stats.ppc_corrupt += 1
+                tasks.append((duration, False))
                 continue
             if "error" in reply:
                 self.stats.ppc_dropped += 1
+                tasks.append((duration, False))
                 continue
             self.stats.ppc_ok += 1
             self.diffstore.store_response(job.job_id, peer_id, reply["html"])
@@ -449,6 +583,7 @@ class MeasurementServer:
                     used_doppelganger=reply.get("used_doppelganger", False),
                 )
             )
+            tasks.append((duration, True))
 
         expected = 1 + len(self.ipcs) + len(job.ppc_ids)
         result.vantage_expected = expected
@@ -464,7 +599,9 @@ class MeasurementServer:
                 job.job_id,
                 f"quorum not met ({len(result.rows)}/{self.quorum})",
             )
-            raise QuorumNotMet(job.job_id, len(result.rows), self.quorum)
+            return None, tasks, QuorumNotMet(
+                job.job_id, len(result.rows), self.quorum
+            )
 
         result.rows = self._reconcile_ambiguous_rows(
             result.rows, job.requested_currency
@@ -472,7 +609,7 @@ class MeasurementServer:
         self._persist(job, result)
         self.coordinator.job_completed(job.job_id)
         self.jobs_processed += 1
-        return result
+        return result, tasks, None
 
     @staticmethod
     def _valid_ppc_reply(reply) -> bool:
@@ -486,6 +623,13 @@ class MeasurementServer:
 
     # -- persistence ---------------------------------------------------------------
     def _persist(self, job: PriceCheckJob, result: PriceCheckResult) -> None:
+        """Land one job's rows in a single batched write.
+
+        The connection is held once per job and the responses go out as
+        one multi-row insert — under pipelined load the connection pool
+        is the next bottleneck after the fetches, so a job must not pay
+        one round trip per vantage point.
+        """
         with self.db.connection() as db:
             db.sp_record_request(
                 job_id=job.job_id,
@@ -494,20 +638,24 @@ class MeasurementServer:
                 domain=result.domain,
                 time=self.clock.now,
             )
-            for row in result.rows:
-                db.sp_record_response(
-                    job_id=job.job_id,
-                    proxy_id=row.proxy_id,
-                    kind=row.kind,
-                    country=row.country,
-                    region=row.region,
-                    city=row.city,
-                    original_text=row.original_text,
-                    amount=row.detected_amount,
-                    currency=row.detected_currency,
-                    amount_eur=row.amount_eur,
-                    low_confidence=row.low_confidence,
-                    used_doppelganger=row.used_doppelganger,
-                    error=row.error,
-                    time=self.clock.now,
-                )
+            db.sp_record_responses(
+                job.job_id,
+                [
+                    dict(
+                        proxy_id=row.proxy_id,
+                        kind=row.kind,
+                        country=row.country,
+                        region=row.region,
+                        city=row.city,
+                        original_text=row.original_text,
+                        amount=row.detected_amount,
+                        currency=row.detected_currency,
+                        amount_eur=row.amount_eur,
+                        low_confidence=row.low_confidence,
+                        used_doppelganger=row.used_doppelganger,
+                        error=row.error,
+                        time=self.clock.now,
+                    )
+                    for row in result.rows
+                ],
+            )

@@ -31,6 +31,7 @@ from repro.core.coordinator import Coordinator
 from repro.core.database import DatabaseServer
 from repro.core.diffstorage import DiffStorage
 from repro.core.dispatch import RequestDistributor
+from repro.core.engine import PageCache, PriceCheckEngine
 from repro.core.measurement import MeasurementServer
 from repro.core.pricecheck import PriceCheckResult
 from repro.core.whitelist import Whitelist
@@ -124,8 +125,19 @@ class PriceSheriff:
         retry_budget: int = 3,
         quorum: int = 1,
         backoff: Optional[BackoffPolicy] = None,
+        pipelined: bool = True,
+        max_fetch_workers: int = 8,
+        page_cache_ttl: float = 0.0,
     ) -> None:
         self.world = world
+        #: the shared pipelined engine: one event loop for the whole
+        #: deployment, one bounded worker pool per Measurement server,
+        #: and the (default-off) short-TTL page cache
+        self.pipelined = pipelined
+        self.engine = PriceCheckEngine(
+            max_workers=max_fetch_workers,
+            cache=PageCache(ttl=page_cache_ttl),
+        )
         if faults is None and chaos_profile is not None:
             faults = chaos_plan(chaos_profile, seed=chaos_seed)
         #: the chaos schedule every layer below consults (None = clean)
@@ -192,6 +204,8 @@ class PriceSheriff:
             clock=self.world.clock,
             diffstore=self.diffstore,
             quorum=self.quorum,
+            engine=self.engine,
+            pipelined=self.pipelined,
         )
         self.measurement_servers[name] = server
         self.distributor.register_server(

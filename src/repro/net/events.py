@@ -136,13 +136,37 @@ class EventLoop:
                 return event
         return None
 
+    def peek_next(self) -> Optional[float]:
+        """Time of the next live event, or None with an empty queue."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].when if self._heap else None
+
+    def step(self) -> bool:
+        """Execute exactly one event (advancing the clock to it).
+
+        Returns False when the queue is empty.  This is the primitive
+        the pipelined price-check engine pumps from ``poll``: advance
+        the simulation just far enough for the next fetch to land.
+        """
+        event = self._pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.when)
+        self._processed += 1
+        event.fn()
+        return True
+
     def run_until(self, deadline: float) -> None:
         """Execute events with ``when <= deadline``; clock ends at deadline."""
-        while self._heap:
-            if self._heap[0].when > deadline:
+        while True:
+            # peek past cancelled heads: a dead event before the
+            # deadline must not pull a live event from beyond it
+            upcoming = self.peek_next()
+            if upcoming is None or upcoming > deadline:
                 break
             event = self._pop()
-            if event is None:
+            if event is None:  # pragma: no cover - peek guarantees one
                 break
             self.clock.advance_to(event.when)
             self._processed += 1

@@ -145,6 +145,11 @@ class PeerOverlay:
             raise ConnectionError(f"unknown peer {peer_id!r}") from None
         return PeerChannel(record, faults=self.faults, src=src)
 
+    def location_of(self, peer_id: str) -> Optional[Location]:
+        """The peer's registered location, or None for unknown peers."""
+        record = self._peers.get(peer_id)
+        return record.location if record is not None else None
+
     # -- presence queries (used by the Coordinator) ------------------------
     def online_peers(self) -> List[PeerRecord]:
         return [p for p in self._peers.values() if p.online]

@@ -79,6 +79,33 @@ class LatencyModel:
         return base * self._rng.lognormvariate(0.0, self._jitter)
 
 
+#: simulated server-side time to render one product page (connection
+#: setup + page generation); latency rides on top of this.
+FETCH_SERVICE_SECONDS = 0.35
+
+
+def fetch_duration(
+    model: LatencyModel,
+    src: Location,
+    dst: Optional[Location],
+    slowdown: float = 1.0,
+    service_seconds: float = FETCH_SERVICE_SECONDS,
+) -> float:
+    """Simulated wall time of one proxied page fetch.
+
+    Round trip to the vantage point plus the store's service time,
+    stretched by the vantage point's chronic ``slowdown`` factor
+    (Sect. 5's overloaded PlanetLab nodes).  ``dst=None`` — a vantage
+    point whose location is unknown, e.g. a peer that vanished from the
+    overlay — is billed at the international baseline.
+    """
+    if dst is None:
+        one_way = model.INTERNATIONAL
+    else:
+        one_way = model.latency(src, dst)
+    return (2.0 * one_way + service_seconds) * max(1.0, slowdown)
+
+
 @dataclass
 class _Transfer:
     """Record of one delivered request (for tests and monitoring)."""

@@ -66,6 +66,11 @@ class DeploymentConfig:
     chaos_seed: int = 0
     #: minimum vantage points per price check before the job is failed
     quorum: int = 1
+    #: pipelined price-check engine knobs (rows are identical either
+    #: way; these only shape the simulated timeline / cache behavior)
+    pipelined: bool = True
+    max_fetch_workers: int = 8
+    page_cache_ttl: float = 0.0
 
     @classmethod
     def paper_scale(cls) -> "DeploymentConfig":
@@ -160,6 +165,9 @@ class LiveDeployment:
             chaos_profile=cfg.chaos_profile,
             chaos_seed=cfg.chaos_seed,
             quorum=cfg.quorum,
+            pipelined=cfg.pipelined,
+            max_fetch_workers=cfg.max_fetch_workers,
+            page_cache_ttl=cfg.page_cache_ttl,
         )
         self.population = Population(
             self.sheriff, self.content_web,

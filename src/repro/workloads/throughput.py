@@ -1,0 +1,177 @@
+"""Throughput benchmark: serial vs pipelined price-check execution.
+
+The Table-1 question, asked of our own architecture: how many price
+checks per second can the back-end sustain as concurrent users grow?
+Each check fans out to the full IPC fleet (30 nodes by default, the
+paper's deployment) plus PPCs, so the fetch fan-out dominates; the
+pipelined engine overlaps those fetches on per-server worker pools
+while the serial baseline performs one fetch at a time.
+
+Both modes execute the *same* fetches with the same seed — the rows
+produced are byte-identical — and differ only in how the fetch
+durations pack onto the simulated timeline:
+
+* **serial** — one fetch in flight globally; elapsed time is the sum of
+  every fetch duration (the pre-engine execution model);
+* **pipelined** — each server's bounded worker pool runs fetches
+  concurrently and jobs from concurrent users overlap; elapsed time is
+  the event-loop makespan.
+
+``run_throughput`` sweeps the concurrency levels (1/8/64 users by
+default) and returns a JSON-ready report; the CLI command
+``repro throughput`` writes it to ``BENCH_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.clients.ipc import DEFAULT_IPC_SITES
+from repro.core.sheriff import PriceSheriff, SheriffWorld
+from repro.workloads.stores import build_named_stores, uniform_store_specs
+
+#: countries users are drawn from (round robin), a coarse cut of the
+#: deployment's geography (Sect. 6.1)
+USER_COUNTRIES: Tuple[str, ...] = ("ES", "US", "GB", "DE", "FR", "JP", "CA", "IT")
+
+
+@dataclass
+class ThroughputConfig:
+    """Knobs of one benchmark run."""
+
+    seed: int = 2017
+    #: concurrent-user levels to sweep
+    levels: Tuple[int, ...] = (1, 8, 64)
+    #: price checks executed per level (each level reuses a fresh world)
+    total_checks: int = 64
+    #: the IPC fleet every check fans out to (default: the paper's 30)
+    ipc_sites: Sequence[Tuple[str, str, float]] = DEFAULT_IPC_SITES
+    n_servers: int = 4
+    n_stores: int = 8
+    #: per-server fetch worker pool size (pipelined mode)
+    max_fetch_workers: int = 16
+    #: page-cache TTL in simulated seconds (applies to both modes, so
+    #: rows stay identical; 0 disables)
+    page_cache_ttl: float = 30.0
+
+    @classmethod
+    def smoke_scale(cls) -> "ThroughputConfig":
+        """A reduced instance for CI perf-smoke and unit tests."""
+        return cls(
+            levels=(1, 8),
+            total_checks=16,
+            ipc_sites=DEFAULT_IPC_SITES[:10],
+            n_servers=2,
+            n_stores=4,
+        )
+
+
+def _build_deployment(
+    config: ThroughputConfig, pipelined: bool
+) -> Tuple[SheriffWorld, PriceSheriff, List[str]]:
+    """A fresh seeded world + sheriff + product URL roster.
+
+    Dispatch is round robin so a wave of concurrent submissions spreads
+    over every Measurement server's worker pool (least-jobs degenerates
+    here: the simulated submit reports completion eagerly, so pending
+    counts never differentiate the servers).
+    """
+    world = SheriffWorld.create(seed=config.seed)
+    specs = uniform_store_specs(config.n_stores, seed=config.seed + 3)
+    stores = build_named_stores(world, specs)
+    sheriff = PriceSheriff(
+        world,
+        n_measurement_servers=config.n_servers,
+        ipc_sites=config.ipc_sites,
+        dispatch_policy="round_robin",
+        pipelined=pipelined,
+        max_fetch_workers=config.max_fetch_workers,
+        page_cache_ttl=config.page_cache_ttl,
+    )
+    urls: List[str] = []
+    for spec in specs:
+        store = stores[spec.domain]
+        for product in store.catalog.products:
+            urls.append(store.product_url(product.product_id))
+    return world, sheriff, urls
+
+
+def _run_mode(
+    config: ThroughputConfig, n_users: int, pipelined: bool
+) -> Dict[str, object]:
+    """Run ``total_checks`` checks at one concurrency level, one mode."""
+    world, sheriff, urls = _build_deployment(config, pipelined)
+    rng = random.Random(config.seed + 97)
+    addons = [
+        sheriff.install_addon(
+            world.make_browser(USER_COUNTRIES[i % len(USER_COUNTRIES)])
+        )
+        for i in range(n_users)
+    ]
+    completed = 0
+    service_seconds = 0.0
+    rows_total = 0
+    start = sheriff.engine.now
+    issued = 0
+    while issued < config.total_checks:
+        wave_size = min(n_users, config.total_checks - issued)
+        wave = []
+        for u in range(wave_size):
+            addon = addons[u]
+            url = urls[(issued + u) % len(urls)]
+            wave.append((addon, addon.submit_price_check(url)))
+        for addon, pending in wave:
+            service_seconds += pending.handle.service_seconds
+            result = addon.collect(pending)
+            rows_total += len(result.rows)
+            completed += 1
+        issued += wave_size
+    elapsed = (sheriff.engine.now - start) if pipelined else service_seconds
+    elapsed = max(elapsed, 1e-9)
+    stats = sheriff.measurement_stats()
+    return {
+        "mode": "pipelined" if pipelined else "serial",
+        "users": n_users,
+        "checks": completed,
+        "rows": rows_total,
+        "elapsed_s": round(elapsed, 3),
+        "checks_per_sec": round(completed / elapsed, 4),
+        "cache_hits": sheriff.engine.cache.hits,
+        "cache_misses": sheriff.engine.cache.misses,
+        "batched_writes": sheriff.db.batched_writes,
+        "peak_workers": max(
+            (p.peak_busy for p in sheriff.engine._pools.values()), default=0
+        ),
+    }
+
+
+def run_throughput(config: Optional[ThroughputConfig] = None) -> Dict[str, object]:
+    """Sweep the levels in both modes; return the BENCH report dict."""
+    config = config if config is not None else ThroughputConfig()
+    levels = []
+    for n_users in config.levels:
+        serial = _run_mode(config, n_users, pipelined=False)
+        pipelined = _run_mode(config, n_users, pipelined=True)
+        speedup = pipelined["checks_per_sec"] / max(serial["checks_per_sec"], 1e-9)
+        levels.append(
+            {
+                "users": n_users,
+                "checks": serial["checks"],
+                "serial": serial,
+                "pipelined": pipelined,
+                "speedup": round(speedup, 2),
+            }
+        )
+    return {
+        "benchmark": "price-check throughput (checks/sec, serial vs pipelined)",
+        "config": {
+            **asdict(config),
+            "ipc_sites": len(config.ipc_sites),
+            "levels": list(config.levels),
+        },
+        "levels": levels,
+        "max_speedup": max(l["speedup"] for l in levels),
+        "speedup_at_top_level": levels[-1]["speedup"],
+    }

@@ -1,0 +1,126 @@
+"""Serial vs pipelined equivalence: same seed ⇒ byte-identical rows.
+
+The engine's core determinism claim: the Measurement server performs
+the fan-out eagerly in canonical order, so every RNG stream (world,
+faults, latency) is consumed identically whether the run is serial or
+pipelined — the engine only packs the fetch durations onto the
+simulated timeline.  Two fresh worlds with the same seed and the same
+``FaultPlan`` must therefore produce identical ``PriceCheckResult``
+rows, identical database contents, and identical fault-event logs.
+"""
+
+import random
+
+import pytest
+
+from repro.core.addon import PriceCheckFailed
+from repro.core.sheriff import PriceSheriff, SheriffWorld
+from repro.web.catalog import make_catalog
+from repro.web.internet import ContentSite
+from repro.web.pricing import CountryMultiplierPricing, UniformPricing
+from repro.web.store import EStore
+
+from .conftest import SMALL_IPC_SITES
+
+N_CHECKS = 4
+
+
+def _build_world(seed):
+    world = SheriffWorld.create(seed=seed)
+    for domain, country, pricing, kwargs in (
+        ("uniform.example", "ES", UniformPricing(), {}),
+        (
+            "geo.example", "US",
+            CountryMultiplierPricing({"CA": 1.30, "GB": 1.10}),
+            {"currency_strategy": "geo"},
+        ),
+    ):
+        catalog = make_catalog(domain, size=6, rng=random.Random(len(domain) * 131))
+        world.internet.register(
+            EStore(
+                domain=domain, country_code=country, catalog=catalog,
+                pricing=pricing, geodb=world.geodb, rates=world.rates,
+                tracker_domains=("doubleclick.net", "criteo.com"), **kwargs,
+            )
+        )
+    world.internet.register(
+        ContentSite("news.example", tracker_domains=("doubleclick.net",))
+    )
+    return world
+
+
+def _run(pipelined, chaos_profile=None, seed=7, page_cache_ttl=0.0, repeat=False):
+    """One full deployment run; returns everything comparable.
+
+    ``repeat=True`` checks each URL twice so the page cache (when
+    enabled) actually serves hits.
+    """
+    world = _build_world(seed)
+    sheriff = PriceSheriff(
+        world, n_measurement_servers=2, ipc_sites=SMALL_IPC_SITES,
+        chaos_profile=chaos_profile, chaos_seed=11,
+        pipelined=pipelined, page_cache_ttl=page_cache_ttl,
+    )
+    user = sheriff.install_addon(world.make_browser("ES", "Madrid"))
+    for city in ("Barcelona", "Valencia", "Madrid"):
+        sheriff.install_addon(world.make_browser("ES", city))
+
+    store = world.internet.site("uniform.example")
+    urls = [
+        store.product_url(p.product_id) for p in store.catalog.products[:N_CHECKS]
+    ]
+    if repeat:
+        urls = urls + urls
+    outcomes = []
+    for url in urls:
+        world.clock.advance(60.0)
+        try:
+            result = user.check_price(url)
+        except PriceCheckFailed as exc:
+            outcomes.append(("failed", url, str(exc)))
+        else:
+            outcomes.append(("ok", url, list(result.rows)))
+    fault_log = sheriff.faults.event_log() if sheriff.faults is not None else ()
+    return {
+        "outcomes": outcomes,
+        "faults": fault_log,
+        "db": sheriff.db.sp_all_responses(),
+        "cache_hits": sheriff.engine.cache.hits,
+    }
+
+
+@pytest.mark.parametrize("chaos_profile", [None, "lossy", "chaos_monkey"])
+def test_serial_and_pipelined_runs_are_identical(chaos_profile):
+    serial = _run(pipelined=False, chaos_profile=chaos_profile)
+    pipelined = _run(pipelined=True, chaos_profile=chaos_profile)
+
+    # identical outcomes: every check succeeds/fails the same way with
+    # the exact same ResultRow values in the exact same order
+    assert serial["outcomes"] == pipelined["outcomes"]
+    # identical fault-event logs: the FaultPlan RNG was consulted in the
+    # same sequence for the same (src, dst) pairs
+    assert serial["faults"] == pipelined["faults"]
+    # identical persisted rows, ids included (batched writes preserve
+    # the row _id sequence of the serial inserts)
+    assert serial["db"] == pipelined["db"]
+
+
+def test_page_cache_keeps_modes_identical():
+    """With the cache serving real hits, both modes still agree exactly.
+
+    The cache is consulted in the same eager canonical order in both
+    modes, so a hit (and the fetch it skips) happens at the same point
+    of every RNG stream either way.
+    """
+    serial = _run(pipelined=False, page_cache_ttl=3600.0, repeat=True)
+    pipelined = _run(pipelined=True, page_cache_ttl=3600.0, repeat=True)
+
+    assert pipelined["cache_hits"] > 0
+    assert serial["cache_hits"] == pipelined["cache_hits"]
+    assert serial["outcomes"] == pipelined["outcomes"]
+    assert serial["db"] == pipelined["db"]
+
+
+def test_at_least_one_chaos_run_logs_faults():
+    run = _run(pipelined=True, chaos_profile="chaos_monkey")
+    assert len(run["faults"]) >= 1

@@ -123,6 +123,81 @@ class TestEventLoop:
         assert loop.processed == 2
 
 
+class TestRunUntilDeadlineBoundary:
+    def test_event_exactly_at_deadline_executes(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(5.0, lambda: seen.append("edge"))
+        loop.run_until(5.0)
+        assert seen == ["edge"]
+        assert loop.clock.now == 5.0
+        assert loop.pending == 0
+
+    def test_event_just_past_deadline_waits(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(5.0000001, lambda: seen.append("late"))
+        loop.run_until(5.0)
+        assert seen == []
+        assert loop.clock.now == 5.0
+        assert loop.pending == 1
+        loop.run_until(6.0)
+        assert seen == ["late"]
+        assert loop.clock.now == 6.0
+
+    def test_event_at_deadline_may_chain_at_the_deadline(self):
+        loop = EventLoop()
+        seen = []
+
+        def first():
+            seen.append("first")
+            loop.call_later(0.0, lambda: seen.append("chained"))
+
+        loop.call_at(5.0, first)
+        loop.run_until(5.0)
+        assert seen == ["first", "chained"]
+
+    def test_cancelled_head_does_not_pull_late_events(self):
+        loop = EventLoop()
+        seen = []
+        handle = loop.call_at(1.0, lambda: seen.append("cancelled"))
+        loop.call_at(10.0, lambda: seen.append("late"))
+        handle.cancel()
+        loop.run_until(5.0)
+        assert seen == []
+        assert loop.clock.now == 5.0
+        assert loop.pending == 1
+
+
+class TestStepAndPeek:
+    def test_step_executes_exactly_one_event(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(1.0, lambda: seen.append("a"))
+        loop.call_at(2.0, lambda: seen.append("b"))
+        assert loop.step() is True
+        assert seen == ["a"]
+        assert loop.clock.now == 1.0
+        assert loop.step() is True
+        assert seen == ["a", "b"]
+        assert loop.clock.now == 2.0
+
+    def test_step_on_empty_queue_returns_false(self):
+        loop = EventLoop(Clock(3.0))
+        assert loop.step() is False
+        assert loop.clock.now == 3.0
+
+    def test_peek_next_skips_cancelled_events(self):
+        loop = EventLoop()
+        handle = loop.call_at(1.0, lambda: None)
+        loop.call_at(4.0, lambda: None)
+        assert loop.peek_next() == 1.0
+        handle.cancel()
+        assert loop.peek_next() == 4.0
+        loop.run()
+        assert loop.peek_next() is None
+
+
 def test_daily_ticks():
     ticks = list(daily_ticks(start_day=2, n_days=3))
     assert ticks == [
