@@ -10,7 +10,13 @@ Gives the library a tool-shaped front door:
 * ``chaos``       — run a deployment under a named fault-injection
   profile and report resolution/recovery counters;
 * ``throughput``  — benchmark serial vs pipelined price-check
-  execution and emit ``BENCH_throughput.json``.
+  execution and emit ``BENCH_throughput.json``;
+* ``metrics``     — run a telemetry-on deployment and emit its
+  Prometheus-style metrics exposition;
+* ``trace``       — same run, render one price check's span timeline
+  on the simulated clock (and optionally export span JSONL);
+* ``panel``       — the live operator view: pipeline health plus the
+  Fig. 7 / Fig. 16 panels, all from a metrics snapshot.
 
 Everything runs against the simulated world; the CLI exists so the
 reproduction can be driven without writing Python.
@@ -106,6 +112,51 @@ def _build_parser() -> argparse.ArgumentParser:
     throughput.add_argument("--require-speedup", type=float, default=None,
                             metavar="X",
                             help="exit 1 unless the top-level speedup > X")
+    throughput.add_argument("--trace-out", default=None, metavar="JSONL",
+                            help="run one traced pipelined sweep and export "
+                                 "its span log to this JSONL file")
+    throughput.add_argument("--metrics-out", default=None, metavar="PROM",
+                            help="write the traced run's metrics exposition "
+                                 "to this file (implies a traced run)")
+    throughput.add_argument("--max-telemetry-overhead", type=float,
+                            default=None, metavar="FRACTION",
+                            help="measure telemetry-on vs telemetry-off "
+                                 "wall time; exit 1 if the overhead "
+                                 "fraction exceeds this bound")
+
+    def add_telemetry_run_args(p, requests=24, users=12):
+        p.add_argument("--chaos", default="lossy", metavar="PROFILE",
+                       help="chaos profile of the instrumented run "
+                            "('none' = clean network)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="seed of the fault plan's RNG")
+        p.add_argument("--requests", type=int, default=requests,
+                       help="price checks to attempt")
+        p.add_argument("--users", type=int, default=users,
+                       help="size of the simulated population")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a telemetry-on deployment, emit Prometheus exposition",
+    )
+    add_telemetry_run_args(metrics)
+    metrics.add_argument("--out", default=None,
+                         help="write the exposition here instead of stdout")
+
+    trace = sub.add_parser(
+        "trace", help="render one price check's span timeline"
+    )
+    add_telemetry_run_args(trace)
+    trace.add_argument("--job", type=int, default=-1, metavar="N",
+                       help="which traced job to render (index into the "
+                            "run's trace list; default: the last one)")
+    trace.add_argument("--out", default=None, metavar="JSONL",
+                       help="also export every span as JSON lines")
+
+    panel = sub.add_parser(
+        "panel", help="live operator panels from a metrics snapshot"
+    )
+    add_telemetry_run_args(panel)
 
     return parser
 
@@ -330,7 +381,14 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
     if args.seed is not None:
         config.seed = args.seed
 
+    from repro.workloads.throughput import (
+        measure_telemetry_overhead,
+        traced_run,
+    )
+
     report = run_throughput(config)
+    if args.max_telemetry_overhead is not None:
+        report["telemetry_overhead"] = measure_telemetry_overhead(config)
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
@@ -343,7 +401,25 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
             f"{level['pipelined']['checks_per_sec']:>14.4f} "
             f"{level['speedup']:>7.2f}x"
         )
+    top_pcts = report["levels"][-1]["pipelined"].get("latency_percentiles")
+    if top_pcts:
+        rendered = "  ".join(
+            f"{k}={v:.3f}s" for k, v in top_pcts.items() if v is not None
+        )
+        print(f"check latency at top level: {rendered}")
     print(f"report written to {args.out}")
+
+    if args.trace_out or args.metrics_out:
+        telemetry = traced_run(config)
+        if args.trace_out:
+            with open(args.trace_out, "w") as fh:
+                n = telemetry.tracer.export_jsonl(fh)
+            print(f"{n} spans exported to {args.trace_out}")
+        if args.metrics_out:
+            with open(args.metrics_out, "w") as fh:
+                fh.write(telemetry.registry.render_exposition())
+            print(f"metrics exposition written to {args.metrics_out}")
+
     if args.require_speedup is not None:
         top = report["speedup_at_top_level"]
         if top <= args.require_speedup:
@@ -353,6 +429,91 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
             )
             return 1
         print(f"OK: top-level speedup {top:.2f}x > {args.require_speedup:.2f}x")
+    if args.max_telemetry_overhead is not None:
+        overhead = report["telemetry_overhead"]["overhead_fraction"]
+        if overhead > args.max_telemetry_overhead:
+            print(
+                f"FAIL: telemetry overhead {overhead:.1%} exceeds "
+                f"{args.max_telemetry_overhead:.1%}"
+            )
+            return 1
+        print(
+            f"OK: telemetry overhead {overhead:.1%} <= "
+            f"{args.max_telemetry_overhead:.1%}"
+        )
+    return 0
+
+
+def _telemetry_drill(args: argparse.Namespace):
+    """A small telemetry-on deployment for metrics/trace/panel."""
+    from repro.workloads.deployment import DeploymentConfig, LiveDeployment
+
+    config = DeploymentConfig.test_scale()
+    config.n_requests = args.requests
+    config.n_users = args.users
+    config.chaos_profile = None if args.chaos in (None, "none") else args.chaos
+    config.chaos_seed = args.seed
+    config.telemetry = True
+    # a short cache TTL so the cache hit/miss series carry data
+    config.page_cache_ttl = 60.0
+    return LiveDeployment(config).run()
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    dataset = _telemetry_drill(args)
+    exposition = dataset.sheriff.telemetry.registry.render_exposition()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(exposition)
+        print(f"metrics exposition written to {args.out}")
+    else:
+        print(exposition, end="")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import render_trace
+
+    dataset = _telemetry_drill(args)
+    tracer = dataset.sheriff.telemetry.tracer
+    trace_ids = tracer.trace_ids()
+    if not trace_ids:
+        print("no price check completed — nothing to trace")
+        return 1
+    try:
+        trace_id = trace_ids[args.job]
+    except IndexError:
+        print(f"no traced job {args.job} (have {len(trace_ids)})")
+        return 1
+    print(render_trace(tracer.spans_for(trace_id)))
+    if args.out:
+        with open(args.out, "w") as fh:
+            n = tracer.export_jsonl(fh)
+        print(f"\n{n} spans exported to {args.out}")
+    return 0
+
+
+def _cmd_panel(args: argparse.Namespace) -> int:
+    from repro.core.monitoring import (
+        faults_panel,
+        peers_panel,
+        pipeline_panel,
+        servers_panel,
+    )
+
+    dataset = _telemetry_drill(args)
+    sheriff = dataset.sheriff
+    registry = sheriff.telemetry.registry
+    print(pipeline_panel(registry))
+    print()
+    print(servers_panel(registry))
+    print()
+    print(peers_panel(registry))
+    print()
+    report = sheriff.fault_report()
+    report.pop("chaos_profile", None)
+    report.pop("faults_injected", None)
+    print(faults_panel(sheriff.faults, recovery=report))
     return 0
 
 
@@ -367,6 +528,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "watch": _cmd_watch,
         "chaos": _cmd_chaos,
         "throughput": _cmd_throughput,
+        "metrics": _cmd_metrics,
+        "trace": _cmd_trace,
+        "panel": _cmd_panel,
     }
     return handlers[args.command](args)
 

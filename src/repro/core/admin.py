@@ -21,7 +21,12 @@ from typing import Optional
 
 from repro.core.errors import ProbeFailed
 from repro.core.measurement import MeasurementServer
-from repro.core.monitoring import faults_panel, peers_panel, servers_panel
+from repro.core.monitoring import (
+    faults_panel,
+    peers_panel,
+    pipeline_panel,
+    servers_panel,
+)
 
 __all__ = ["AdminConsole", "ProbeFailed"]
 
@@ -48,6 +53,7 @@ class AdminConsole:
             quorum=getattr(sheriff, "quorum", 1),
             engine=getattr(sheriff, "engine", None),
             pipelined=getattr(sheriff, "pipelined", True),
+            telemetry=getattr(sheriff, "telemetry", None),
         )
         self.probe(server)
         sheriff.measurement_servers[name] = server
@@ -86,4 +92,12 @@ class AdminConsole:
         return peers_panel(self._sheriff.overlay, self_peer_id)
 
     def faults_panel(self) -> str:
-        return faults_panel(self._sheriff.fault_report())
+        """Fault counts straight from the plan's event log, recovery
+        counters from the deployment report."""
+        report = self._sheriff.fault_report()
+        report.pop("chaos_profile", None)
+        report.pop("faults_injected", None)
+        return faults_panel(self._sheriff.faults, recovery=report)
+
+    def pipeline_panel(self) -> str:
+        return pipeline_panel(self._sheriff.telemetry.registry)

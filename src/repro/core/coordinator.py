@@ -37,6 +37,7 @@ from repro.core.whitelist import Whitelist
 from repro.net.faults import ROLE_SERVER, BackoffPolicy, FaultPlan
 from repro.net.geo import GeoDatabase, Location
 from repro.net.p2p import PeerOverlay
+from repro.obs.metrics import NULL_REGISTRY
 from repro.profiles.doppelganger import DoppelgangerManager
 from repro.web.internet import parse_url
 
@@ -73,6 +74,9 @@ class JobRecord:
     attempts: int = 1
     failed: bool = False
     failure_reason: Optional[str] = None
+    #: world-clock time the request was admitted (telemetry: the
+    #: assign→complete turnaround histogram measures from here)
+    started_at: float = 0.0
 
     @property
     def resolved(self) -> bool:
@@ -96,6 +100,7 @@ class Coordinator:
         faults: Optional[FaultPlan] = None,
         retry_budget: int = 3,
         backoff: Optional[BackoffPolicy] = None,
+        metrics=None,
     ) -> None:
         self.whitelist = whitelist
         self.distributor = distributor
@@ -117,6 +122,31 @@ class Coordinator:
         self.jobs_reassigned = 0
         #: total simulated seconds callers were told to back off
         self.backoff_seconds = 0.0
+        #: telemetry: recovery counters + the per-server turnaround
+        #: histogram (admission → completion report, world clock)
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_recovery = self.metrics.counter(
+            "sheriff_coordinator_recovery_total",
+            "Failover / reassignment / terminal-failure events",
+            labelnames=("event",),
+        )
+        self._m_rejected = self.metrics.counter(
+            "sheriff_requests_rejected_total",
+            "Price-check requests refused at admission",
+        )
+        self._m_backoff = self.metrics.counter(
+            "sheriff_backoff_seconds_total",
+            "Simulated seconds callers were told to back off",
+        )
+        self._m_retry_budget = self.metrics.counter(
+            "sheriff_retry_budget_spent_total",
+            "Server assignments consumed beyond each job's first",
+        )
+        self._m_turnaround = self.metrics.histogram(
+            "sheriff_job_turnaround_seconds",
+            "Admission-to-completion-report time per server (world clock)",
+            labelnames=("server",),
+        )
 
     # -- PPC tracking ----------------------------------------------------------
     def select_ppcs(self, initiator_peer_id: str, location: Location) -> List[str]:
@@ -155,12 +185,13 @@ class Coordinator:
         domain, path = parse_url(url)
         allowed, reason = self.whitelist.check(url, domain, path, self.clock.now)
         if not allowed:
+            self._m_rejected.inc()
             raise RequestRejected(url, reason)
         job_id = f"job-{next(self._job_seq)}"
         server = self.distributor.assign_job(job_id)
         self.jobs[job_id] = JobRecord(
             job_id=job_id, peer_id=peer_id, url=url, domain=domain,
-            server_name=server.name,
+            server_name=server.name, started_at=self.clock.now,
         )
         ppcs = self.select_ppcs(peer_id, location)
         return (
@@ -187,6 +218,9 @@ class Coordinator:
             return
         record.completed = True
         self.distributor.complete_job(job_id)
+        self._m_turnaround.observe(
+            self.clock.now - record.started_at, server=record.server_name
+        )
 
     # -- failover (heartbeat expiry + dead-server reassignment) -----------------
     def chaos_tick(self) -> List[str]:
@@ -235,6 +269,7 @@ class Coordinator:
         twice.
         """
         self.failovers += 1
+        self._m_recovery.inc(event="failover")
         try:
             job_ids = self.distributor.mark_offline(server_name)
         except KeyError:
@@ -265,6 +300,8 @@ class Coordinator:
         record.attempts += 1
         record.server_name = server.name
         self.jobs_reassigned += 1
+        self._m_recovery.inc(event="reassigned")
+        self._m_retry_budget.inc()
         return RequestTicket(
             job_id=job_id,
             server_name=server.name,
@@ -276,6 +313,7 @@ class Coordinator:
         """Jittered, capped-exponential wait before retry ``attempt``."""
         delay = self.backoff.delay(attempt, self._rng)
         self.backoff_seconds += delay
+        self._m_backoff.inc(delay)
         return delay
 
     def fail_job(self, job_id: str, reason: str) -> None:
@@ -289,6 +327,7 @@ class Coordinator:
         record.failure_reason = reason
         self.distributor.fail_job(job_id)
         self.jobs_failed += 1
+        self._m_recovery.inc(event="job_failed")
 
     def failed_jobs(self) -> List[JobRecord]:
         return [j for j in self.jobs.values() if j.failed]

@@ -49,6 +49,23 @@ class DatabaseServer:
         self.peak_connections = 0
         self.query_count = 0
         self.batched_writes = 0
+        self._m_queries = None
+        self._m_batch_rows = None
+        self._m_connections = None
+
+    def bind_metrics(self, registry) -> None:
+        """Query counters, batch-size histogram, pool occupancy gauge."""
+        self._m_queries = registry.counter(
+            "sheriff_db_queries_total", "Round trips to the Database server"
+        )
+        self._m_batch_rows = registry.histogram(
+            "sheriff_db_batch_rows",
+            "Rows per batched insert (sp_record_responses)",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        )
+        self._m_connections = registry.gauge(
+            "sheriff_db_connections_busy", "Connections currently held"
+        )
 
     # -- connection pool ----------------------------------------------------
     @contextmanager
@@ -59,10 +76,14 @@ class DatabaseServer:
             )
         self._connections_in_use += 1
         self.peak_connections = max(self.peak_connections, self._connections_in_use)
+        if self._m_connections is not None:
+            self._m_connections.set(self._connections_in_use)
         try:
             yield self
         finally:
             self._connections_in_use -= 1
+            if self._m_connections is not None:
+                self._m_connections.set(self._connections_in_use)
 
     # -- generic table access -----------------------------------------------
     def _table(self, name: str) -> List[Dict[str, Any]]:
@@ -73,6 +94,8 @@ class DatabaseServer:
 
     def insert(self, table: str, row: Dict[str, Any]) -> int:
         self.query_count += 1
+        if self._m_queries is not None:
+            self._m_queries.inc()
         row = dict(row)
         row_id = next(self._ids)
         row["_id"] = row_id
@@ -88,6 +111,9 @@ class DatabaseServer:
         """
         self.query_count += 1
         self.batched_writes += 1
+        if self._m_queries is not None:
+            self._m_queries.inc()
+            self._m_batch_rows.observe(len(rows))
         target = self._table(table)
         ids = []
         for row in rows:

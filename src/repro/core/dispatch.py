@@ -29,6 +29,7 @@ from repro.core.errors import (
     UnknownJob,
     UnknownServer,
 )
+from repro.obs.metrics import NULL_REGISTRY
 
 __all__ = [
     "NoServerAvailable",
@@ -76,6 +77,7 @@ class RequestDistributor:
         self,
         policy: str = "least_jobs",
         heartbeat_timeout: float = 30.0,
+        metrics=None,
     ) -> None:
         if policy not in ("least_jobs", "round_robin"):
             raise DispatchConfigError(f"unknown dispatch policy {policy!r}")
@@ -89,6 +91,33 @@ class RequestDistributor:
         self.failures = 0
         self.reassignments = 0
         self.offline_events = 0
+        #: telemetry: lifecycle counters plus the per-server gauges the
+        #: Fig. 7 panel renders from
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_lifecycle = self.metrics.counter(
+            "sheriff_dispatch_jobs_total",
+            "Job lifecycle events seen by the distributor",
+            labelnames=("event",),
+        )
+        self._m_offline = self.metrics.counter(
+            "sheriff_dispatch_offline_events_total",
+            "Servers marked offline (missed heartbeats or dead sends)",
+        )
+        self._m_jobs = self.metrics.gauge(
+            "sheriff_server_pending_jobs",
+            "Pending jobs per Measurement server (Fig. 7)",
+            labelnames=("server", "url", "port"),
+        )
+        self._m_online = self.metrics.gauge(
+            "sheriff_server_online",
+            "1 = server online, 0 = offline (Fig. 7)",
+            labelnames=("server", "url", "port"),
+        )
+
+    def _sync_gauges(self, record: ServerRecord) -> None:
+        labels = dict(server=record.name, url=record.url, port=record.port)
+        self._m_jobs.set(record.jobs, **labels)
+        self._m_online.set(1 if record.online else 0, **labels)
 
     # -- registry ------------------------------------------------------------
     def register_server(
@@ -98,6 +127,7 @@ class RequestDistributor:
             raise DuplicateServer(f"server {name!r} already registered")
         record = ServerRecord(name=name, url=url, port=port, registered_at=now)
         self._servers[name] = record
+        self._sync_gauges(record)
         return record
 
     def remove_server(self, name: str) -> None:
@@ -107,6 +137,10 @@ class RequestDistributor:
                 f"server {name!r} still has {record.jobs} pending jobs"
             )
         self._servers.pop(name, None)
+        if record is not None:
+            labels = dict(server=record.name, url=record.url, port=record.port)
+            self._m_jobs.remove(**labels)
+            self._m_online.remove(**labels)
 
     def server(self, name: str) -> ServerRecord:
         try:
@@ -122,6 +156,7 @@ class RequestDistributor:
         record = self.server(name)
         record.timestamp = now
         record.online = True
+        self._sync_gauges(record)
 
     def expire_stale(self, now: float) -> List[str]:
         """Mark servers offline whose heartbeat is older than the timeout.
@@ -136,6 +171,8 @@ class RequestDistributor:
             if record.online and now - record.last_seen > self.heartbeat_timeout:
                 record.online = False
                 self.offline_events += 1
+                self._m_offline.inc()
+                self._sync_gauges(record)
                 expired.append(record.name)
         return expired
 
@@ -145,6 +182,8 @@ class RequestDistributor:
         if record.online:
             record.online = False
             self.offline_events += 1
+            self._m_offline.inc()
+            self._sync_gauges(record)
         return self.jobs_on(name)
 
     # -- assignment ---------------------------------------------------------------
@@ -167,6 +206,8 @@ class RequestDistributor:
         record.jobs += 1
         self._job_server[job_id] = record.name
         self.assignments += 1
+        self._m_lifecycle.inc(event="assigned")
+        self._sync_gauges(record)
         return record
 
     def reassign_job(
@@ -188,9 +229,12 @@ class RequestDistributor:
         old = self._servers.get(old_name)
         if old is not None and old.jobs > 0:
             old.jobs -= 1
+            self._sync_gauges(old)
         record.jobs += 1
         self._job_server[job_id] = record.name
         self.reassignments += 1
+        self._m_lifecycle.inc(event="reassigned")
+        self._sync_gauges(record)
         return record
 
     def jobs_on(self, name: str) -> List[str]:
@@ -204,11 +248,13 @@ class RequestDistributor:
         record = self._servers.get(name)
         if record is not None and record.jobs > 0:
             record.jobs -= 1
+            self._sync_gauges(record)
 
     def complete_job(self, job_id: str) -> None:
         """Step 4 of Fig. 6: the server reports the job finished."""
         self._release(job_id)
         self.completions += 1
+        self._m_lifecycle.inc(event="completed")
 
     def fail_job(self, job_id: str) -> None:
         """Release a job that is being reported failed (retry budget
@@ -216,6 +262,7 @@ class RequestDistributor:
         explicit, never silent."""
         self._release(job_id)
         self.failures += 1
+        self._m_lifecycle.inc(event="failed")
 
     def reconcile_lost_job(self, job_id: str) -> None:
         """Corrective measure for completion messages lost to the network

@@ -33,6 +33,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.pricecheck import PriceCheckResult
 from repro.net.events import Clock, EventLoop
+from repro.obs.metrics import NULL_REGISTRY
 
 __all__ = ["JobHandle", "PageCache", "PriceCheckEngine", "WorkerPool"]
 
@@ -101,7 +102,14 @@ class WorkerPool:
     fetcher-thread pool a real Measurement server would run.
     """
 
-    def __init__(self, loop: EventLoop, size: int) -> None:
+    def __init__(
+        self,
+        loop: EventLoop,
+        size: int,
+        name: str = "",
+        busy_gauge=None,
+        queue_gauge=None,
+    ) -> None:
         if size < 1:
             raise ValueError(f"worker pool needs at least 1 worker, got {size}")
         self.loop = loop
@@ -110,6 +118,15 @@ class WorkerPool:
         self._waiting: Deque[Tuple[float, Callable[[], None]]] = deque()
         self.peak_busy = 0
         self.tasks_run = 0
+        #: telemetry: pool occupancy / queue depth, labeled by server
+        self.name = name
+        self._busy_gauge = busy_gauge
+        self._queue_gauge = queue_gauge
+
+    def _sync_gauges(self) -> None:
+        if self._busy_gauge is not None:
+            self._busy_gauge.set(self._busy, server=self.name)
+            self._queue_gauge.set(len(self._waiting), server=self.name)
 
     @property
     def busy(self) -> int:
@@ -136,6 +153,7 @@ class WorkerPool:
                 self._drain()
 
             self.loop.call_later(duration, fire)
+        self._sync_gauges()
 
 
 class PageCache:
@@ -155,6 +173,22 @@ class PageCache:
         self._pages: Dict[Tuple[str, str, str], Tuple[float, Any]] = {}
         self.hits = 0
         self.misses = 0
+        self._hit_counter = None
+        self._miss_counter = None
+
+    def bind_metrics(self, registry) -> None:
+        """Re-emit hit/miss counts as registry series (panel input)."""
+        self._hit_counter = registry.counter(
+            "sheriff_cache_hits_total", "Page-cache hits"
+        )
+        self._miss_counter = registry.counter(
+            "sheriff_cache_misses_total", "Page-cache misses"
+        )
+
+    def _count_miss(self) -> None:
+        self.misses += 1
+        if self._miss_counter is not None:
+            self._miss_counter.inc()
 
     @property
     def enabled(self) -> bool:
@@ -165,14 +199,16 @@ class PageCache:
             return None
         entry = self._pages.get(key)
         if entry is None:
-            self.misses += 1
+            self._count_miss()
             return None
         stored_at, page = entry
         if now - stored_at > self.ttl:
             del self._pages[key]
-            self.misses += 1
+            self._count_miss()
             return None
         self.hits += 1
+        if self._hit_counter is not None:
+            self._hit_counter.inc()
         return page
 
     def put(self, key: Tuple[str, str, str], page: Any, now: float) -> None:
@@ -198,12 +234,43 @@ class PriceCheckEngine:
         loop: Optional[EventLoop] = None,
         max_workers: int = 8,
         cache: Optional[PageCache] = None,
+        metrics=None,
     ) -> None:
         self.loop = loop if loop is not None else EventLoop(Clock())
         self.max_workers = max_workers
         self.cache = cache if cache is not None else PageCache(ttl=0.0)
         self._pools: Dict[str, WorkerPool] = {}
         self.jobs_scheduled = 0
+        #: telemetry (a MetricsRegistry, or the shared null registry)
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._m_submitted = self.metrics.counter(
+            "sheriff_engine_jobs_submitted_total",
+            "Jobs scheduled on the engine", labelnames=("server",),
+        )
+        self._m_completed = self.metrics.counter(
+            "sheriff_engine_jobs_completed_total",
+            "Jobs that reached a terminal state",
+            labelnames=("server", "state"),
+        )
+        self._m_latency = self.metrics.histogram(
+            "sheriff_check_latency_seconds",
+            "Per-check latency on the simulated timeline",
+            labelnames=("server", "mode"),
+        )
+        self._m_busy = self.metrics.gauge(
+            "sheriff_engine_workers_busy",
+            "Fetch workers currently occupied", labelnames=("server",),
+        )
+        self._m_queue = self.metrics.gauge(
+            "sheriff_engine_queue_depth",
+            "Fetch tasks waiting for a worker", labelnames=("server",),
+        )
+        self._m_clock = self.metrics.gauge(
+            "sheriff_engine_clock_seconds",
+            "Current engine-loop simulated time",
+        )
+        if self.metrics.enabled:
+            self.cache.bind_metrics(self.metrics)
 
     @property
     def now(self) -> float:
@@ -212,9 +279,21 @@ class PriceCheckEngine:
     def pool_for(self, server_name: str) -> WorkerPool:
         pool = self._pools.get(server_name)
         if pool is None:
-            pool = WorkerPool(self.loop, self.max_workers)
+            pool = WorkerPool(
+                self.loop, self.max_workers, name=server_name,
+                busy_gauge=self._m_busy if self.metrics.enabled else None,
+                queue_gauge=self._m_queue if self.metrics.enabled else None,
+            )
             self._pools[server_name] = pool
         return pool
+
+    def observe_serial_check(self, server_name: str, seconds: float) -> None:
+        """Account one serial-mode check (no engine scheduling): the
+        Measurement server reports its summed service time here so the
+        latency histogram covers both execution modes."""
+        self._m_submitted.inc(server=server_name)
+        self._m_completed.inc(server=server_name, state=DONE)
+        self._m_latency.observe(seconds, server=server_name, mode="serial")
 
     # -- scheduling ------------------------------------------------------
     def schedule(
@@ -233,6 +312,7 @@ class PriceCheckEngine:
         handle.submitted_at = self.now
         handle.state = RUNNING
         self.jobs_scheduled += 1
+        self._m_submitted.inc(server=handle.server_name)
         pool = self.pool_for(handle.server_name)
         remaining = len(tasks)
         if remaining == 0:
@@ -253,6 +333,12 @@ class PriceCheckEngine:
     def _finish(self, handle: JobHandle) -> None:
         handle.finished_at = self.now
         handle.state = FAILED if handle.error is not None else DONE
+        self._m_completed.inc(server=handle.server_name, state=handle.state)
+        self._m_latency.observe(
+            handle.finished_at - handle.submitted_at,
+            server=handle.server_name, mode="pipelined",
+        )
+        self._m_clock.set(self.now)
 
     # -- pumping ---------------------------------------------------------
     def pump(self, handle: JobHandle) -> None:

@@ -44,6 +44,7 @@ from repro.net.faults import PeerTimeout, ProxyFetchError, ProxyTimeout
 from repro.net.geo import Location
 from repro.net.p2p import PeerOverlay
 from repro.net.sim import LatencyModel, fetch_duration
+from repro.obs import NULL_TELEMETRY
 from repro.web.internet import parse_url
 
 if TYPE_CHECKING:  # avoid a core ↔ clients import cycle at runtime
@@ -124,6 +125,7 @@ class MeasurementServer:
         engine: Optional[PriceCheckEngine] = None,
         pipelined: bool = True,
         latency_model: Optional[LatencyModel] = None,
+        telemetry=None,
     ) -> None:
         self.name = name
         self.coordinator = coordinator
@@ -155,6 +157,10 @@ class MeasurementServer:
             country="ES", region="Catalonia", city="Barcelona",
             ip=f"10.250.1.{sum(name.encode()) % 200 + 1}",
         )
+        #: telemetry is observational only — spans read the sim clock
+        #: and never consume any RNG stream, so serial and pipelined
+        #: runs stay byte-identical with tracing on or off
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.jobs_processed = 0
         self.stats = MeasurementStats()
         #: live job handles of the unified submit/poll/result API
@@ -388,6 +394,13 @@ class MeasurementServer:
             # serial mode (or a failed job): everything lands at once
             handle.rows_arrived = handle.total_rows
             handle.state = "failed" if error is not None else "done"
+            if error is None and self.engine is not None:
+                # account the check in the latency histogram under
+                # mode="serial" — the pipelined path records its own
+                # observation when the engine finishes the handle
+                self.engine.observe_serial_check(
+                    self.name, handle.service_seconds
+                )
         return handle
 
     def _resolve(self, handle: Union[JobHandle, str]) -> JobHandle:
@@ -484,7 +497,32 @@ class MeasurementServer:
         one ``(duration, produced_row)`` entry per fetch attempt — a
         failed fetch still occupies a worker for its timeout — plus the
         zero-cost entry for the initiator's own page.
+
+        The whole fan-out runs under one ``price_check`` root span keyed
+        by the job id.  Child ``fetch`` spans all start at the same
+        simulated instant — the paper's "at the same time" requirement —
+        and carry their duration explicitly, because the fetches execute
+        eagerly while the world clock is frozen.
         """
+        tr = self.telemetry.tracer
+        with tr.span(
+            "price_check", trace_id=job.job_id, job_id=job.job_id,
+            url=job.url, server=self.name,
+        ):
+            return self._execute_fanout(job, tr)
+
+    def _fetch_span(
+        self, tr, duration: float, vantage: str, proxy_id: str,
+        ok: bool, **attrs: Any,
+    ) -> None:
+        """Record one completed fetch attempt as a zero-body span."""
+        with tr.span("fetch", duration=duration, vantage=vantage,
+                     proxy_id=proxy_id, ok=ok, **attrs):
+            pass
+
+    def _execute_fanout(
+        self, job: PriceCheckJob, tr
+    ) -> Tuple[Optional[PriceCheckResult], List[FetchTask], Optional[Exception]]:
         domain, _ = parse_url(job.url)
         result = PriceCheckResult(
             job_id=job.job_id,
@@ -509,6 +547,7 @@ class MeasurementServer:
             )
         )
         tasks.append((0.0, True))
+        self._fetch_span(tr, 0.0, "You", job.initiator_peer_id, ok=True)
 
         # Step 3.1: all IPCs fetch the page.  Each fetch carries its own
         # bounded retry budget; an IPC that still fails is dropped from
@@ -524,6 +563,7 @@ class MeasurementServer:
             except ProxyFetchError:
                 self.stats.ipc_failures += 1
                 tasks.append((duration, False))
+                self._fetch_span(tr, duration, "IPC", ipc.ipc_id, ok=False)
                 continue
             if cache_hit:
                 self.stats.page_cache_hits += 1
@@ -542,6 +582,8 @@ class MeasurementServer:
                 )
             )
             tasks.append((duration, True))
+            self._fetch_span(tr, duration, "IPC", ipc.ipc_id, ok=True,
+                             cache_hit=cache_hit)
 
         # Step 3.2: the selected PPCs fetch the page.  Volunteer peers
         # are the least reliable vantage points: a peer may be gone,
@@ -558,18 +600,22 @@ class MeasurementServer:
             except PeerTimeout:
                 self.stats.ppc_timeouts += 1
                 tasks.append((duration, False))
+                self._fetch_span(tr, duration, "PPC", peer_id, ok=False)
                 continue
             except ConnectionError:
                 self.stats.ppc_dropped += 1
                 tasks.append((duration, False))
+                self._fetch_span(tr, duration, "PPC", peer_id, ok=False)
                 continue
             if not self._valid_ppc_reply(reply):
                 self.stats.ppc_corrupt += 1
                 tasks.append((duration, False))
+                self._fetch_span(tr, duration, "PPC", peer_id, ok=False)
                 continue
             if "error" in reply:
                 self.stats.ppc_dropped += 1
                 tasks.append((duration, False))
+                self._fetch_span(tr, duration, "PPC", peer_id, ok=False)
                 continue
             self.stats.ppc_ok += 1
             self.diffstore.store_response(job.job_id, peer_id, reply["html"])
@@ -584,6 +630,7 @@ class MeasurementServer:
                 )
             )
             tasks.append((duration, True))
+            self._fetch_span(tr, duration, "PPC", peer_id, ok=True)
 
         expected = 1 + len(self.ipcs) + len(job.ppc_ids)
         result.vantage_expected = expected
@@ -603,10 +650,12 @@ class MeasurementServer:
                 job.job_id, len(result.rows), self.quorum
             )
 
-        result.rows = self._reconcile_ambiguous_rows(
-            result.rows, job.requested_currency
-        )
-        self._persist(job, result)
+        with tr.span("parse", rows=len(result.rows)):
+            result.rows = self._reconcile_ambiguous_rows(
+                result.rows, job.requested_currency
+            )
+        with tr.span("persist", rows=len(result.rows)):
+            self._persist(job, result)
         self.coordinator.job_completed(job.job_id)
         self.jobs_processed += 1
         return result, tasks, None

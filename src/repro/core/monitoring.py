@@ -4,14 +4,42 @@ The real system exposes two real-time web interfaces: the Measurement
 servers panel (status + pending jobs per server) and the peer-proxy
 panel (peer ID, IP, country, region, city).  These renderers produce the
 same tables for terminals, tests, and the examples.
+
+Every panel renders from either of two sources:
+
+* the live component (a :class:`RequestDistributor`, a
+  :class:`PeerOverlay`, a :class:`FaultPlan`) — handy in tests and
+  small scripts;
+* a :class:`~repro.obs.metrics.MetricsRegistry` snapshot — the
+  ``sheriff_server_*`` and ``sheriff_peer_info`` gauge series carry the
+  panel columns in their labels, so an operator terminal needs nothing
+  but the exposition endpoint.
+
+:func:`pipeline_panel` is registry-only: throughput, check-latency
+percentiles, cache hit rate, and retry-budget burn all come from the
+instruments the engine and Coordinator update in their hot paths.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from collections import Counter as _TallyCounter
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.dispatch import RequestDistributor
+from repro.net.faults import FaultPlan
 from repro.net.p2p import PeerOverlay
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+
+__all__ = [
+    "faults_panel",
+    "peers_panel",
+    "pipeline_panel",
+    "render_table",
+    "servers_panel",
+]
+
+#: any source a metrics-backed panel accepts
+Registryish = Union[MetricsRegistry, NullRegistry]
 
 
 def render_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
@@ -28,25 +56,120 @@ def render_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> s
     return "\n".join(lines)
 
 
-def servers_panel(distributor: RequestDistributor) -> str:
-    """The Fig. 7 'Available Sheriff servers and jobs' panel."""
-    rows = distributor.monitoring_rows()
+# -- Fig. 7: the Measurement-servers panel ------------------------------------
+
+def _server_rows_from_metrics(registry: Registryish) -> List[Dict[str, object]]:
+    """Rebuild the Fig. 7 rows from the ``sheriff_server_*`` gauges."""
+    jobs = registry.get("sheriff_server_pending_jobs")
+    online = registry.get("sheriff_server_online")
+    if jobs is None:
+        return []
+    status: Dict[tuple, float] = {}
+    if online is not None:
+        for labels, state in online.labels_series():
+            status[(labels["server"], labels["url"], labels["port"])] = state[0]
+    rows = []
+    for labels, state in jobs.labels_series():
+        key = (labels["server"], labels["url"], labels["port"])
+        rows.append({
+            "Worker": labels["url"],
+            "Port": labels["port"],
+            "Status": "online" if status.get(key, 1.0) else "offline",
+            "Jobs": int(state[0]),
+        })
+    return rows
+
+
+def servers_panel(source: Union[RequestDistributor, Registryish]) -> str:
+    """The Fig. 7 'Available Sheriff servers and jobs' panel.
+
+    Renders from the live distributor or, given a metrics registry,
+    from the gauge series the distributor keeps in sync.
+    """
+    if isinstance(source, RequestDistributor):
+        rows = source.monitoring_rows()
+    else:
+        rows = _server_rows_from_metrics(source)
     table = render_table(rows, columns=("Worker", "Port", "Status", "Jobs"))
     return "Available Sheriff servers and jobs.\n" + table
 
 
-def faults_panel(report: Dict[str, object]) -> str:
+# -- Fig. 7 (robustness view): fault + recovery counters ----------------------
+
+def faults_panel(
+    source: Union[FaultPlan, Dict[str, object], None],
+    recovery: Optional[Dict[str, object]] = None,
+) -> str:
     """Retry/failover counters for the robustness view of the Fig. 7
-    panel — the numbers an operator watches during a chaos drill."""
-    rows = [{"Counter": k, "Value": v} for k, v in report.items()]
+    panel — the numbers an operator watches during a chaos drill.
+
+    Pass the :class:`FaultPlan` itself (or ``None`` for a clean run):
+    the per-kind fault counts are tallied from its **event log**, the
+    same record the determinism tests replay, so the panel cannot
+    drift from what was actually injected.  ``recovery`` carries the
+    deployment's failover/retry counters (``PriceSheriff.fault_report``
+    shape).  A pre-built ``{counter: value}`` dict is still accepted
+    for backward compatibility.
+    """
+    rows: List[Dict[str, object]]
+    if source is None or isinstance(source, FaultPlan):
+        rows = [{
+            "Counter": "chaos_profile",
+            "Value": source.name if source is not None else "none",
+        }]
+        tally: _TallyCounter = _TallyCounter()
+        if source is not None:
+            tally.update(event.kind for event in source.event_log())
+        rows.append({"Counter": "faults_injected", "Value": sum(tally.values())})
+        for kind in sorted(tally):
+            rows.append({"Counter": f"faults_{kind}", "Value": tally[kind]})
+    else:
+        rows = [{"Counter": k, "Value": v} for k, v in source.items()]
+    if recovery:
+        derived = {r["Counter"] for r in rows}
+        rows.extend(
+            {"Counter": k, "Value": v}
+            for k, v in recovery.items()
+            if k not in derived
+        )
     table = render_table(rows, columns=("Counter", "Value"))
     return "Fault injection and recovery counters.\n" + table
 
 
-def peers_panel(overlay: PeerOverlay, self_peer_id: str = "") -> str:
-    """The Fig. 16 peer-proxy monitoring panel."""
+# -- Fig. 16: the peer-proxy panel --------------------------------------------
+
+def _peer_rows_from_metrics(registry: Registryish) -> List[Dict[str, object]]:
+    """Rebuild the Fig. 16 rows from the ``sheriff_peer_info`` series."""
+    info = registry.get("sheriff_peer_info")
+    if info is None:
+        return []
+    return [
+        {
+            "Peer ID": labels["peer_id"],
+            "IP": labels["ip"],
+            "Country": labels["country"],
+            "Region": labels["region"],
+            "City": labels["city"],
+        }
+        for labels, _state in info.labels_series()
+    ]
+
+
+def peers_panel(
+    source: Union[PeerOverlay, Registryish], self_peer_id: str = ""
+) -> str:
+    """The Fig. 16 peer-proxy monitoring panel.
+
+    Renders from the live overlay or from the ``sheriff_peer_info``
+    presence series (one gauge per online peer, location in the
+    labels).
+    """
+    if isinstance(source, PeerOverlay):
+        raw = source.monitoring_rows()
+    else:
+        raw = _peer_rows_from_metrics(source)
     rows: List[Dict[str, object]] = []
-    for row in overlay.monitoring_rows():
+    for row in raw:
         row = dict(row)
         row["Select"] = "SELF" if row["Peer ID"] == self_peer_id else ""
         rows.append(row)
@@ -54,3 +177,66 @@ def peers_panel(overlay: PeerOverlay, self_peer_id: str = "") -> str:
         rows, columns=("Peer ID", "IP", "Country", "Region", "City", "Select")
     )
     return "Online peer proxies.\n" + table
+
+
+# -- the pipeline panel (registry-only) ---------------------------------------
+
+def _rate(part: float, whole: float) -> str:
+    return f"{100.0 * part / whole:.1f}%" if whole else "n/a"
+
+
+def _seconds(value: Optional[float]) -> str:
+    return f"{value:.3f}s" if value is not None else "n/a"
+
+
+def pipeline_panel(registry: Registryish) -> str:
+    """Engine health at a glance, from a metrics snapshot alone.
+
+    Throughput (completed checks per simulated second), check-latency
+    percentiles, page-cache hit rate, and the retry/backoff budget the
+    recovery machinery has burned.
+    """
+    if not getattr(registry, "enabled", False):
+        return "Pipeline health.\n(telemetry disabled — no metrics to render)"
+    completed = registry.get("sheriff_engine_jobs_completed_total")
+    clock = registry.get("sheriff_engine_clock_seconds")
+    latency = registry.get("sheriff_check_latency_seconds")
+    hits = registry.get("sheriff_cache_hits_total")
+    misses = registry.get("sheriff_cache_misses_total")
+    retries = registry.get("sheriff_retry_budget_spent_total")
+    backoff = registry.get("sheriff_backoff_seconds_total")
+
+    done = completed.total if completed is not None else 0.0
+    elapsed = clock.total if clock is not None else 0.0
+    rows: List[Dict[str, object]] = [
+        {"Metric": "checks_completed", "Value": int(done)},
+        {"Metric": "sim_elapsed_seconds", "Value": f"{elapsed:.3f}"},
+        {
+            "Metric": "throughput_checks_per_sec",
+            "Value": f"{done / elapsed:.3f}" if elapsed > 0 else "n/a",
+        },
+    ]
+    pcts = (
+        latency.percentiles()
+        if latency is not None
+        else {"p50": None, "p95": None, "p99": None}
+    )
+    for name in ("p50", "p95", "p99"):
+        rows.append({
+            "Metric": f"check_latency_{name}", "Value": _seconds(pcts[name]),
+        })
+    hit = hits.total if hits is not None else 0.0
+    miss = misses.total if misses is not None else 0.0
+    rows.append({
+        "Metric": "page_cache_hit_rate", "Value": _rate(hit, hit + miss),
+    })
+    rows.append({
+        "Metric": "retry_budget_spent",
+        "Value": int(retries.total) if retries is not None else 0,
+    })
+    rows.append({
+        "Metric": "backoff_seconds_total",
+        "Value": f"{backoff.total:.3f}" if backoff is not None else "0.000",
+    })
+    table = render_table(rows, columns=("Metric", "Value"))
+    return "Pipeline health.\n" + table

@@ -44,6 +44,7 @@ from repro.net.events import Clock
 from repro.net.faults import BackoffPolicy, FaultPlan, chaos_plan
 from repro.net.geo import GeoDatabase
 from repro.net.p2p import PeerOverlay, make_peer_id
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.profiles.doppelganger import Doppelganger, DoppelgangerManager
 from repro.profiles.vector import ProfileVector
 from repro.web.internet import Internet
@@ -128,8 +129,18 @@ class PriceSheriff:
         pipelined: bool = True,
         max_fetch_workers: int = 8,
         page_cache_ttl: float = 0.0,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.world = world
+        #: the observability plane: a metrics registry threaded through
+        #: every hot path plus a sim-clock tracer.  Defaults to the
+        #: null telemetry — all instrument calls become no-ops — and is
+        #: purely observational either way: it never consumes an RNG
+        #: stream or advances a clock, so runs are byte-identical with
+        #: telemetry on or off (tested).
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.telemetry.bind_clock(world.clock)
+        metrics = self.telemetry.registry
         #: the shared pipelined engine: one event loop for the whole
         #: deployment, one bounded worker pool per Measurement server,
         #: and the (default-off) short-TTL page cache
@@ -137,11 +148,14 @@ class PriceSheriff:
         self.engine = PriceCheckEngine(
             max_workers=max_fetch_workers,
             cache=PageCache(ttl=page_cache_ttl),
+            metrics=metrics,
         )
         if faults is None and chaos_profile is not None:
             faults = chaos_plan(chaos_profile, seed=chaos_seed)
         #: the chaos schedule every layer below consults (None = clean)
         self.faults = faults
+        if faults is not None and metrics.enabled:
+            faults.bind_metrics(metrics)
         self.quorum = quorum
         if whitelist_domains is None:
             # default: sanction every e-commerce store currently online
@@ -154,7 +168,12 @@ class PriceSheriff:
         self.overlay = overlay if overlay is not None else PeerOverlay(faults=faults)
         if self.overlay.faults is None and faults is not None:
             self.overlay.faults = faults
-        self.distributor = RequestDistributor(policy=dispatch_policy)
+        if metrics.enabled:
+            self.db.bind_metrics(metrics)
+            self.overlay.bind_metrics(metrics)
+        self.distributor = RequestDistributor(
+            policy=dispatch_policy, metrics=metrics
+        )
         self.dopp_manager = DoppelgangerManager(
             internet=world.internet,
             ecosystem=world.ecosystem,
@@ -173,6 +192,7 @@ class PriceSheriff:
             faults=faults,
             retry_budget=retry_budget,
             backoff=backoff,
+            metrics=metrics,
         )
         self.crypto_group = crypto_group if crypto_group is not None else TEST_GROUP
         self.aggregator = Aggregator(group=self.crypto_group, rng=world.rng)
@@ -206,6 +226,7 @@ class PriceSheriff:
             quorum=self.quorum,
             engine=self.engine,
             pipelined=self.pipelined,
+            telemetry=self.telemetry,
         )
         self.measurement_servers[name] = server
         self.distributor.register_server(

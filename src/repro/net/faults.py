@@ -183,10 +183,28 @@ class FaultPlan:
         self.events: List[FaultEvent] = []
         self._seq = itertools.count()
         self._flap_until: Dict[str, float] = {}
+        self._m_injected = None
+
+    def bind_metrics(self, registry) -> None:
+        """Re-emit every injected fault as a kind-labeled counter series.
+
+        The counter is bumped inside :meth:`_record`, the single point
+        every fault flows through, so the metric cannot drift from the
+        event log the determinism tests compare.
+        """
+        self._m_injected = registry.counter(
+            "sheriff_faults_injected_total",
+            "Faults injected, by kind", labelnames=("kind",),
+        )
+        for kind, count in self.stats.counts.items():
+            # backfill faults injected before telemetry was attached
+            self._m_injected.inc(count, kind=kind)
 
     # -- event log ---------------------------------------------------------
     def _record(self, kind: str, src: str, dst: str, detail: str = "") -> None:
         self.stats.bump(kind)
+        if self._m_injected is not None:
+            self._m_injected.inc(kind=kind)
         self.events.append(
             FaultEvent(seq=next(self._seq), kind=kind, src=src, dst=dst,
                        detail=detail)

@@ -111,6 +111,41 @@ class PeerOverlay:
     def __init__(self, faults: Optional[FaultPlan] = None) -> None:
         self._peers: Dict[str, PeerRecord] = {}
         self.faults = faults
+        self._m_churn = None
+        self._m_online = None
+        self._m_info = None
+
+    def bind_metrics(self, registry) -> None:
+        """Churn counters + the presence series the Fig. 16 panel reads."""
+        self._m_churn = registry.counter(
+            "sheriff_peer_churn_total",
+            "Peer arrivals and departures", labelnames=("event",),
+        )
+        self._m_online = registry.gauge(
+            "sheriff_peers_online", "Peers currently online"
+        )
+        self._m_info = registry.gauge(
+            "sheriff_peer_info",
+            "1 per online peer, location in the labels (Fig. 16)",
+            labelnames=("peer_id", "ip", "country", "region", "city"),
+        )
+        for record in self._peers.values():  # backfill pre-bind peers
+            self._sync_peer(record)
+        self._m_online.set(len(self.online_peers()))
+
+    def _info_labels(self, record: PeerRecord) -> Dict[str, str]:
+        return dict(
+            peer_id=record.peer_id, ip=record.location.ip,
+            country=record.location.country, region=record.location.region,
+            city=record.location.city,
+        )
+
+    def _sync_peer(self, record: PeerRecord) -> None:
+        if self._m_info is not None:
+            if record.online:
+                self._m_info.set(1, **self._info_labels(record))
+            else:
+                self._m_info.remove(**self._info_labels(record))
 
     def register(
         self,
@@ -120,13 +155,27 @@ class PeerOverlay:
     ) -> PeerRecord:
         record = PeerRecord(peer_id=peer_id, location=location, handler=handler)
         self._peers[peer_id] = record
+        if self._m_churn is not None:
+            self._m_churn.inc(event="joined")
+            self._m_online.set(len(self.online_peers()))
+        self._sync_peer(record)
         return record
 
     def unregister(self, peer_id: str) -> None:
-        self._peers.pop(peer_id, None)
+        record = self._peers.pop(peer_id, None)
+        if record is not None and self._m_churn is not None:
+            self._m_churn.inc(event="left")
+            self._m_info.remove(**self._info_labels(record))
+            self._m_online.set(len(self.online_peers()))
 
     def set_online(self, peer_id: str, online: bool) -> None:
-        self._peers[peer_id].online = online
+        record = self._peers[peer_id]
+        was_online = record.online
+        record.online = online
+        if self._m_churn is not None and was_online != online:
+            self._m_churn.inc(event="online" if online else "offline")
+            self._sync_peer(record)
+            self._m_online.set(len(self.online_peers()))
 
     def is_online(self, peer_id: str) -> bool:
         record = self._peers.get(peer_id)

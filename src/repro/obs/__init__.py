@@ -1,0 +1,101 @@
+"""``repro.obs`` — telemetry for the $heriff pipeline.
+
+Three layers:
+
+* :mod:`repro.obs.metrics` — a labeled metrics registry (Counter /
+  Gauge / Histogram) with Prometheus-style text exposition, threaded
+  through the hot paths of the engine, dispatch, fault injection, the
+  peer overlay, and the database;
+* :mod:`repro.obs.trace` — span tracing on the simulated clock, so a
+  single price check's fan-out timeline is inspectable end to end;
+* the live operator panels of :mod:`repro.core.monitoring`, which
+  render from metrics snapshots.
+
+The :class:`Telemetry` facade bundles one registry + one tracer and is
+what deployments inject (``PriceSheriff(world, telemetry=Telemetry())``).
+The default everywhere is :data:`NULL_TELEMETRY` — disabled, zero-cost,
+and guaranteed not to perturb determinism (which holds with telemetry
+on, too; instrumentation never consumes RNG or advances clocks).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    get_default_registry,
+    set_default_registry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    render_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TELEMETRY",
+    "NullRegistry",
+    "NullTracer",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "get_default_registry",
+    "render_trace",
+    "set_default_registry",
+]
+
+
+class Telemetry:
+    """One deployment's registry + tracer, with a disabled twin.
+
+    ``Telemetry()`` is enabled with a fresh registry; the tracer is
+    created lazily by :meth:`bind_clock` because spans are stamped with
+    the deployment's simulated clock, which the sheriff owns.  Pass
+    ``metrics_only=True`` to keep the registry but skip span recording
+    (benchmarks want counters without the span log).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        enabled: bool = True,
+        metrics_only: bool = False,
+    ) -> None:
+        self.enabled = enabled
+        self.metrics_only = metrics_only
+        if not enabled:
+            self.registry = NULL_REGISTRY
+            self.tracer = NULL_TRACER
+        else:
+            self.registry = registry if registry is not None else MetricsRegistry()
+            self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    def bind_clock(self, clock) -> "Telemetry":
+        """Attach the sim clock; creates the tracer if one is wanted."""
+        if self.enabled and not self.metrics_only and self.tracer is NULL_TRACER:
+            self.tracer = Tracer(clock)
+        return self
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        return NULL_TELEMETRY
+
+
+#: the shared disabled instance every component defaults to
+NULL_TELEMETRY = Telemetry(enabled=False)

@@ -1,0 +1,279 @@
+"""Span tracing on the simulated clock.
+
+A price check is a tree of work: the ``price_check`` root fans out to
+one ``fetch`` per vantage point (initiator, every IPC, every selected
+PPC), then ``parse`` reconciles the rows and ``persist`` lands them.
+The :class:`Tracer` records that tree as nested spans stamped with
+*simulated* time — the clock the deployment itself runs on — so a
+single check's timeline is inspectable end to end: which vantage was
+slow, what the pool serialized, what the cache saved.
+
+Design constraints, mirrored from :mod:`repro.obs.metrics`:
+
+* span IDs come from a per-tracer counter, never a UUID or wall clock,
+  so traced runs replay byte-identically from a seed;
+* the fan-out *executes* eagerly while the world clock is frozen, so a
+  fetch span records its simulated duration explicitly
+  (``span(..., duration=d)``) — its bar on the timeline is the duration
+  the engine later packs onto the worker pool;
+* a parent span's end is stretched over its children, so the root
+  ``price_check`` bar always covers the whole fan-out;
+* the disabled twin (:data:`NULL_TRACER`) makes every ``span(…)`` a
+  single no-op call.
+
+Export is JSONL (one span per line, ready for any trace viewer) and a
+terminal renderer (:func:`render_trace`) draws the flame view.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, TextIO
+
+__all__ = ["NULL_TRACER", "NullTracer", "Span", "Tracer", "render_trace"]
+
+
+@dataclass
+class Span:
+    """One finished unit of traced work on the simulated timeline."""
+
+    trace_id: str
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": round(self.start, 6),
+            "end": round(self.end, 6),
+            "duration": round(self.duration, 6),
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Produces nested spans stamped with the injected (sim) clock."""
+
+    enabled = True
+
+    def __init__(self, clock, max_spans: int = 100_000) -> None:
+        self.clock = clock
+        #: finished spans in completion order
+        self.finished: List[Span] = []
+        #: cap against unbounded growth in long deployments; the oldest
+        #: complete traces are evicted first
+        self.max_spans = max_spans
+        self._ids = itertools.count(1)
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        trace_id: Optional[str] = None,
+        duration: Optional[float] = None,
+        **attrs: object,
+    ) -> Iterator[Span]:
+        """Open one span; nesting follows the ``with`` structure.
+
+        ``trace_id`` keys the trace (the job id for price checks); a
+        nested span inherits its parent's.  ``duration`` stamps an
+        explicit simulated duration for work whose cost is *scheduled*
+        rather than lived through (the eager fan-out executes while the
+        world clock is frozen); without it the span ends at whatever
+        the clock reads on exit.
+        """
+        parent = self._stack[-1] if self._stack else None
+        if trace_id is None:
+            trace_id = parent.trace_id if parent is not None else ""
+        start = self.clock.now
+        span = Span(
+            trace_id=trace_id or f"trace-{next(self._ids)}",
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            start=start,
+            end=start,
+            attrs=dict(attrs),
+        )
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            if duration is not None:
+                span.end = start + duration
+            else:
+                # keep the stretch children already applied: a parent
+                # must never end before its scheduled children do
+                span.end = max(span.end, self.clock.now)
+            if parent is not None:
+                # a parent covers its children on the timeline
+                parent.end = max(parent.end, span.end)
+                parent.start = min(parent.start, span.start)
+            self.finished.append(span)
+            if len(self.finished) > self.max_spans:
+                del self.finished[: len(self.finished) - self.max_spans]
+
+    # -- reading back ------------------------------------------------------
+    def trace_ids(self) -> List[str]:
+        """Distinct trace IDs in first-seen order."""
+        seen: Dict[str, None] = {}
+        for span in self.finished:
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def spans_for(self, trace_id: str) -> List[Span]:
+        return [s for s in self.finished if s.trace_id == trace_id]
+
+    def clear(self) -> None:
+        self.finished.clear()
+
+    # -- export ------------------------------------------------------------
+    def to_jsonl(self, trace_id: Optional[str] = None) -> str:
+        spans = self.finished if trace_id is None else self.spans_for(trace_id)
+        return "".join(
+            json.dumps(s.to_dict(), sort_keys=True) + "\n" for s in spans
+        )
+
+    def export_jsonl(self, fh: TextIO, trace_id: Optional[str] = None) -> int:
+        """Write spans as JSON Lines; returns the number written."""
+        spans = self.finished if trace_id is None else self.spans_for(trace_id)
+        for span in spans:
+            fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        return len(spans)
+
+
+class NullTracer:
+    """The disabled twin: ``span(…)`` costs one call and yields one
+    shared inert span."""
+
+    enabled = False
+    finished: List[Span] = []
+
+    _NULL_SPAN = Span(
+        trace_id="", span_id=0, parent_id=None, name="", start=0.0, end=0.0
+    )
+
+    @contextmanager
+    def span(self, name: str, trace_id=None, duration=None, **attrs):
+        yield self._NULL_SPAN
+
+    def trace_ids(self) -> List[str]:
+        return []
+
+    def spans_for(self, trace_id: str) -> List[Span]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def to_jsonl(self, trace_id: Optional[str] = None) -> str:
+        return ""
+
+    def export_jsonl(self, fh: TextIO, trace_id: Optional[str] = None) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()
+
+
+# -- terminal rendering -------------------------------------------------------
+
+#: attrs promoted into a span's label on the flame view, in this order
+_LABEL_ATTRS = ("vantage", "proxy_id", "server", "rows", "ok", "cache_hit")
+
+
+def _span_label(span: Span) -> str:
+    parts = [span.name]
+    for key in _LABEL_ATTRS:
+        if key in span.attrs:
+            value = span.attrs[key]
+            parts.append(
+                f"{key}={value}" if not isinstance(value, str) else value
+            )
+    return " ".join(parts)
+
+
+def render_trace(spans: Sequence[Span], width: int = 40) -> str:
+    """Draw one trace as an indented flame view plus a stage summary.
+
+    Each line is one span: tree indentation, its label, a bar placed on
+    the trace's ``[t0, t_end]`` window scaled to ``width`` characters,
+    and the simulated duration.
+    """
+    if not spans:
+        return "(no spans recorded)"
+    by_id = {s.span_id: s for s in spans}
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+    for kids in children.values():
+        kids.sort(key=lambda s: (s.start, s.span_id))
+
+    t0 = min(s.start for s in spans)
+    t_end = max(s.end for s in spans)
+    window = max(t_end - t0, 1e-9)
+    label_width = max(
+        len(_span_label(s)) + 2 * _depth(s, by_id) for s in spans
+    )
+
+    lines: List[str] = []
+    trace_id = spans[0].trace_id
+    lines.append(
+        f"trace {trace_id} · {len(spans)} spans · "
+        f"{window:.3f}s on the sim clock"
+    )
+
+    def draw(span: Span, depth: int) -> None:
+        offset = int((span.start - t0) / window * width)
+        filled = max(1, int(round(span.duration / window * width)))
+        filled = min(filled, width - offset) or 1
+        bar = " " * offset + "█" * filled
+        label = "  " * depth + _span_label(span)
+        lines.append(
+            f"{label:<{label_width}}  |{bar:<{width}}| {span.duration:8.3f}s"
+        )
+        for kid in children.get(span.span_id, ()):
+            draw(kid, depth + 1)
+
+    for root in children.get(None, ()):
+        draw(root, 0)
+
+    # stage summary: where the simulated seconds went, by span name
+    totals: Dict[str, List[float]] = {}
+    for span in spans:
+        totals.setdefault(span.name, []).append(span.duration)
+    lines.append("")
+    lines.append(f"{'stage':<14}{'spans':>7}{'total_s':>10}{'max_s':>10}")
+    for name in sorted(totals, key=lambda n: -sum(totals[n])):
+        durations = totals[name]
+        lines.append(
+            f"{name:<14}{len(durations):>7}"
+            f"{sum(durations):>10.3f}{max(durations):>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def _depth(span: Span, by_id: Dict[int, Span]) -> int:
+    depth = 0
+    current = span
+    while current.parent_id is not None and current.parent_id in by_id:
+        current = by_id[current.parent_id]
+        depth += 1
+    return depth

@@ -28,6 +28,7 @@ from repro.core.coordinator import RequestRejected
 from repro.core.pricecheck import PriceCheckResult
 from repro.core.sheriff import PriceSheriff, SheriffWorld
 from repro.net.events import SECONDS_PER_DAY
+from repro.obs import Telemetry
 from repro.workloads.alexa import ContentWeb
 from repro.workloads.population import Population, PopulationConfig
 from repro.workloads.stores import (
@@ -71,6 +72,9 @@ class DeploymentConfig:
     pipelined: bool = True
     max_fetch_workers: int = 8
     page_cache_ttl: float = 0.0
+    #: enable the telemetry plane (metrics registry + sim-clock tracer);
+    #: purely observational — rows are identical either way (tested)
+    telemetry: bool = False
 
     @classmethod
     def paper_scale(cls) -> "DeploymentConfig":
@@ -168,6 +172,7 @@ class LiveDeployment:
             pipelined=cfg.pipelined,
             max_fetch_workers=cfg.max_fetch_workers,
             page_cache_ttl=cfg.page_cache_ttl,
+            telemetry=Telemetry() if cfg.telemetry else None,
         )
         self.population = Population(
             self.sheriff, self.content_web,

@@ -25,11 +25,13 @@ default) and returns a JSON-ready report; the CLI command
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.clients.ipc import DEFAULT_IPC_SITES
 from repro.core.sheriff import PriceSheriff, SheriffWorld
+from repro.obs import Telemetry
 from repro.workloads.stores import build_named_stores, uniform_store_specs
 
 #: countries users are drawn from (round robin), a coarse cut of the
@@ -69,7 +71,8 @@ class ThroughputConfig:
 
 
 def _build_deployment(
-    config: ThroughputConfig, pipelined: bool
+    config: ThroughputConfig, pipelined: bool,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[SheriffWorld, PriceSheriff, List[str]]:
     """A fresh seeded world + sheriff + product URL roster.
 
@@ -89,6 +92,7 @@ def _build_deployment(
         pipelined=pipelined,
         max_fetch_workers=config.max_fetch_workers,
         page_cache_ttl=config.page_cache_ttl,
+        telemetry=telemetry,
     )
     urls: List[str] = []
     for spec in specs:
@@ -99,10 +103,16 @@ def _build_deployment(
 
 
 def _run_mode(
-    config: ThroughputConfig, n_users: int, pipelined: bool
+    config: ThroughputConfig, n_users: int, pipelined: bool,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[str, object]:
-    """Run ``total_checks`` checks at one concurrency level, one mode."""
-    world, sheriff, urls = _build_deployment(config, pipelined)
+    """Run ``total_checks`` checks at one concurrency level, one mode.
+
+    With a :class:`Telemetry` attached, the report entry additionally
+    carries the p50/p95/p99 per-check latency read back from the
+    ``sheriff_check_latency_seconds`` histogram.
+    """
+    world, sheriff, urls = _build_deployment(config, pipelined, telemetry)
     rng = random.Random(config.seed + 97)
     addons = [
         sheriff.install_addon(
@@ -131,7 +141,7 @@ def _run_mode(
     elapsed = (sheriff.engine.now - start) if pipelined else service_seconds
     elapsed = max(elapsed, 1e-9)
     stats = sheriff.measurement_stats()
-    return {
+    entry: Dict[str, object] = {
         "mode": "pipelined" if pipelined else "serial",
         "users": n_users,
         "checks": completed,
@@ -145,15 +155,34 @@ def _run_mode(
             (p.peak_busy for p in sheriff.engine._pools.values()), default=0
         ),
     }
+    latency = sheriff.telemetry.registry.get("sheriff_check_latency_seconds")
+    if latency is not None:
+        entry["latency_percentiles"] = {
+            name: None if value is None else round(value, 4)
+            for name, value in latency.percentiles().items()
+        }
+    return entry
 
 
 def run_throughput(config: Optional[ThroughputConfig] = None) -> Dict[str, object]:
-    """Sweep the levels in both modes; return the BENCH report dict."""
+    """Sweep the levels in both modes; return the BENCH report dict.
+
+    Every run carries a metrics-only telemetry plane so the report can
+    quote per-check latency percentiles from the engine's histogram;
+    metrics never perturb the simulated timeline, so ``checks_per_sec``
+    is what an uninstrumented run would report.
+    """
     config = config if config is not None else ThroughputConfig()
     levels = []
     for n_users in config.levels:
-        serial = _run_mode(config, n_users, pipelined=False)
-        pipelined = _run_mode(config, n_users, pipelined=True)
+        serial = _run_mode(
+            config, n_users, pipelined=False,
+            telemetry=Telemetry(metrics_only=True),
+        )
+        pipelined = _run_mode(
+            config, n_users, pipelined=True,
+            telemetry=Telemetry(metrics_only=True),
+        )
         speedup = pipelined["checks_per_sec"] / max(serial["checks_per_sec"], 1e-9)
         levels.append(
             {
@@ -174,4 +203,56 @@ def run_throughput(config: Optional[ThroughputConfig] = None) -> Dict[str, objec
         "levels": levels,
         "max_speedup": max(l["speedup"] for l in levels),
         "speedup_at_top_level": levels[-1]["speedup"],
+    }
+
+
+def traced_run(
+    config: Optional[ThroughputConfig] = None, n_users: Optional[int] = None
+) -> Telemetry:
+    """One pipelined run with the full telemetry plane (spans included).
+
+    Returns the :class:`Telemetry` whose tracer holds every job's span
+    tree and whose registry holds the run's metrics — the CI perf-smoke
+    exports both as artifacts.
+    """
+    config = config if config is not None else ThroughputConfig()
+    telemetry = Telemetry()
+    _run_mode(
+        config,
+        n_users if n_users is not None else config.levels[-1],
+        pipelined=True,
+        telemetry=telemetry,
+    )
+    return telemetry
+
+
+def measure_telemetry_overhead(
+    config: Optional[ThroughputConfig] = None, repeats: int = 3
+) -> Dict[str, float]:
+    """Wall-clock cost of the metrics plane on the pipelined hot path.
+
+    The simulated timeline is identical with telemetry on or off by
+    construction, so the honest cost measure is host wall-clock time:
+    best-of-``repeats`` for one pipelined run at the top concurrency
+    level, telemetry off vs metrics-only.  The CI perf-smoke gates on
+    ``overhead_fraction`` staying under 10%.
+    """
+    config = config if config is not None else ThroughputConfig()
+    n_users = config.levels[-1]
+
+    def best_wall(make_telemetry) -> float:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            _run_mode(config, n_users, pipelined=True,
+                      telemetry=make_telemetry())
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    off = best_wall(lambda: None)
+    on = best_wall(lambda: Telemetry(metrics_only=True))
+    return {
+        "telemetry_off_wall_s": round(off, 4),
+        "telemetry_on_wall_s": round(on, 4),
+        "overhead_fraction": round(max(0.0, on / max(off, 1e-9) - 1.0), 4),
     }

@@ -1,0 +1,147 @@
+"""Telemetry must be purely observational.
+
+The engine's determinism claim (serial == pipelined, byte-identical
+rows) has to survive the telemetry plane: instruments never consume an
+RNG stream, never read wall clocks, and never change control flow, so a
+run with metrics + tracing enabled produces exactly the rows, fault
+log, and database contents of an uninstrumented run.
+"""
+
+import random
+
+import pytest
+
+from repro.core.addon import PriceCheckFailed
+from repro.core.sheriff import PriceSheriff, SheriffWorld
+from repro.obs import Telemetry
+from repro.web.catalog import make_catalog
+from repro.web.pricing import CountryMultiplierPricing, UniformPricing
+from repro.web.store import EStore
+
+from tests.core.conftest import SMALL_IPC_SITES
+
+N_CHECKS = 3
+
+
+def _build_world(seed):
+    world = SheriffWorld.create(seed=seed)
+    for domain, country, pricing, kwargs in (
+        ("uniform.example", "ES", UniformPricing(), {}),
+        (
+            "geo.example", "US",
+            CountryMultiplierPricing({"CA": 1.30, "GB": 1.10}),
+            {"currency_strategy": "geo"},
+        ),
+    ):
+        catalog = make_catalog(domain, size=4, rng=random.Random(len(domain) * 131))
+        world.internet.register(
+            EStore(
+                domain=domain, country_code=country, catalog=catalog,
+                pricing=pricing, geodb=world.geodb, rates=world.rates,
+                **kwargs,
+            )
+        )
+    return world
+
+
+def _run(pipelined, telemetry, chaos_profile="chaos_monkey", seed=7):
+    world = _build_world(seed)
+    sheriff = PriceSheriff(
+        world, n_measurement_servers=2, ipc_sites=SMALL_IPC_SITES,
+        chaos_profile=chaos_profile, chaos_seed=11,
+        pipelined=pipelined, telemetry=telemetry,
+    )
+    user = sheriff.install_addon(world.make_browser("ES", "Madrid"))
+    for city in ("Barcelona", "Valencia"):
+        sheriff.install_addon(world.make_browser("ES", city))
+
+    store = world.internet.site("uniform.example")
+    urls = [
+        store.product_url(p.product_id) for p in store.catalog.products[:N_CHECKS]
+    ]
+    outcomes = []
+    for url in urls:
+        world.clock.advance(60.0)
+        try:
+            result = user.check_price(url)
+        except PriceCheckFailed as exc:
+            outcomes.append(("failed", url, str(exc)))
+        else:
+            outcomes.append(("ok", url, list(result.rows)))
+    return sheriff, {
+        "outcomes": outcomes,
+        "faults": sheriff.faults.event_log() if sheriff.faults else (),
+        "db": sheriff.db.sp_all_responses(),
+    }
+
+
+@pytest.mark.parametrize("pipelined", [False, True])
+def test_rows_identical_with_telemetry_on_and_off(pipelined):
+    _, off = _run(pipelined, telemetry=None)
+    _, on = _run(pipelined, telemetry=Telemetry())
+    assert off["outcomes"] == on["outcomes"]
+    assert off["faults"] == on["faults"]
+    assert off["db"] == on["db"]
+
+
+def test_serial_equals_pipelined_with_telemetry_on():
+    _, serial = _run(pipelined=False, telemetry=Telemetry())
+    _, pipelined = _run(pipelined=True, telemetry=Telemetry())
+    assert serial["outcomes"] == pipelined["outcomes"]
+    assert serial["faults"] == pipelined["faults"]
+    assert serial["db"] == pipelined["db"]
+
+
+def test_metrics_mirror_the_run():
+    sheriff, run = _run(pipelined=True, telemetry=Telemetry())
+    registry = sheriff.telemetry.registry
+    n_ok = sum(1 for o in run["outcomes"] if o[0] == "ok")
+
+    completed = registry.get("sheriff_engine_jobs_completed_total")
+    assert completed is not None and completed.total >= n_ok
+
+    latency = registry.get("sheriff_check_latency_seconds")
+    assert latency.total_count() >= n_ok
+    assert all(
+        labels["mode"] == "pipelined" for labels, _ in latency.labels_series()
+    )
+
+    # the fault counter is bumped at the same point the event log is
+    # appended, so the two can never drift
+    injected = registry.get("sheriff_faults_injected_total")
+    assert injected.total == len(run["faults"])
+
+    exposition = registry.render_exposition()
+    for family in (
+        "sheriff_engine_jobs_submitted_total",
+        "sheriff_dispatch_jobs_total",
+        "sheriff_db_queries_total",
+        "sheriff_peers_online",
+    ):
+        assert family in exposition
+
+
+def test_serial_mode_latency_is_recorded():
+    sheriff, run = _run(pipelined=False, telemetry=Telemetry())
+    latency = sheriff.telemetry.registry.get("sheriff_check_latency_seconds")
+    n_ok = sum(1 for o in run["outcomes"] if o[0] == "ok")
+    assert latency.total_count() >= n_ok
+    assert all(
+        labels["mode"] == "serial" for labels, _ in latency.labels_series()
+    )
+
+
+def test_traces_cover_every_attempted_check():
+    sheriff, run = _run(pipelined=True, telemetry=Telemetry())
+    tracer = sheriff.telemetry.tracer
+    assert len(tracer.trace_ids()) == len(run["outcomes"])
+    trace_id = tracer.trace_ids()[0]
+    spans = tracer.spans_for(trace_id)
+    names = {s.name for s in spans}
+    assert "price_check" in names and "fetch" in names
+    root = next(s for s in spans if s.name == "price_check")
+    fetches = [s for s in spans if s.name == "fetch"]
+    # the fan-out is simultaneous on the sim clock and the root covers it
+    assert all(f.start == root.start for f in fetches)
+    assert all(f.parent_id == root.span_id for f in fetches)
+    assert root.end == max(f.end for f in fetches + [root])

@@ -1,0 +1,142 @@
+"""Span tracing on the sim clock: nesting, ordering, export, rendering."""
+
+import io
+import json
+
+from repro.net.events import Clock
+from repro.obs.trace import NULL_TRACER, Tracer, render_trace
+
+
+def _tracer():
+    return Tracer(Clock())
+
+
+class TestSpanNesting:
+    def test_children_inherit_trace_and_parent(self):
+        tr = _tracer()
+        with tr.span("price_check", trace_id="job-1") as root:
+            with tr.span("fetch", duration=2.0) as fetch:
+                pass
+            with tr.span("parse") as parse:
+                pass
+        assert fetch.trace_id == "job-1"
+        assert parse.trace_id == "job-1"
+        assert fetch.parent_id == root.span_id
+        assert parse.parent_id == root.span_id
+        assert root.parent_id is None
+
+    def test_completion_order_is_children_first(self):
+        tr = _tracer()
+        with tr.span("price_check", trace_id="job-1"):
+            with tr.span("fetch", duration=1.0):
+                pass
+            with tr.span("persist"):
+                pass
+        assert [s.name for s in tr.finished] == [
+            "fetch", "persist", "price_check",
+        ]
+
+    def test_parent_stretches_over_scheduled_children(self):
+        """Fetch spans carry explicit durations (the world clock is
+        frozen during the fan-out); the parent must cover them."""
+        tr = _tracer()
+        with tr.span("price_check", trace_id="job-1") as root:
+            with tr.span("fetch", duration=3.5):
+                pass
+            with tr.span("fetch", duration=1.0):
+                pass
+        assert root.duration == 3.5
+        assert root.end == root.start + 3.5
+
+    def test_sim_clock_timestamps(self):
+        clock = Clock()
+        tr = Tracer(clock)
+        clock.advance(100.0)
+        with tr.span("a") as a:
+            clock.advance(7.0)
+        assert a.start == 100.0
+        assert a.end == 107.0
+        assert a.duration == 7.0
+
+    def test_span_ids_are_deterministic(self):
+        ids_a = [s.span_id for s in _run_fixed_tree()]
+        ids_b = [s.span_id for s in _run_fixed_tree()]
+        assert ids_a == ids_b
+
+    def test_trace_ids_first_seen_order(self):
+        tr = _tracer()
+        for job in ("job-2", "job-1", "job-3"):
+            with tr.span("price_check", trace_id=job):
+                pass
+        assert tr.trace_ids() == ["job-2", "job-1", "job-3"]
+        assert len(tr.spans_for("job-1")) == 1
+
+    def test_max_spans_evicts_oldest(self):
+        tr = Tracer(Clock(), max_spans=3)
+        for i in range(5):
+            with tr.span("s", trace_id=f"t{i}"):
+                pass
+        assert len(tr.finished) == 3
+        assert tr.trace_ids() == ["t2", "t3", "t4"]
+
+
+def _run_fixed_tree():
+    tr = _tracer()
+    with tr.span("root", trace_id="job-1"):
+        with tr.span("fetch", duration=1.0):
+            pass
+        with tr.span("parse"):
+            pass
+    return tr.finished
+
+
+class TestExport:
+    def test_jsonl_roundtrip(self):
+        tr = _tracer()
+        with tr.span("price_check", trace_id="job-1", server="ms-0"):
+            with tr.span("fetch", duration=2.0, vantage="IPC", ok=True):
+                pass
+        fh = io.StringIO()
+        assert tr.export_jsonl(fh) == 2
+        lines = [json.loads(l) for l in fh.getvalue().splitlines()]
+        assert [l["name"] for l in lines] == ["fetch", "price_check"]
+        assert lines[0]["attrs"] == {"vantage": "IPC", "ok": True}
+        assert lines[0]["duration"] == 2.0
+        assert lines[1]["duration"] == 2.0  # stretched over the child
+
+    def test_jsonl_filter_by_trace(self):
+        tr = _tracer()
+        for job in ("job-1", "job-2"):
+            with tr.span("price_check", trace_id=job):
+                pass
+        assert len(tr.to_jsonl("job-2").splitlines()) == 1
+        assert len(tr.to_jsonl().splitlines()) == 2
+
+
+class TestRendering:
+    def test_render_contains_tree_and_summary(self):
+        tr = _tracer()
+        with tr.span("price_check", trace_id="job-1", server="ms-0"):
+            with tr.span("fetch", duration=2.0, vantage="IPC",
+                         proxy_id="ipc-0"):
+                pass
+            with tr.span("parse", rows=3):
+                pass
+        out = render_trace(tr.spans_for("job-1"))
+        assert "trace job-1" in out
+        assert "price_check ms-0" in out
+        assert "  fetch IPC ipc-0" in out  # indented under the root
+        assert "rows=3" in out
+        assert "stage" in out and "total_s" in out
+
+    def test_render_empty(self):
+        assert render_trace([]) == "(no spans recorded)"
+
+
+class TestNullTracer:
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("anything", trace_id="x", duration=5.0) as s:
+            assert s.duration == 0.0
+        assert NULL_TRACER.finished == []
+        assert NULL_TRACER.trace_ids() == []
+        assert NULL_TRACER.to_jsonl() == ""
