@@ -32,18 +32,53 @@ per-table/figure reproduction harnesses.
 
 from repro.core.sheriff import PriceSheriff, SheriffWorld
 from repro.core.addon import SheriffAddon
+from repro.core.database import DatabaseServer
+from repro.core.engine import PriceCheckEngine
+from repro.core.measurement import JobHandle, MeasurementServer, PriceCheckJob
 from repro.core.pricecheck import PriceCheckResult, ResultRow
 from repro.core.detector import PriceVariationReport, analyze_rows
+from repro.obs import Telemetry
+from repro.storage import (
+    MemoryBackend,
+    ShardedDatabase,
+    SqliteBackend,
+    StorageBackend,
+    make_backend,
+)
+from repro.workloads.deployment import DeploymentConfig, LiveDeployment
+
+#: ``Sheriff`` is the blessed short name for the deployment facade.
+Sheriff = PriceSheriff
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # deployment facade
     "PriceSheriff",
+    "Sheriff",
     "SheriffWorld",
     "SheriffAddon",
+    # job lifecycle
+    "MeasurementServer",
+    "PriceCheckJob",
+    "JobHandle",
+    "PriceCheckEngine",
+    # results and analysis
     "PriceCheckResult",
     "ResultRow",
     "PriceVariationReport",
     "analyze_rows",
+    # storage layer
+    "DatabaseServer",
+    "ShardedDatabase",
+    "StorageBackend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "make_backend",
+    # observability
+    "Telemetry",
+    # deployment builders
+    "DeploymentConfig",
+    "LiveDeployment",
     "__version__",
 ]

@@ -11,6 +11,8 @@ Gives the library a tool-shaped front door:
   profile and report resolution/recovery counters;
 * ``throughput``  — benchmark serial vs pipelined price-check
   execution and emit ``BENCH_throughput.json``;
+* ``storagebench`` — benchmark the storage engines (scan vs index,
+  one shard vs many) and emit ``BENCH_storage.json``;
 * ``metrics``     — run a telemetry-on deployment and emit its
   Prometheus-style metrics exposition;
 * ``trace``       — same run, render one price check's span timeline
@@ -123,6 +125,32 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="measure telemetry-on vs telemetry-off "
                                  "wall time; exit 1 if the overhead "
                                  "fraction exceeds this bound")
+
+    storagebench = sub.add_parser(
+        "storagebench",
+        help="benchmark storage engines: scan vs index, 1 vs N shards",
+    )
+    storagebench.add_argument("--scale", default="default",
+                              choices=("smoke", "default"),
+                              help="smoke = reduced CI instance")
+    storagebench.add_argument("--jobs", type=int, default=None,
+                              help="distinct jobs written")
+    storagebench.add_argument("--responses-per-job", type=int, default=None,
+                              help="response rows per job")
+    storagebench.add_argument("--queries", type=int, default=None,
+                              help="lookups timed per pass")
+    storagebench.add_argument("--backends", nargs="+", default=None,
+                              choices=("memory", "sqlite"),
+                              help="storage engines to compare")
+    storagebench.add_argument("--shards", type=int, nargs="+", default=None,
+                              help="shard counts to compare")
+    storagebench.add_argument("--seed", type=int, default=None)
+    storagebench.add_argument("--out", default="BENCH_storage.json",
+                              help="where to write the JSON report")
+    storagebench.add_argument("--require-index-speedup", type=float,
+                              default=None, metavar="X",
+                              help="exit 1 unless every engine's indexed "
+                                   "path beats the scan by more than X")
 
     def add_telemetry_run_args(p, requests=24, users=12):
         p.add_argument("--chaos", default="lossy", metavar="PROFILE",
@@ -444,6 +472,73 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_storagebench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workloads.storagebench import (
+        StorageBenchConfig,
+        run_storagebench,
+    )
+
+    config = (
+        StorageBenchConfig.smoke_scale()
+        if args.scale == "smoke"
+        else StorageBenchConfig()
+    )
+    if args.jobs is not None:
+        config.n_jobs = args.jobs
+    if args.responses_per_job is not None:
+        config.responses_per_job = args.responses_per_job
+    if args.queries is not None:
+        config.n_queries = args.queries
+    if args.backends is not None:
+        config.backends = tuple(args.backends)
+    if args.shards is not None:
+        config.shard_counts = tuple(args.shards)
+    if args.seed is not None:
+        config.seed = args.seed
+
+    report = run_storagebench(config)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    print(f"{'backend':>8} {'rows':>7} {'scan us/q':>10} "
+          f"{'indexed us/q':>13} {'speedup':>8}")
+    for entry in report["scan_vs_index"]:
+        print(
+            f"{entry['backend']:>8} {entry['rows']:>7} "
+            f"{entry['scan_us_per_query']:>10.1f} "
+            f"{entry['indexed_us_per_query']:>13.1f} "
+            f"{entry['speedup']:>7.1f}x"
+        )
+    print()
+    print(f"{'shards':>6} {'query us/lookup':>16} {'vs single':>10} "
+          f"{'occupancy spread':>17}")
+    for entry in report["sharding"]:
+        print(
+            f"{entry['shards']:>6} "
+            f"{entry['query_us_per_lookup']:>16.1f} "
+            f"{entry['query_speedup_vs_single']:>9.2f}x "
+            f"{entry['occupancy_spread']:>16.2f}x"
+        )
+    print(f"report written to {args.out}")
+
+    if args.require_index_speedup is not None:
+        worst = report["min_index_speedup"]
+        if worst <= args.require_index_speedup:
+            print(
+                f"FAIL: index speedup {worst:.1f}x is not above "
+                f"{args.require_index_speedup:.1f}x"
+            )
+            return 1
+        print(
+            f"OK: every engine's index speedup > "
+            f"{args.require_index_speedup:.1f}x (worst {worst:.1f}x)"
+        )
+    return 0
+
+
 def _telemetry_drill(args: argparse.Namespace):
     """A small telemetry-on deployment for metrics/trace/panel."""
     from repro.workloads.deployment import DeploymentConfig, LiveDeployment
@@ -528,6 +623,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "watch": _cmd_watch,
         "chaos": _cmd_chaos,
         "throughput": _cmd_throughput,
+        "storagebench": _cmd_storagebench,
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,
         "panel": _cmd_panel,

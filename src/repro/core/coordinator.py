@@ -122,9 +122,16 @@ class Coordinator:
         self.jobs_reassigned = 0
         #: total simulated seconds callers were told to back off
         self.backoff_seconds = 0.0
+        self._bind_registry(metrics if metrics is not None else NULL_REGISTRY)
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach the deployment's telemetry plane (unified convention)."""
+        self._bind_registry(telemetry.registry)
+
+    def _bind_registry(self, registry) -> None:
         #: telemetry: recovery counters + the per-server turnaround
         #: histogram (admission → completion report, world clock)
-        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.metrics = registry
         self._m_recovery = self.metrics.counter(
             "sheriff_coordinator_recovery_total",
             "Failover / reassignment / terminal-failure events",

@@ -3,32 +3,32 @@
 The paper's first design ran one RDBMS per Measurement server and hit
 consistency problems; the deployed system centralizes a single MySQL
 instance on a dedicated node, tuned with a warm connection-thread pool
-and stored procedures.  This module models that server:
+and stored procedures.  This module models that server as a *facade*:
 
-* named tables with insert/scan plus "stored procedures" — the canned
-  queries the Measurement servers issue;
-* a bounded connection pool whose acquisition statistics feed the
-  Table-1 performance model (the old architecture's contention is one
-  of the two reasons its response time blows up near 10 parallel tasks).
+* the rows live in a pluggable :mod:`repro.storage` engine — the
+  original in-memory store or a real :mod:`sqlite3` database, both
+  row-identical and both carrying secondary indexes on the hot columns
+  (``responses.job_id``, ``requests.domain``, ``requests.user_id``) so
+  the canned ``sp_*`` queries the Measurement servers issue are index
+  seeks instead of O(n) scans;
+* the facade owns everything operational: the bounded connection pool
+  whose acquisition statistics feed the Table-1 performance model,
+  query accounting, and the telemetry instruments.
+
+Horizontal scale is one level up: :class:`repro.storage.ShardedDatabase`
+routes jobs by domain across N of these servers behind the same
+``sp_*`` surface.
 """
 
 from __future__ import annotations
 
-import itertools
+import warnings
 from collections import Counter
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.core.errors import ConnectionPoolExhausted, UnknownTable
-
-TABLES = (
-    "users",
-    "requests",
-    "responses",
-    "rejected_requests",
-    "history_donations",
-)
+from repro.storage.backend import TABLES, StorageBackend, make_backend
 
 __all__ = [
     "ConnectionPoolExhausted",
@@ -41,9 +41,14 @@ __all__ = [
 class DatabaseServer:
     """In-process stand-in for the dedicated MySQL node."""
 
-    def __init__(self, max_connections: int = 32) -> None:
-        self._tables: Dict[str, List[Dict[str, Any]]] = {t: [] for t in TABLES}
-        self._ids = itertools.count(1)
+    def __init__(
+        self,
+        max_connections: int = 32,
+        backend: Union[StorageBackend, str, None] = None,
+    ) -> None:
+        #: the storage engine holding the rows ("memory" by default;
+        #: "sqlite" or an engine instance; None consults REPRO_DB_BACKEND)
+        self.backend = make_backend(backend)
         self.max_connections = max_connections
         self._connections_in_use = 0
         self.peak_connections = 0
@@ -52,9 +57,30 @@ class DatabaseServer:
         self._m_queries = None
         self._m_batch_rows = None
         self._m_connections = None
+        self._m_index_hits = None
+
+    # -- telemetry ----------------------------------------------------------
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach the deployment's telemetry plane (the unified
+        ``bind_telemetry(telemetry)`` convention every component follows).
+
+        Instruments: query counters, the batch-size histogram, pool
+        occupancy, and the index-hit counter that proves the hot
+        ``sp_*`` queries resolve through secondary indexes.
+        """
+        self._bind_registry(telemetry.registry)
 
     def bind_metrics(self, registry) -> None:
-        """Query counters, batch-size histogram, pool occupancy gauge."""
+        """Deprecated alias of :meth:`bind_telemetry` (old convention)."""
+        warnings.warn(
+            "DatabaseServer.bind_metrics(registry) is deprecated; use "
+            "bind_telemetry(telemetry) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._bind_registry(registry)
+
+    def _bind_registry(self, registry) -> None:
         self._m_queries = registry.counter(
             "sheriff_db_queries_total", "Round trips to the Database server"
         )
@@ -66,6 +92,19 @@ class DatabaseServer:
         self._m_connections = registry.gauge(
             "sheriff_db_connections_busy", "Connections currently held"
         )
+        self._m_index_hits = registry.counter(
+            "sheriff_db_index_hits_total",
+            "Stored-procedure queries answered through a secondary index",
+        )
+
+    def _count_query(self) -> None:
+        self.query_count += 1
+        if self._m_queries is not None:
+            self._m_queries.inc()
+
+    def _count_index_hit(self) -> None:
+        if self._m_index_hits is not None:
+            self._m_index_hits.inc()
 
     # -- connection pool ----------------------------------------------------
     @contextmanager
@@ -86,21 +125,9 @@ class DatabaseServer:
                 self._m_connections.set(self._connections_in_use)
 
     # -- generic table access -----------------------------------------------
-    def _table(self, name: str) -> List[Dict[str, Any]]:
-        try:
-            return self._tables[name]
-        except KeyError:
-            raise UnknownTable(f"unknown table {name!r}") from None
-
     def insert(self, table: str, row: Dict[str, Any]) -> int:
-        self.query_count += 1
-        if self._m_queries is not None:
-            self._m_queries.inc()
-        row = dict(row)
-        row_id = next(self._ids)
-        row["_id"] = row_id
-        self._table(table).append(row)
-        return row_id
+        self._count_query()
+        return self.backend.insert(table, row)
 
     def insert_many(self, table: str, rows: List[Dict[str, Any]]) -> List[int]:
         """One round trip for a batch of rows (multi-row ``INSERT``).
@@ -114,27 +141,30 @@ class DatabaseServer:
         if self._m_queries is not None:
             self._m_queries.inc()
             self._m_batch_rows.observe(len(rows))
-        target = self._table(table)
-        ids = []
-        for row in rows:
-            row = dict(row)
-            row_id = next(self._ids)
-            row["_id"] = row_id
-            target.append(row)
-            ids.append(row_id)
-        return ids
+        return self.backend.insert_many(table, rows)
 
     def scan(
         self, table: str, where: Optional[Callable[[Dict[str, Any]], bool]] = None
     ) -> List[Dict[str, Any]]:
-        self.query_count += 1
-        rows = self._table(table)
-        if where is None:
-            return [dict(r) for r in rows]
-        return [dict(r) for r in rows if where(r)]
+        self._count_query()
+        return self.backend.scan(table, where)
+
+    def lookup(self, table: str, column: str, value: Any) -> List[Dict[str, Any]]:
+        """Equality lookup through the engine's secondary index."""
+        self._count_query()
+        hits_before = self.backend.index_hits
+        rows = self.backend.lookup(table, column, value)
+        if self.backend.index_hits > hits_before:
+            self._count_index_hit()
+        return rows
+
+    def delete_rows(self, table: str, ids: Sequence[int]) -> int:
+        """Remove rows by ``_id`` (the PII audit's delete path)."""
+        self._count_query()
+        return self.backend.delete_rows(table, ids)
 
     def count(self, table: str) -> int:
-        return len(self._table(table))
+        return self.backend.count(table)
 
     # -- stored procedures -------------------------------------------------
     def sp_record_request(
@@ -168,21 +198,18 @@ class DatabaseServer:
         return self.insert_many("responses", stamped)
 
     def sp_responses_for_job(self, job_id: str) -> List[Dict[str, Any]]:
-        return self.scan("responses", lambda r: r["job_id"] == job_id)
+        """Index seek on ``responses.job_id`` (was an O(n) scan)."""
+        return self.lookup("responses", "job_id", job_id)
 
     def sp_requests_by_domain(self) -> Counter:
-        self.query_count += 1
-        counts: Counter = Counter()
-        for row in self._tables["requests"]:
-            counts[row["domain"]] += 1
-        return counts
+        self._count_query()
+        self._count_index_hit()
+        return self.backend.group_count("requests", "domain")
 
     def sp_requests_by_user(self) -> Counter:
-        self.query_count += 1
-        counts: Counter = Counter()
-        for row in self._tables["requests"]:
-            counts[row["user_id"]] += 1
-        return counts
+        self._count_query()
+        self._count_index_hit()
+        return self.backend.group_count("requests", "user_id")
 
     def sp_all_requests(self) -> List[Dict[str, Any]]:
         return self.scan("requests")

@@ -91,9 +91,18 @@ class RequestDistributor:
         self.failures = 0
         self.reassignments = 0
         self.offline_events = 0
+        self._bind_registry(metrics if metrics is not None else NULL_REGISTRY)
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach the deployment's telemetry plane (unified convention)."""
+        self._bind_registry(telemetry.registry)
+        for record in self._servers.values():  # backfill pre-bind servers
+            self._sync_gauges(record)
+
+    def _bind_registry(self, registry) -> None:
         #: telemetry: lifecycle counters plus the per-server gauges the
         #: Fig. 7 panel renders from
-        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.metrics = registry
         self._m_lifecycle = self.metrics.counter(
             "sheriff_dispatch_jobs_total",
             "Job lifecycle events seen by the distributor",

@@ -176,8 +176,23 @@ class PageCache:
         self._hit_counter = None
         self._miss_counter = None
 
-    def bind_metrics(self, registry) -> None:
+    def bind_telemetry(self, telemetry) -> None:
         """Re-emit hit/miss counts as registry series (panel input)."""
+        self._bind_registry(telemetry.registry)
+
+    def bind_metrics(self, registry) -> None:
+        """Deprecated alias of :meth:`bind_telemetry` (old convention)."""
+        import warnings
+
+        warnings.warn(
+            "PageCache.bind_metrics(registry) is deprecated; use "
+            "bind_telemetry(telemetry) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._bind_registry(registry)
+
+    def _bind_registry(self, registry) -> None:
         self._hit_counter = registry.counter(
             "sheriff_cache_hits_total", "Page-cache hits"
         )
@@ -241,8 +256,15 @@ class PriceCheckEngine:
         self.cache = cache if cache is not None else PageCache(ttl=0.0)
         self._pools: Dict[str, WorkerPool] = {}
         self.jobs_scheduled = 0
+        self._bind_registry(metrics if metrics is not None else NULL_REGISTRY)
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach the deployment's telemetry plane (unified convention)."""
+        self._bind_registry(telemetry.registry)
+
+    def _bind_registry(self, registry) -> None:
         #: telemetry (a MetricsRegistry, or the shared null registry)
-        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.metrics = registry
         self._m_submitted = self.metrics.counter(
             "sheriff_engine_jobs_submitted_total",
             "Jobs scheduled on the engine", labelnames=("server",),
@@ -269,8 +291,11 @@ class PriceCheckEngine:
             "sheriff_engine_clock_seconds",
             "Current engine-loop simulated time",
         )
+        for pool in self._pools.values():  # rebind lazily created pools
+            pool._busy_gauge = self._m_busy if self.metrics.enabled else None
+            pool._queue_gauge = self._m_queue if self.metrics.enabled else None
         if self.metrics.enabled:
-            self.cache.bind_metrics(self.metrics)
+            self.cache._bind_registry(self.metrics)
 
     @property
     def now(self) -> float:

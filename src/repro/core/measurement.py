@@ -23,6 +23,7 @@ whose slowdown exceeds the timeout budget are dropped the same way.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -451,7 +452,16 @@ class MeasurementServer:
 
     # -- compatibility wrappers --------------------------------------------------
     def start_price_check(self, job: PriceCheckJob) -> str:
-        """Legacy entry point: begin a job, return its ID for poll()."""
+        """Legacy entry point: begin a job, return its ID for poll().
+
+        .. deprecated:: use ``submit(job).job_id`` instead.
+        """
+        warnings.warn(
+            "MeasurementServer.start_price_check(job) is deprecated; use "
+            "submit(job) and read .job_id off the returned JobHandle",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         handle = self.submit(job)
         if handle.error is not None:
             self._handles.pop(handle.job_id, None)
@@ -459,7 +469,16 @@ class MeasurementServer:
         return handle.job_id
 
     def handle_price_check(self, job: PriceCheckJob) -> PriceCheckResult:
-        """Blocking entry point: submit and wait for the full result."""
+        """Blocking entry point: submit and wait for the full result.
+
+        .. deprecated:: use ``result(submit(job))`` instead.
+        """
+        warnings.warn(
+            "MeasurementServer.handle_price_check(job) is deprecated; use "
+            "result(submit(job))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.result(self.submit(job))
 
     # -- the fan-out --------------------------------------------------------------

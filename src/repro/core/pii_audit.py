@@ -113,12 +113,8 @@ def run_pii_audit(
     deleted = 0
     if delete:
         for table, ids in doomed.items():
-            if not ids:
-                continue
-            id_set = set(ids)
-            kept = [r for r in db._table(table) if r["_id"] not in id_set]
-            deleted += len(db._table(table)) - len(kept)
-            db._tables[table] = kept
+            if ids:
+                deleted += db.delete_rows(table, ids)
 
     return PiiAuditReport(
         findings=findings,

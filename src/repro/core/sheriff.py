@@ -46,6 +46,7 @@ from repro.net.geo import GeoDatabase
 from repro.net.p2p import PeerOverlay, make_peer_id
 from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.profiles.doppelganger import Doppelganger, DoppelgangerManager
+from repro.storage import ShardedDatabase
 from repro.profiles.vector import ProfileVector
 from repro.web.internet import Internet
 from repro.web.trackers import TrackerEcosystem
@@ -130,6 +131,8 @@ class PriceSheriff:
         max_fetch_workers: int = 8,
         page_cache_ttl: float = 0.0,
         telemetry: Optional[Telemetry] = None,
+        db_backend: Optional[str] = None,
+        db_shards: int = 1,
     ) -> None:
         self.world = world
         #: the observability plane: a metrics registry threaded through
@@ -148,20 +151,25 @@ class PriceSheriff:
         self.engine = PriceCheckEngine(
             max_workers=max_fetch_workers,
             cache=PageCache(ttl=page_cache_ttl),
-            metrics=metrics,
         )
+        self.engine.bind_telemetry(self.telemetry)
         if faults is None and chaos_profile is not None:
             faults = chaos_plan(chaos_profile, seed=chaos_seed)
         #: the chaos schedule every layer below consults (None = clean)
         self.faults = faults
         if faults is not None and metrics.enabled:
-            faults.bind_metrics(metrics)
+            faults.bind_telemetry(self.telemetry)
         self.quorum = quorum
         if whitelist_domains is None:
             # default: sanction every e-commerce store currently online
             whitelist_domains = [s.domain for s in world.internet.stores()]
         self.whitelist = Whitelist(whitelist_domains)
-        self.db = DatabaseServer()
+        #: the Database layer: one server (the paper's deployment) or a
+        #: domain-sharded router over several, on either storage engine
+        if db_shards > 1:
+            self.db = ShardedDatabase(n_shards=db_shards, backend=db_backend)
+        else:
+            self.db = DatabaseServer(backend=db_backend)
         self.diffstore = DiffStorage()
         # A crawling back-end can share the PPC network of the live
         # deployment by passing the live overlay (Sect. 7.1).
@@ -169,8 +177,8 @@ class PriceSheriff:
         if self.overlay.faults is None and faults is not None:
             self.overlay.faults = faults
         if metrics.enabled:
-            self.db.bind_metrics(metrics)
-            self.overlay.bind_metrics(metrics)
+            self.db.bind_telemetry(self.telemetry)
+            self.overlay.bind_telemetry(self.telemetry)
         self.distributor = RequestDistributor(
             policy=dispatch_policy, metrics=metrics
         )

@@ -185,13 +185,28 @@ class FaultPlan:
         self._flap_until: Dict[str, float] = {}
         self._m_injected = None
 
-    def bind_metrics(self, registry) -> None:
+    def bind_telemetry(self, telemetry) -> None:
         """Re-emit every injected fault as a kind-labeled counter series.
 
         The counter is bumped inside :meth:`_record`, the single point
         every fault flows through, so the metric cannot drift from the
         event log the determinism tests compare.
         """
+        self._bind_registry(telemetry.registry)
+
+    def bind_metrics(self, registry) -> None:
+        """Deprecated alias of :meth:`bind_telemetry` (old convention)."""
+        import warnings
+
+        warnings.warn(
+            "FaultPlan.bind_metrics(registry) is deprecated; use "
+            "bind_telemetry(telemetry) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._bind_registry(registry)
+
+    def _bind_registry(self, registry) -> None:
         self._m_injected = registry.counter(
             "sheriff_faults_injected_total",
             "Faults injected, by kind", labelnames=("kind",),

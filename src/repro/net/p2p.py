@@ -115,8 +115,23 @@ class PeerOverlay:
         self._m_online = None
         self._m_info = None
 
-    def bind_metrics(self, registry) -> None:
+    def bind_telemetry(self, telemetry) -> None:
         """Churn counters + the presence series the Fig. 16 panel reads."""
+        self._bind_registry(telemetry.registry)
+
+    def bind_metrics(self, registry) -> None:
+        """Deprecated alias of :meth:`bind_telemetry` (old convention)."""
+        import warnings
+
+        warnings.warn(
+            "PeerOverlay.bind_metrics(registry) is deprecated; use "
+            "bind_telemetry(telemetry) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._bind_registry(registry)
+
+    def _bind_registry(self, registry) -> None:
         self._m_churn = registry.counter(
             "sheriff_peer_churn_total",
             "Peer arrivals and departures", labelnames=("event",),

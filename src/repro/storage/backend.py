@@ -1,0 +1,157 @@
+"""The storage-engine protocol of the Database server.
+
+A backend owns the rows; the :class:`repro.core.database.DatabaseServer`
+facade owns everything operational (connection pool, query accounting,
+metrics, the ``sp_*`` stored-procedure surface).  Engines must be
+*row-identical*: the same insert/scan/delete workload against any two
+backends yields byte-identical rows, the same ``_id`` sequence, and the
+same query counts — that contract is what lets a deployment switch
+engines (or the CI run the whole suite over both) without any behavior
+change.
+
+Contract notes:
+
+* ``_id`` is one monotonically increasing sequence shared by all
+  tables, starting at 1 — exactly the original dict-of-lists behavior;
+* ``scan``/``lookup`` return fresh dict copies in insertion order, so
+  callers can never mutate stored rows through a result set;
+* ``lookup(table, column, value)`` is the index path: for the declared
+  :data:`INDEXED_COLUMNS` it must not be a full-table scan (the memory
+  engine keeps per-value row lists, the sqlite engine real B-tree
+  indexes); backends count ``index_hits``/``index_misses`` so the
+  facade can expose the ratio as a metric;
+* rows whose indexed column is missing or ``None`` are reachable by
+  ``scan`` but not by ``lookup``/``group_count`` on that column.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import UnknownTable
+
+#: the tables of the shared MySQL instance (App. 10.2.1)
+TABLES: Tuple[str, ...] = (
+    "users",
+    "requests",
+    "responses",
+    "rejected_requests",
+    "history_donations",
+)
+
+#: the secondary indexes every engine maintains — the hot ``sp_*``
+#: queries resolve through these instead of scanning
+INDEXED_COLUMNS: Dict[str, Tuple[str, ...]] = {
+    "responses": ("job_id",),
+    "requests": ("domain", "user_id"),
+}
+
+#: environment variable the CI matrix sets to run the tier-1 suite over
+#: a specific engine ("memory" or "sqlite")
+BACKEND_ENV_VAR = "REPRO_DB_BACKEND"
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "INDEXED_COLUMNS",
+    "StorageBackend",
+    "TABLES",
+    "indexable_scalar",
+    "make_backend",
+]
+
+
+def indexable_scalar(value: Any) -> bool:
+    """Whether a value can live in a secondary index.
+
+    Indexes hold scalars only (strings in practice — job ids, domains,
+    user ids); rows carrying anything else in an indexed column stay
+    reachable by ``scan`` but are invisible to ``lookup``/``group_count``
+    on that column, identically across engines.
+    """
+    return isinstance(value, (str, int, float))
+
+
+class StorageBackend:
+    """Base class + protocol of a Database server storage engine."""
+
+    #: short engine name ("memory", "sqlite") for reports and metrics
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        #: lookups answered through a secondary index
+        self.index_hits = 0
+        #: lookups that had to fall back to a scan (unindexed column)
+        self.index_misses = 0
+
+    # -- writes -----------------------------------------------------------
+    def insert(self, table: str, row: Dict[str, Any]) -> int:
+        """Store one row; returns its freshly assigned ``_id``."""
+        raise NotImplementedError
+
+    def insert_many(self, table: str, rows: Sequence[Dict[str, Any]]) -> List[int]:
+        """Store a batch of rows in one call; returns their ``_id``\\ s."""
+        return [self.insert(table, row) for row in rows]
+
+    def delete_rows(self, table: str, ids: Sequence[int]) -> int:
+        """Remove rows by ``_id``; returns how many were deleted."""
+        raise NotImplementedError
+
+    # -- reads ------------------------------------------------------------
+    def scan(
+        self,
+        table: str,
+        where: Optional[Callable[[Dict[str, Any]], bool]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Full-table read (optionally filtered), in insertion order."""
+        raise NotImplementedError
+
+    def lookup(self, table: str, column: str, value: Any) -> List[Dict[str, Any]]:
+        """Equality lookup; resolves through the secondary index when
+        ``column`` is declared in :data:`INDEXED_COLUMNS`."""
+        raise NotImplementedError
+
+    def group_count(self, table: str, column: str) -> Counter:
+        """``GROUP BY column`` row counts (rows without the column are
+        skipped), served from the index where one exists."""
+        raise NotImplementedError
+
+    def count(self, table: str) -> int:
+        raise NotImplementedError
+
+    # -- lifecycle --------------------------------------------------------
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release engine resources (file handles, connections)."""
+
+    def _check_table(self, table: str) -> None:
+        if table not in TABLES:
+            raise UnknownTable(f"unknown table {table!r}")
+
+
+def make_backend(
+    spec: "Optional[StorageBackend | str]" = None,
+    path: Optional[str] = None,
+) -> StorageBackend:
+    """Resolve a backend spec into an engine instance.
+
+    ``spec`` may be an engine instance (returned as-is), an engine name
+    (``"memory"`` / ``"sqlite"``), or ``None`` — which consults the
+    ``REPRO_DB_BACKEND`` environment variable and defaults to the
+    memory engine.  ``path`` selects a file-backed sqlite database.
+    """
+    from repro.storage.memory import MemoryBackend
+    from repro.storage.sqlite import SqliteBackend
+
+    if isinstance(spec, StorageBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV_VAR) or "memory"
+    spec = spec.lower()
+    if spec == "memory":
+        return MemoryBackend()
+    if spec in ("sqlite", "sqlite3"):
+        return SqliteBackend(path=path) if path else SqliteBackend()
+    raise ValueError(
+        f"unknown storage backend {spec!r} (expected 'memory' or 'sqlite')"
+    )

@@ -1,0 +1,133 @@
+"""The in-memory storage engine: dict-of-lists plus secondary indexes.
+
+This is the original Database server store with the O(n) scans fixed:
+for every column in :data:`repro.storage.backend.INDEXED_COLUMNS` the
+engine keeps a per-value list of row references, appended on insert and
+rebuilt on delete, so the hot ``sp_*`` queries (`responses.job_id`,
+`requests.domain`, `requests.user_id`) are dict lookups instead of
+full-table scans — the same shape a covering B-tree index gives the
+sqlite engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter, defaultdict
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.storage.backend import (
+    INDEXED_COLUMNS,
+    TABLES,
+    StorageBackend,
+    indexable_scalar,
+)
+
+__all__ = ["MemoryBackend"]
+
+
+class MemoryBackend(StorageBackend):
+    """Dict-of-lists tables with per-column hash indexes."""
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._tables: Dict[str, List[Dict[str, Any]]] = {t: [] for t in TABLES}
+        #: table -> column -> value -> rows (references, insertion order)
+        self._indexes: Dict[str, Dict[str, Dict[Any, List[Dict[str, Any]]]]] = {
+            table: {column: defaultdict(list) for column in columns}
+            for table, columns in INDEXED_COLUMNS.items()
+        }
+        self._ids = itertools.count(1)
+
+    # -- internals --------------------------------------------------------
+    def _table(self, table: str) -> List[Dict[str, Any]]:
+        self._check_table(table)
+        return self._tables[table]
+
+    def _index_row(self, table: str, row: Dict[str, Any]) -> None:
+        for column, entries in self._indexes.get(table, {}).items():
+            value = row.get(column)
+            if value is not None and indexable_scalar(value):
+                entries[value].append(row)
+
+    def _reindex(self, table: str) -> None:
+        """Rebuild the table's indexes from scratch (after a delete)."""
+        if table not in self._indexes:
+            return
+        self._indexes[table] = {
+            column: defaultdict(list) for column in INDEXED_COLUMNS[table]
+        }
+        for row in self._tables[table]:
+            self._index_row(table, row)
+
+    # -- writes -----------------------------------------------------------
+    def insert(self, table: str, row: Dict[str, Any]) -> int:
+        target = self._table(table)
+        row = dict(row)
+        row_id = next(self._ids)
+        row["_id"] = row_id
+        target.append(row)
+        self._index_row(table, row)
+        return row_id
+
+    def insert_many(self, table: str, rows: Sequence[Dict[str, Any]]) -> List[int]:
+        target = self._table(table)
+        ids: List[int] = []
+        for row in rows:
+            row = dict(row)
+            row_id = next(self._ids)
+            row["_id"] = row_id
+            target.append(row)
+            self._index_row(table, row)
+            ids.append(row_id)
+        return ids
+
+    def delete_rows(self, table: str, ids: Sequence[int]) -> int:
+        target = self._table(table)
+        doomed = set(ids)
+        kept = [r for r in target if r["_id"] not in doomed]
+        deleted = len(target) - len(kept)
+        if deleted:
+            self._tables[table] = kept
+            self._reindex(table)
+        return deleted
+
+    # -- reads ------------------------------------------------------------
+    def scan(
+        self,
+        table: str,
+        where: Optional[Callable[[Dict[str, Any]], bool]] = None,
+    ) -> List[Dict[str, Any]]:
+        rows = self._table(table)
+        if where is None:
+            return [dict(r) for r in rows]
+        return [dict(r) for r in rows if where(r)]
+
+    def lookup(self, table: str, column: str, value: Any) -> List[Dict[str, Any]]:
+        index = self._indexes.get(table, {}).get(column)
+        if index is None:
+            self.index_misses += 1
+            return self.scan(table, lambda r: r.get(column) == value)
+        self._check_table(table)
+        self.index_hits += 1
+        if value is None or not indexable_scalar(value):
+            return []
+        return [dict(r) for r in index.get(value, ())]
+
+    def group_count(self, table: str, column: str) -> Counter:
+        index = self._indexes.get(table, {}).get(column)
+        if index is not None:
+            self._check_table(table)
+            self.index_hits += 1
+            return Counter({value: len(rows) for value, rows in index.items()})
+        self.index_misses += 1
+        counts: Counter = Counter()
+        for row in self._table(table):
+            value = row.get(column)
+            if value is not None:
+                counts[value] += 1
+        return counts
+
+    def count(self, table: str) -> int:
+        return len(self._table(table))

@@ -1,0 +1,322 @@
+"""Consistent-hash sharding of the Database server.
+
+Table 1 shows the centralized architecture's response time blowing up
+near 10 parallel tasks — the Database node's connection pool and table
+scans are two of the contention points.  This module scales that node
+horizontally while keeping every caller oblivious:
+
+* :class:`HashRing` — a consistent-hash ring (virtual nodes on SHA-1,
+  the classic Karger construction) mapping routing keys to shard
+  names, stable under shard-count changes;
+* :class:`ShardedDatabase` — N independent
+  :class:`repro.core.database.DatabaseServer` shards behind the exact
+  ``sp_*`` / ``insert`` / ``scan`` surface of a single server.  Jobs
+  route by *domain* (every row of one price check lands on one shard,
+  so the per-job queries stay single-shard); the cross-shard stored
+  procedures (``sp_requests_by_domain``, ``sp_all_responses``, …)
+  scatter to every shard and merge.
+
+The router keeps a ``job_id -> shard`` map fed by ``sp_record_request``
+— the request row always lands before the job's responses (that is the
+Measurement server's write order) — so response writes and per-job
+lookups route without a scatter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import warnings
+from bisect import bisect_right
+from collections import Counter
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.core.errors import ConnectionPoolExhausted
+
+__all__ = ["HashRing", "ShardedDatabase"]
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes.
+
+    Deterministic (SHA-1 of ``"node#replica"`` / of the key), so the
+    same key routes to the same shard in every run and on every
+    backend.
+    """
+
+    def __init__(self, nodes: Sequence[str], replicas: int = 64) -> None:
+        if not nodes:
+            raise ValueError("hash ring needs at least one node")
+        self.replicas = replicas
+        self._points: List[int] = []
+        self._owners: Dict[int, str] = {}
+        for node in nodes:
+            for i in range(replicas):
+                point = self._hash(f"{node}#{i}")
+                self._points.append(point)
+                self._owners[point] = node
+        self._points.sort()
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return int.from_bytes(
+            hashlib.sha1(key.encode("utf-8")).digest()[:8], "big"
+        )
+
+    def node_for(self, key: str) -> str:
+        point = self._hash(key)
+        index = bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+
+class ShardedDatabase:
+    """N Database server shards behind the single-server surface."""
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        max_connections: int = 32,
+        backend: Union[str, None] = None,
+        replicas: int = 64,
+    ) -> None:
+        from repro.core.database import DatabaseServer  # avoid import cycle
+
+        if n_shards < 1:
+            raise ValueError(f"need at least 1 shard, got {n_shards}")
+        self.shard_names: List[str] = [
+            f"shard-{i:02d}" for i in range(n_shards)
+        ]
+        self.shards: Dict[str, DatabaseServer] = {
+            name: DatabaseServer(
+                max_connections=max_connections, backend=backend
+            )
+            for name in self.shard_names
+        }
+        self.ring = HashRing(self.shard_names, replicas=replicas)
+        self.max_connections = max_connections
+        #: router-level pool: one slot held per job write transaction,
+        #: mirroring the facade semantics callers already rely on
+        self._connections_in_use = 0
+        self.peak_connections = 0
+        #: job -> shard routing table (fed by sp_record_request)
+        self._job_shard: Dict[str, str] = {}
+        #: cross-shard stored procedures that had to scatter-gather
+        self.scatter_queries = 0
+        self._m_shard_rows = None
+        self._m_connections = None
+
+    # -- telemetry ----------------------------------------------------------
+    def bind_telemetry(self, telemetry) -> None:
+        """Bind every shard plus the router's own per-shard gauges."""
+        registry = telemetry.registry
+        for shard in self.shards.values():
+            shard.bind_telemetry(telemetry)
+        self._m_shard_rows = registry.gauge(
+            "sheriff_db_shard_rows",
+            "Rows currently held, per shard and table",
+            labelnames=("shard", "table"),
+        )
+        self._m_connections = registry.gauge(
+            "sheriff_db_router_connections_busy",
+            "Router-level connections currently held",
+        )
+
+    def bind_metrics(self, registry) -> None:
+        """Deprecated alias of :meth:`bind_telemetry` (old convention)."""
+        warnings.warn(
+            "ShardedDatabase.bind_metrics(registry) is deprecated; use "
+            "bind_telemetry(telemetry) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+
+        class _Shim:
+            def __init__(self, registry) -> None:
+                self.registry = registry
+
+        self.bind_telemetry(_Shim(registry))
+
+    def _sync_occupancy(self, shard_name: str, table: str) -> None:
+        if self._m_shard_rows is not None:
+            self._m_shard_rows.set(
+                self.shards[shard_name].count(table),
+                shard=shard_name, table=table,
+            )
+
+    # -- routing ------------------------------------------------------------
+    def shard_for(self, key: str) -> str:
+        """The shard name owning a routing key (a domain)."""
+        return self.ring.node_for(key)
+
+    def shard_for_job(self, job_id: str) -> Optional[str]:
+        """Where a known job's rows live (None before its request row)."""
+        return self._job_shard.get(job_id)
+
+    def _route_row(self, table: str, row: Dict[str, Any]) -> str:
+        """Routing key precedence: domain, then known job, then job id."""
+        domain = row.get("domain")
+        if isinstance(domain, str) and domain:
+            return self.shard_for(domain)
+        job_id = row.get("job_id")
+        if isinstance(job_id, str) and job_id:
+            known = self._job_shard.get(job_id)
+            return known if known is not None else self.shard_for(job_id)
+        user_id = row.get("user_id")
+        if isinstance(user_id, str) and user_id:
+            return self.shard_for(user_id)
+        return self.shard_for(table)
+
+    # -- aggregate accounting ------------------------------------------------
+    @property
+    def query_count(self) -> int:
+        return sum(s.query_count for s in self.shards.values())
+
+    @property
+    def batched_writes(self) -> int:
+        return sum(s.batched_writes for s in self.shards.values())
+
+    @property
+    def backend(self):
+        """The first shard's engine (all shards run the same kind)."""
+        return self.shards[self.shard_names[0]].backend
+
+    def shard_row_counts(self, table: str = "responses") -> Dict[str, int]:
+        """Occupancy per shard — the balance the ring is supposed to give."""
+        return {
+            name: shard.count(table) for name, shard in self.shards.items()
+        }
+
+    # -- connection pool -----------------------------------------------------
+    @contextmanager
+    def connection(self) -> Iterator["ShardedDatabase"]:
+        """One router-level slot; per-shard pools still bound each shard."""
+        if self._connections_in_use >= self.max_connections:
+            raise ConnectionPoolExhausted(
+                f"all {self.max_connections} router connections busy"
+            )
+        self._connections_in_use += 1
+        self.peak_connections = max(
+            self.peak_connections, self._connections_in_use
+        )
+        if self._m_connections is not None:
+            self._m_connections.set(self._connections_in_use)
+        try:
+            yield self
+        finally:
+            self._connections_in_use -= 1
+            if self._m_connections is not None:
+                self._m_connections.set(self._connections_in_use)
+
+    # -- generic table access (routed / scattered) ---------------------------
+    def insert(self, table: str, row: Dict[str, Any]) -> int:
+        shard_name = self._route_row(table, row)
+        row_id = self.shards[shard_name].insert(table, row)
+        self._sync_occupancy(shard_name, table)
+        return row_id
+
+    def insert_many(self, table: str, rows: List[Dict[str, Any]]) -> List[int]:
+        """Batched insert, routed per row but one round trip per shard."""
+        by_shard: Dict[str, List[Dict[str, Any]]] = {}
+        order: List[str] = []
+        for row in rows:
+            shard_name = self._route_row(table, row)
+            by_shard.setdefault(shard_name, []).append(row)
+            order.append(shard_name)
+        ids_by_shard = {
+            shard_name: iter(self.shards[shard_name].insert_many(table, batch))
+            for shard_name, batch in by_shard.items()
+        }
+        for shard_name in by_shard:
+            self._sync_occupancy(shard_name, table)
+        return [next(ids_by_shard[shard_name]) for shard_name in order]
+
+    def scan(
+        self, table: str, where: Optional[Callable[[Dict[str, Any]], bool]] = None
+    ) -> List[Dict[str, Any]]:
+        """Scatter-gather scan, merged in shard order."""
+        self.scatter_queries += 1
+        rows: List[Dict[str, Any]] = []
+        for name in self.shard_names:
+            rows.extend(self.shards[name].scan(table, where))
+        return rows
+
+    def lookup(self, table: str, column: str, value: Any) -> List[Dict[str, Any]]:
+        self.scatter_queries += 1
+        rows: List[Dict[str, Any]] = []
+        for name in self.shard_names:
+            rows.extend(self.shards[name].lookup(table, column, value))
+        return rows
+
+    def delete_rows(self, table: str, ids: Sequence[int]) -> int:
+        """Broadcast delete (ids are not routable)."""
+        deleted = 0
+        for name in self.shard_names:
+            deleted += self.shards[name].delete_rows(table, ids)
+            self._sync_occupancy(name, table)
+        return deleted
+
+    def count(self, table: str) -> int:
+        return sum(s.count(table) for s in self.shards.values())
+
+    # -- stored procedures ---------------------------------------------------
+    def sp_record_request(
+        self, job_id: str, user_id: str, url: str, domain: str, time: float
+    ) -> int:
+        shard_name = self.shard_for(domain)
+        self._job_shard[job_id] = shard_name
+        row_id = self.shards[shard_name].sp_record_request(
+            job_id, user_id, url, domain, time
+        )
+        self._sync_occupancy(shard_name, "requests")
+        return row_id
+
+    def _shard_for_job_write(self, job_id: str) -> str:
+        known = self._job_shard.get(job_id)
+        return known if known is not None else self.shard_for(job_id)
+
+    def sp_record_response(self, job_id: str, **fields: Any) -> int:
+        shard_name = self._shard_for_job_write(job_id)
+        row_id = self.shards[shard_name].sp_record_response(job_id, **fields)
+        self._sync_occupancy(shard_name, "responses")
+        return row_id
+
+    def sp_record_responses(
+        self, job_id: str, rows: List[Dict[str, Any]]
+    ) -> List[int]:
+        shard_name = self._shard_for_job_write(job_id)
+        ids = self.shards[shard_name].sp_record_responses(job_id, rows)
+        self._sync_occupancy(shard_name, "responses")
+        return ids
+
+    def sp_responses_for_job(self, job_id: str) -> List[Dict[str, Any]]:
+        """Single-shard index seek when the job is known, else scatter."""
+        known = self._job_shard.get(job_id)
+        if known is not None:
+            return self.shards[known].sp_responses_for_job(job_id)
+        self.scatter_queries += 1
+        rows: List[Dict[str, Any]] = []
+        for name in self.shard_names:
+            rows.extend(self.shards[name].sp_responses_for_job(job_id))
+        return rows
+
+    def sp_requests_by_domain(self) -> Counter:
+        self.scatter_queries += 1
+        counts: Counter = Counter()
+        for name in self.shard_names:
+            counts.update(self.shards[name].sp_requests_by_domain())
+        return counts
+
+    def sp_requests_by_user(self) -> Counter:
+        self.scatter_queries += 1
+        counts: Counter = Counter()
+        for name in self.shard_names:
+            counts.update(self.shards[name].sp_requests_by_user())
+        return counts
+
+    def sp_all_requests(self) -> List[Dict[str, Any]]:
+        return self.scan("requests")
+
+    def sp_all_responses(self) -> List[Dict[str, Any]]:
+        return self.scan("responses")

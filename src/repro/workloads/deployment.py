@@ -75,6 +75,13 @@ class DeploymentConfig:
     #: enable the telemetry plane (metrics registry + sim-clock tracer);
     #: purely observational — rows are identical either way (tested)
     telemetry: bool = False
+    #: storage engine behind the Database server: "memory" (default),
+    #: "sqlite", or None to defer to the REPRO_DB_BACKEND environment
+    #: variable.  Rows are byte-identical across engines (tested).
+    db_backend: Optional[str] = None
+    #: shard the Database layer by domain across this many servers
+    #: (1 = the paper's single-server deployment)
+    db_shards: int = 1
 
     @classmethod
     def paper_scale(cls) -> "DeploymentConfig":
@@ -173,6 +180,8 @@ class LiveDeployment:
             max_fetch_workers=cfg.max_fetch_workers,
             page_cache_ttl=cfg.page_cache_ttl,
             telemetry=Telemetry() if cfg.telemetry else None,
+            db_backend=cfg.db_backend,
+            db_shards=cfg.db_shards,
         )
         self.population = Population(
             self.sheriff, self.content_web,

@@ -1,0 +1,199 @@
+"""Storage-engine benchmark: scans vs indexes, one shard vs many.
+
+The Database server of the paper's deployment answered every
+``sp_responses_for_job`` by scanning the responses table — fine at
+add-on launch, painful at 5,700 price checks with a 30-node fan-out
+each.  PR 4 put secondary indexes under the hot stored procedures and a
+domain-sharded router over N Database servers; this workload quantifies
+both changes:
+
+* **scan vs index** — populate 10k response rows (default scale), then
+  answer the same ``sp_responses_for_job`` workload twice: once through
+  the indexed lookup path and once through the pre-PR-4 full-table
+  scan.  Reported per storage engine (``memory`` and ``sqlite``); the
+  CI perf-smoke gates on the indexed path winning by >= 5x.
+* **1 vs N shards** — the same deployment-shaped write + query mix
+  against a single ``DatabaseServer`` and a ``ShardedDatabase`` router,
+  reporting per-query latency and the per-shard row occupancy the
+  consistent-hash ring produced.
+
+``run_storagebench`` returns a JSON-ready report; the CLI command
+``repro storagebench`` writes it to ``BENCH_storage.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.database import DatabaseServer
+from repro.storage import ShardedDatabase, make_backend
+
+
+@dataclass
+class StorageBenchConfig:
+    """Knobs of one benchmark run."""
+
+    seed: int = 2017
+    #: distinct price-check jobs written (requests table)
+    n_jobs: int = 500
+    #: response rows per job — n_jobs * responses_per_job total rows
+    responses_per_job: int = 20
+    #: lookups timed per measured pass
+    n_queries: int = 400
+    #: best-of repeats for every timed pass
+    repeats: int = 3
+    #: storage engines to compare on the scan-vs-index axis
+    backends: Tuple[str, ...] = ("memory", "sqlite")
+    #: shard counts to compare (1 = the paper's single server)
+    shard_counts: Tuple[int, ...] = (1, 4)
+    #: domains the jobs spread over (the shard router hashes these)
+    n_domains: int = 24
+
+    @classmethod
+    def smoke_scale(cls) -> "StorageBenchConfig":
+        """A reduced instance for CI perf-smoke and unit tests."""
+        return cls(n_jobs=150, responses_per_job=10, n_queries=120,
+                   repeats=2, n_domains=12)
+
+    @property
+    def total_responses(self) -> int:
+        return self.n_jobs * self.responses_per_job
+
+
+def _populate(db, config: StorageBenchConfig, rng: random.Random) -> List[str]:
+    """Write the deployment-shaped dataset; return the job IDs."""
+    job_ids: List[str] = []
+    for i in range(config.n_jobs):
+        job_id = f"job-{i:05d}"
+        domain = f"store-{i % config.n_domains:02d}.example"
+        db.sp_record_request(
+            job_id=job_id,
+            user_id=f"user-{i % 97:03d}",
+            url=f"http://{domain}/product/p-{i}",
+            domain=domain,
+            time=float(i),
+        )
+        db.sp_record_responses(
+            job_id,
+            [
+                {"kind": "IPC", "vantage": f"ipc-{v:02d}",
+                 "price": round(10.0 + rng.random() * 90.0, 2)}
+                for v in range(config.responses_per_job)
+            ],
+        )
+        job_ids.append(job_id)
+    return job_ids
+
+
+def _best_of(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _query_sample(job_ids: List[str], n: int, rng: random.Random) -> List[str]:
+    return [job_ids[rng.randrange(len(job_ids))] for _ in range(n)]
+
+
+def bench_scan_vs_index(
+    config: StorageBenchConfig, backend_spec: str
+) -> Dict[str, object]:
+    """Time ``sp_responses_for_job`` via index seek vs full-table scan."""
+    rng = random.Random(config.seed)
+    db = DatabaseServer(backend=make_backend(backend_spec))
+    job_ids = _populate(db, config, rng)
+    sample = _query_sample(job_ids, config.n_queries, random.Random(config.seed + 1))
+
+    def indexed_pass() -> None:
+        for job_id in sample:
+            db.sp_responses_for_job(job_id)
+
+    def scan_pass() -> None:
+        # the pre-PR-4 implementation: filter a full-table scan in Python
+        for job_id in sample:
+            [r for r in db.backend.scan("responses") if r.get("job_id") == job_id]
+
+    hits_before = db.backend.index_hits
+    indexed_s = _best_of(config.repeats, indexed_pass)
+    index_hits = db.backend.index_hits - hits_before
+    scan_s = _best_of(config.repeats, scan_pass)
+    return {
+        "backend": backend_spec,
+        "rows": config.total_responses,
+        "queries": config.n_queries,
+        "indexed_s": round(indexed_s, 6),
+        "scan_s": round(scan_s, 6),
+        "indexed_us_per_query": round(indexed_s / config.n_queries * 1e6, 2),
+        "scan_us_per_query": round(scan_s / config.n_queries * 1e6, 2),
+        "speedup": round(scan_s / max(indexed_s, 1e-12), 2),
+        "index_hits": index_hits,
+    }
+
+
+def bench_sharding(
+    config: StorageBenchConfig, n_shards: int, backend_spec: str = "memory"
+) -> Dict[str, object]:
+    """Write + query the deployment mix against an N-shard database."""
+    rng = random.Random(config.seed)
+    if n_shards > 1:
+        db = ShardedDatabase(n_shards=n_shards, backend=backend_spec)
+    else:
+        db = DatabaseServer(backend=make_backend(backend_spec))
+    populate_s = _best_of(1, lambda: _populate(db, config, rng))
+    job_ids = [f"job-{i:05d}" for i in range(config.n_jobs)]
+    sample = _query_sample(job_ids, config.n_queries, random.Random(config.seed + 1))
+
+    def query_pass() -> None:
+        for job_id in sample:
+            db.sp_responses_for_job(job_id)
+        db.sp_requests_by_domain()
+
+    query_s = _best_of(config.repeats, query_pass)
+    if n_shards > 1:
+        occupancy = db.shard_row_counts("requests")
+    else:
+        occupancy = {"single": db.count("requests")}
+    counts = list(occupancy.values())
+    return {
+        "shards": n_shards,
+        "backend": backend_spec,
+        "populate_s": round(populate_s, 6),
+        "query_s": round(query_s, 6),
+        "query_us_per_lookup": round(query_s / config.n_queries * 1e6, 2),
+        "rows_per_shard": occupancy,
+        "occupancy_spread": round(max(counts) / max(1, min(counts)), 2),
+        "scatter_queries": getattr(db, "scatter_queries", 0),
+    }
+
+
+def run_storagebench(
+    config: Optional[StorageBenchConfig] = None,
+) -> Dict[str, object]:
+    """Run both axes; return the ``BENCH_storage.json`` report dict."""
+    config = config if config is not None else StorageBenchConfig()
+    scan_vs_index = [
+        bench_scan_vs_index(config, spec) for spec in config.backends
+    ]
+    sharding = [bench_sharding(config, n) for n in config.shard_counts]
+    baseline = sharding[0]["query_s"]
+    for entry in sharding:
+        entry["query_speedup_vs_single"] = round(
+            baseline / max(entry["query_s"], 1e-12), 2
+        )
+    return {
+        "benchmark": "storage engine (scan vs index, 1 vs N shards)",
+        "config": {
+            **asdict(config),
+            "backends": list(config.backends),
+            "shard_counts": list(config.shard_counts),
+        },
+        "scan_vs_index": scan_vs_index,
+        "sharding": sharding,
+        "min_index_speedup": min(e["speedup"] for e in scan_vs_index),
+    }

@@ -60,7 +60,7 @@ class TestExtractionFailures:
             initiator_os="Linux", initiator_browser="Firefox",
             ppc_ids=ppcs,
         )
-        result = server.handle_price_check(job)
+        result = server.result(server.submit(job))
         assert result.rows
         assert all(r.error == "price not found on page" for r in result.rows)
         assert result.valid_rows() == []

@@ -36,7 +36,7 @@ class TestProgressiveDelivery:
 
     def test_polling_until_finish(self, world, sheriff, es_user, es_peers):
         server, job = self._start_job(world, sheriff, es_user)
-        server.start_price_check(job)
+        server.submit(job)
         all_rows = []
         polls = 0
         finished = False
@@ -50,7 +50,7 @@ class TestProgressiveDelivery:
 
     def test_finished_job_gone(self, world, sheriff, es_user, es_peers):
         server, job = self._start_job(world, sheriff, es_user)
-        server.start_price_check(job)
+        server.submit(job)
         finished = False
         while not finished:
             _, finished = server.poll(job.job_id)
@@ -64,7 +64,7 @@ class TestProgressiveDelivery:
     def test_progressive_matches_blocking(self, world, sheriff, es_user,
                                           es_peers):
         server, job = self._start_job(world, sheriff, es_user)
-        server.start_price_check(job)
+        server.submit(job)
         rows = []
         finished = False
         while not finished:

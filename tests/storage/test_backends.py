@@ -1,0 +1,173 @@
+"""Unit tests for the storage engines behind the Database server."""
+
+import os
+
+import pytest
+
+from repro.core.errors import UnknownTable
+from repro.storage import (
+    INDEXED_COLUMNS,
+    MemoryBackend,
+    SqliteBackend,
+    StorageBackend,
+    make_backend,
+)
+from repro.storage.backend import BACKEND_ENV_VAR, TABLES
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def backend(request):
+    b = make_backend(request.param)
+    yield b
+    b.close()
+
+
+class TestBackendContract:
+    def test_ids_are_one_shared_sequence(self, backend):
+        first = backend.insert("requests", {"domain": "a.example"})
+        second = backend.insert("responses", {"job_id": "j"})
+        third = backend.insert("users", {"user_id": "u"})
+        assert [first, second, third] == [1, 2, 3]
+
+    def test_scan_returns_copies_in_insertion_order(self, backend):
+        backend.insert("responses", {"job_id": "j", "n": 1})
+        backend.insert("responses", {"job_id": "j", "n": 2})
+        rows = backend.scan("responses")
+        assert [r["n"] for r in rows] == [1, 2]
+        rows[0]["n"] = 99
+        assert backend.scan("responses")[0]["n"] == 1
+
+    def test_scan_with_predicate(self, backend):
+        backend.insert_many(
+            "requests", [{"domain": d} for d in ("a", "b", "a")]
+        )
+        assert len(backend.scan("requests", lambda r: r["domain"] == "a")) == 2
+
+    def test_lookup_uses_index_on_declared_columns(self, backend):
+        backend.insert_many(
+            "responses",
+            [{"job_id": f"j{i % 3}", "n": i} for i in range(9)],
+        )
+        before = backend.index_hits
+        rows = backend.lookup("responses", "job_id", "j1")
+        assert backend.index_hits == before + 1
+        assert [r["n"] for r in rows] == [1, 4, 7]
+
+    def test_lookup_falls_back_to_scan_off_index(self, backend):
+        backend.insert("responses", {"job_id": "j", "kind": "IPC"})
+        before = backend.index_misses
+        assert backend.lookup("responses", "kind", "IPC")
+        assert backend.index_misses == before + 1
+
+    def test_rows_missing_indexed_column_invisible_to_lookup(self, backend):
+        backend.insert("responses", {"kind": "You"})  # no job_id
+        backend.insert("responses", {"job_id": None, "kind": "PPC"})
+        assert backend.lookup("responses", "job_id", None) == []
+        assert len(backend.scan("responses")) == 2
+
+    def test_non_scalar_indexed_value_scan_only(self, backend):
+        backend.insert("responses", {"job_id": ("not", "scalar")})
+        assert backend.lookup("responses", "job_id", ("not", "scalar")) == []
+        assert backend.scan("responses")[0]["job_id"] == ("not", "scalar")
+
+    def test_group_count(self, backend):
+        backend.insert_many(
+            "requests",
+            [{"domain": d} for d in ("a", "b", "a", "a")] + [{"user_id": "u"}],
+        )
+        assert backend.group_count("requests", "domain") == {"a": 3, "b": 1}
+
+    def test_delete_rows(self, backend):
+        ids = backend.insert_many(
+            "responses", [{"job_id": "j", "n": i} for i in range(4)]
+        )
+        assert backend.delete_rows("responses", ids[1:3]) == 2
+        assert backend.delete_rows("responses", [10_000]) == 0
+        assert [r["n"] for r in backend.lookup("responses", "job_id", "j")] \
+            == [0, 3]
+        assert backend.count("responses") == 2
+
+    def test_unknown_table_raises(self, backend):
+        with pytest.raises(UnknownTable):
+            backend.insert("nope", {})
+        with pytest.raises(UnknownTable):
+            backend.scan("nope")
+        with pytest.raises(UnknownTable):
+            backend.count("nope")
+
+    def test_tuple_round_trip(self, backend):
+        backend.insert(
+            "responses",
+            {"job_id": "j", "price": (12.5, "EUR"), "path": ("a", ("b", "c"))},
+        )
+        row = backend.lookup("responses", "job_id", "j")[0]
+        assert row["price"] == (12.5, "EUR")
+        assert row["path"] == ("a", ("b", "c"))
+        assert isinstance(row["price"], tuple)
+
+
+class TestSqliteEngine:
+    def test_real_tables_and_indexes_exist(self):
+        b = SqliteBackend()
+        tables = {
+            name
+            for (name,) in b._conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            )
+        }
+        assert set(TABLES) <= tables
+        indexes = {
+            name
+            for (name,) in b._conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='index'"
+            )
+        }
+        for table, columns in INDEXED_COLUMNS.items():
+            for column in columns:
+                assert f"idx_{table}_{column}" in indexes
+        b.close()
+
+    def test_lookup_is_an_index_seek(self):
+        b = SqliteBackend()
+        b.insert_many("responses", [{"job_id": f"j{i}"} for i in range(50)])
+        (plan,) = b._conn.execute(
+            "EXPLAIN QUERY PLAN SELECT data FROM responses WHERE job_id = ?",
+            ("j7",),
+        ).fetchall()
+        assert "idx_responses_job_id" in plan[-1]
+        b.close()
+
+    def test_file_backed_runs_wal(self, tmp_path):
+        b = SqliteBackend(path=str(tmp_path / "sheriff.db"))
+        (mode,) = b._conn.execute("PRAGMA journal_mode").fetchone()
+        assert mode.lower() == "wal"
+        b.insert("requests", {"domain": "a.example"})
+        b.close()
+        reopened = SqliteBackend(path=str(tmp_path / "sheriff.db"))
+        assert reopened.count("requests") == 1
+        reopened.close()
+
+
+class TestMakeBackend:
+    def test_names(self):
+        assert isinstance(make_backend("memory"), MemoryBackend)
+        assert isinstance(make_backend("sqlite"), SqliteBackend)
+        assert isinstance(make_backend("SQLite3"), SqliteBackend)
+
+    def test_instance_passthrough(self):
+        engine = MemoryBackend()
+        assert make_backend(engine) is engine
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_backend("oracle")
+
+    def test_env_var_selects_engine(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "sqlite")
+        assert isinstance(make_backend(), SqliteBackend)
+        monkeypatch.delenv(BACKEND_ENV_VAR)
+        assert isinstance(make_backend(), MemoryBackend)
+
+    def test_subclass_contract(self):
+        assert issubclass(MemoryBackend, StorageBackend)
+        assert issubclass(SqliteBackend, StorageBackend)

@@ -1,0 +1,159 @@
+"""The consistent-hash shard router behind the Database surface."""
+
+import pytest
+
+from repro.core.errors import ConnectionPoolExhausted
+from repro.core.database import DatabaseServer
+from repro.obs import Telemetry
+from repro.storage import HashRing, ShardedDatabase
+
+
+def _populate(db, n_jobs=40, n_domains=10):
+    for i in range(n_jobs):
+        job_id = f"job-{i:03d}"
+        domain = f"store-{i % n_domains}.example"
+        db.sp_record_request(job_id, f"user-{i % 7}",
+                             f"http://{domain}/p-{i}", domain, float(i))
+        db.sp_record_responses(
+            job_id, [{"kind": "IPC", "n": v} for v in range(3)]
+        )
+
+
+class TestHashRing:
+    def test_deterministic_and_stable(self):
+        ring = HashRing(["a", "b", "c"])
+        keys = [f"key-{i}" for i in range(200)]
+        assert [ring.node_for(k) for k in keys] == \
+            [HashRing(["a", "b", "c"]).node_for(k) for k in keys]
+
+    def test_all_nodes_get_keys(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        owners = {ring.node_for(f"key-{i}") for i in range(500)}
+        assert owners == {"a", "b", "c", "d"}
+
+    def test_adding_a_node_moves_few_keys(self):
+        before = HashRing(["a", "b", "c"])
+        after = HashRing(["a", "b", "c", "d"])
+        keys = [f"key-{i}" for i in range(1000)]
+        moved = sum(
+            1 for k in keys if before.node_for(k) != after.node_for(k)
+        )
+        # consistent hashing: ~1/4 of keys move, never a full reshuffle
+        assert moved < 500
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+
+class TestShardedDatabase:
+    def test_domain_routing_is_sticky(self):
+        db = ShardedDatabase(n_shards=4)
+        _populate(db)
+        # every row of one domain lives on exactly one shard
+        for i in range(10):
+            domain = f"store-{i}.example"
+            holders = [
+                name for name, shard in db.shards.items()
+                if shard.lookup("requests", "domain", domain)
+            ]
+            assert len(holders) == 1
+            assert holders[0] == db.shard_for(domain)
+
+    def test_job_queries_stay_single_shard(self):
+        db = ShardedDatabase(n_shards=4)
+        _populate(db)
+        before = db.scatter_queries
+        rows = db.sp_responses_for_job("job-007")
+        assert [r["n"] for r in rows] == [0, 1, 2]
+        assert db.scatter_queries == before  # routed, not scattered
+        assert db.shard_for_job("job-007") == db.shard_for("store-7.example")
+
+    def test_unknown_job_scatters(self):
+        db = ShardedDatabase(n_shards=3)
+        _populate(db, n_jobs=5)
+        before = db.scatter_queries
+        assert db.sp_responses_for_job("ghost") == []
+        assert db.scatter_queries == before + 1
+
+    def test_scatter_gather_matches_single_server(self):
+        single = DatabaseServer()
+        sharded = ShardedDatabase(n_shards=4)
+        _populate(single)
+        _populate(sharded)
+        assert sharded.sp_requests_by_domain() == single.sp_requests_by_domain()
+        assert sharded.sp_requests_by_user() == single.sp_requests_by_user()
+        assert sharded.count("responses") == single.count("responses")
+        # merged scans carry the same multiset of rows (per-shard id
+        # sequences differ, so compare with _id stripped)
+        def strip(rows):
+            return sorted(
+                sorted((k, repr(v)) for k, v in r.items() if k != "_id")
+                for r in rows
+            )
+        assert strip(sharded.sp_all_requests()) == strip(single.sp_all_requests())
+        assert strip(sharded.sp_all_responses()) == strip(single.sp_all_responses())
+
+    def test_insert_many_routes_but_keeps_order(self):
+        db = ShardedDatabase(n_shards=3)
+        rows = [{"domain": f"store-{i % 5}.example", "n": i} for i in range(12)]
+        ids = db.insert_many("requests", rows)
+        assert len(ids) == 12
+        got = sorted(db.scan("requests"), key=lambda r: r["n"])
+        assert [r["n"] for r in got] == list(range(12))
+
+    def test_occupancy_spreads_over_shards(self):
+        db = ShardedDatabase(n_shards=4)
+        _populate(db, n_jobs=80, n_domains=40)
+        counts = db.shard_row_counts("requests")
+        assert sum(counts.values()) == 80
+        assert sum(1 for c in counts.values() if c > 0) >= 3
+
+    def test_broadcast_delete(self):
+        db = ShardedDatabase(n_shards=3)
+        _populate(db, n_jobs=6)
+        doomed = [r["_id"] for r in db.sp_all_responses()][:5]
+        # ids repeat across shards; delete only what each shard holds
+        assert db.delete_rows("responses", doomed) >= 5
+        assert db.count("responses") < 18
+
+    def test_router_connection_pool(self):
+        db = ShardedDatabase(n_shards=2, max_connections=1)
+        with db.connection():
+            with pytest.raises(ConnectionPoolExhausted):
+                with db.connection():
+                    pass
+        assert db.peak_connections == 1
+
+    def test_telemetry_gauges(self):
+        telemetry = Telemetry()
+        db = ShardedDatabase(n_shards=2)
+        db.bind_telemetry(telemetry)
+        _populate(db, n_jobs=8, n_domains=4)
+        exposition = telemetry.registry.render_exposition()
+        assert "sheriff_db_shard_rows" in exposition
+        assert "sheriff_db_index_hits_total" in exposition
+        gauge = telemetry.registry.get("sheriff_db_shard_rows")
+        total = sum(
+            state[0]
+            for labels, state in gauge.labels_series()
+            if labels.get("table") == "requests"
+        )
+        assert total == 8
+
+    def test_query_count_aggregates(self):
+        db = ShardedDatabase(n_shards=3)
+        _populate(db, n_jobs=5)
+        before = db.query_count
+        db.sp_requests_by_domain()
+        assert db.query_count == before + 3  # one per shard
+
+    def test_needs_at_least_one_shard(self):
+        with pytest.raises(ValueError):
+            ShardedDatabase(n_shards=0)
+
+    def test_sharded_on_sqlite(self):
+        db = ShardedDatabase(n_shards=2, backend="sqlite")
+        _populate(db, n_jobs=6)
+        assert db.count("requests") == 6
+        assert len(db.sp_responses_for_job("job-003")) == 3
