@@ -11,30 +11,60 @@ Implements, from scratch:
   variant of ElGamal the paper builds on;
 * :mod:`repro.crypto.fe` — the inner-product functional encryption of
   Abdalla et al. [13] (function keys for dot products);
+* :mod:`repro.crypto.fastexp` — fixed-base comb-table exponentiation
+  and Montgomery batch inversion, the fast path under everything above
+  (``use_fastexp=False`` on the schemes restores the naive arithmetic,
+  bit-identically);
 * :mod:`repro.crypto.secure_kmeans` — the Coordinator/Aggregator
   two-phase clustering protocol with additive masking, so the
   Coordinator learns only centroids and cluster cardinalities while the
-  Aggregator learns only the client→cluster mapping and distances.
+  Aggregator learns only the client→cluster mapping and distances;
+* :mod:`repro.crypto.obs` — ``sheriff_crypto_*`` telemetry bindings.
 """
 
-from repro.crypto.group import SchnorrGroup, TEST_GROUP, RFC3526_GROUP_2048
-from repro.crypto.dlog import DiscreteLogError, discrete_log
+from repro.crypto.group import (
+    BENCH_GROUP_256,
+    RFC3526_GROUP_2048,
+    SchnorrGroup,
+    TEST_GROUP,
+)
+from repro.crypto.fastexp import (
+    FixedBaseTable,
+    batch_invert,
+    clear_fastexp_cache,
+    fastexp_cache_info,
+)
+from repro.crypto.dlog import (
+    DiscreteLogError,
+    clear_dlog_cache,
+    discrete_log,
+    dlog_cache_info,
+)
 from repro.crypto.elgamal import Ciphertext, VectorElGamal
 from repro.crypto.fe import InnerProductFE
+from repro.crypto.obs import bind_crypto_telemetry, unbind_crypto_telemetry
 from repro.crypto.secure_kmeans import (
     KMeansAggregator,
     KMeansCoordinator,
     ProfileClient,
     SecureKMeansResult,
+    WorkerPool,
     run_secure_kmeans,
 )
 
 __all__ = [
+    "BENCH_GROUP_256",
     "SchnorrGroup",
     "TEST_GROUP",
     "RFC3526_GROUP_2048",
     "DiscreteLogError",
     "discrete_log",
+    "clear_dlog_cache",
+    "dlog_cache_info",
+    "FixedBaseTable",
+    "batch_invert",
+    "clear_fastexp_cache",
+    "fastexp_cache_info",
     "Ciphertext",
     "VectorElGamal",
     "InnerProductFE",
@@ -42,5 +72,8 @@ __all__ = [
     "KMeansCoordinator",
     "ProfileClient",
     "SecureKMeansResult",
+    "WorkerPool",
+    "bind_crypto_telemetry",
     "run_secure_kmeans",
+    "unbind_crypto_telemetry",
 ]

@@ -6,13 +6,23 @@ feasible if the range of admissible cleartexts is small" (App. 10.4).
 Profile coordinates, squared distances, and cluster sums are all small
 bounded integers, so BSGS with a per-(group, bound) cached baby-step
 table makes decryption cheap.
+
+The cache is LRU-bounded (:data:`MAX_CACHED_TABLES`): every distinct
+``(group, bound)`` pair used to leak its table forever, which matters
+once deployments decrypt under many bounds (cluster cardinalities vary
+per iteration).  Each entry also pins the giant-step stride ``g^{-m}``
+— one exponentiation plus one inversion that earlier versions recomputed
+on *every* ``discrete_log`` call, twice the cost of the average search
+itself at production parameters.
 """
 
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Dict, Tuple
 
+from repro.crypto import fastexp
 from repro.crypto.group import SchnorrGroup
 
 
@@ -20,21 +30,83 @@ class DiscreteLogError(ValueError):
     """The element has no discrete log within the stated bound."""
 
 
-#: (p, g, m) → baby-step table {g^j mod p: j}
-_TABLE_CACHE: Dict[Tuple[int, int, int], Dict[int, int]] = {}
+#: LRU cap on cached baby-step tables; each entry holds ~sqrt(bound)
+#: group elements, so the bound keeps worst-case memory proportional to
+#: the few bounds a deployment actually decrypts under
+MAX_CACHED_TABLES = 32
 
 
-def _baby_table(group: SchnorrGroup, m: int) -> Dict[int, int]:
+class _Entry:
+    """One cached BSGS context: baby table + giant-step stride."""
+
+    __slots__ = ("table", "giant")
+
+    def __init__(self, table: Dict[int, int], giant: int) -> None:
+        self.table = table
+        self.giant = giant
+
+
+#: (p, g, m) → _Entry, most-recently-used last
+_TABLE_CACHE: "OrderedDict[Tuple[int, int, int], _Entry]" = OrderedDict()
+
+
+class _Metrics:
+    """Module-level instrument slots, ``None`` until telemetry binds."""
+
+    __slots__ = ("cache", "calls", "evictions")
+
+    def __init__(self) -> None:
+        self.cache = None
+        self.calls = None
+        self.evictions = None
+
+
+_METRICS = _Metrics()
+
+
+def bind_instruments(cache=None, calls=None, evictions=None) -> None:
+    """Attach ``sheriff_crypto_dlog_*`` instruments (see crypto.obs)."""
+    _METRICS.cache = cache
+    _METRICS.calls = calls
+    _METRICS.evictions = evictions
+    if cache is not None:
+        cache.set(len(_TABLE_CACHE))
+
+
+def _entry(group: SchnorrGroup, m: int) -> _Entry:
     key = (group.p, group.g, m)
-    table = _TABLE_CACHE.get(key)
-    if table is None:
-        table = {}
-        value = 1
-        for j in range(m):
-            table.setdefault(value, j)
-            value = group.mul(value, group.g)
-        _TABLE_CACHE[key] = table
-    return table
+    entry = _TABLE_CACHE.get(key)
+    if entry is not None:
+        _TABLE_CACHE.move_to_end(key)
+        return entry
+    table: Dict[int, int] = {}
+    value = 1
+    for j in range(m):
+        table.setdefault(value, j)
+        value = group.mul(value, group.g)
+    # giant-step stride g^{-m}: use the shared fixed-base table for g
+    # when the hot path already built one, else a raw exponentiation
+    gtab = fastexp.cached_table(group.p, group.g)
+    g_m = gtab.pow(m) if gtab is not None else group.gexp(m)
+    entry = _Entry(table=table, giant=group.inv(g_m))
+    _TABLE_CACHE[key] = entry
+    while len(_TABLE_CACHE) > MAX_CACHED_TABLES:
+        _TABLE_CACHE.popitem(last=False)
+        if _METRICS.evictions is not None:
+            _METRICS.evictions.inc()
+    if _METRICS.cache is not None:
+        _METRICS.cache.set(len(_TABLE_CACHE))
+    return entry
+
+
+def prewarm(group: SchnorrGroup, bound: int) -> None:
+    """Build the BSGS context for ``bound`` ahead of time.
+
+    Called by the Aggregator before forking its worker pool so every
+    worker inherits the table copy-on-write instead of rebuilding it.
+    """
+    if bound >= 0:
+        _entry(group, max(1, math.isqrt(bound) + 1))
 
 
 def discrete_log(group: SchnorrGroup, element: int, bound: int) -> int:
@@ -47,21 +119,32 @@ def discrete_log(group: SchnorrGroup, element: int, bound: int) -> int:
     if bound < 0:
         raise ValueError("bound must be non-negative")
     m = max(1, math.isqrt(bound) + 1)
-    table = _baby_table(group, m)
-    # giant step: multiply by g^{-m} up to ceil((bound+1)/m) times
-    giant = group.inv(group.gexp(m))
-    gamma = element % group.p
-    steps = bound // m + 1
-    for i in range(steps + 1):
+    entry = _entry(group, m)
+    if _METRICS.calls is not None:
+        _METRICS.calls.inc()
+    table = entry.table
+    giant = entry.giant
+    p = group.p
+    gamma = element % p
+    # every x ≤ bound decomposes as x = i·m + j with j < m and
+    # i ≤ bound // m, so exactly bound // m + 1 giant steps suffice
+    for i in range(bound // m + 1):
         j = table.get(gamma)
         if j is not None:
             x = i * m + j
             if x <= bound:
                 return x
-        gamma = group.mul(gamma, giant)
+        gamma = gamma * giant % p
     raise DiscreteLogError(f"no discrete log within bound {bound}")
+
+
+def dlog_cache_info() -> Dict[str, int]:
+    """Introspection for tests and the telemetry gauge."""
+    return {"entries": len(_TABLE_CACHE), "max_entries": MAX_CACHED_TABLES}
 
 
 def clear_dlog_cache() -> None:
     """Drop all cached baby-step tables (used by memory-sensitive tests)."""
     _TABLE_CACHE.clear()
+    if _METRICS.cache is not None:
+        _METRICS.cache.set(0)

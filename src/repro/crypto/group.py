@@ -91,6 +91,19 @@ class SchnorrGroup:
         """Uniform exponent in [1, q)."""
         return rng.randrange(1, self.q)
 
+    def powers_of(self, base: int):
+        """A shared fixed-base exponentiation table for ``base``.
+
+        Returns a :class:`repro.crypto.fastexp.FixedBaseTable` out of
+        the module-level LRU cache; ``powers_of(g).pow(e)`` is
+        bit-identical to :meth:`exp` but several times faster once the
+        table is warm.  Worker processes forked after the first call
+        inherit the table copy-on-write.
+        """
+        from repro.crypto import fastexp
+
+        return fastexp.fixed_base(self.p, self.q, base)
+
     @property
     def bits(self) -> int:
         return self.p.bit_length()
@@ -120,6 +133,19 @@ def _make_test_group() -> SchnorrGroup:
 
 
 TEST_GROUP = _make_test_group()
+
+#: 256-bit benchmark group: the result of
+#: ``SchnorrGroup.generate(256, random.Random(2017))`` pinned as a
+#: constant so ``repro cryptobench`` never pays the safe-prime search.
+_BENCH_P_256 = int(
+    "D077C6C03E223C53ECFE22E02915B7608EDD4EFB43013B48A402118D1042020F", 16
+)
+
+BENCH_GROUP_256 = SchnorrGroup(
+    p=_BENCH_P_256,
+    q=(_BENCH_P_256 - 1) // 2,
+    g=4,
+)
 
 #: RFC 3526 group 14 (2048-bit MODP).  The modulus is a safe prime; we
 #: use generator 4 so the generator provably has order q.

@@ -35,7 +35,23 @@ after ``max_iterations``.
 The heavy group arithmetic is parallelizable (Fig. 8(c) compares 1 vs 4
 workers); ``n_workers > 1`` fans the per-client work out to worker
 *processes* — each inside the boundary of the party doing the work, so
-parallelism never moves private data across roles.
+parallelism never moves private data across roles.  Each party owns a
+persistent, lazily-started fork pool (:class:`WorkerPool`): workers are
+forked once, inherit the fixed-base exponentiation tables and BSGS
+contexts copy-on-write, and survive across phases and iterations, so a
+multi-iteration run no longer pays pool startup per phase per iteration.
+Both parties are context managers; ``close()`` (or ``with``) shuts the
+pools down deterministically.
+
+Fast-path crypto (default; ``use_fastexp=False`` restores the naive
+textbook arithmetic, bit-for-bit and RNG-draw-for-draw identical):
+
+* all fixed-base exponentiations route through comb tables
+  (:mod:`repro.crypto.fastexp`);
+* the mask is a cheap re-randomization — ``α·g^r``, ``β_i·h_i^r``,
+  ``β_1·g^ν`` — instead of a full encryption of a mostly-zero vector;
+* the per-client ``g^ν`` unmask factors are inverted together with one
+  Montgomery batch inversion instead of one ``pow(·, p-2, p)`` each.
 """
 
 from __future__ import annotations
@@ -46,6 +62,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.crypto import dlog as _dlog
+from repro.crypto import fastexp
 from repro.crypto.dlog import discrete_log
 from repro.crypto.elgamal import Ciphertext, VectorElGamal
 from repro.crypto.fe import InnerProductFE
@@ -60,6 +78,45 @@ def profile_to_plaintext(point: Sequence[int]) -> List[int]:
 def centroid_function_vector(centroid: Sequence[int]) -> List[int]:
     """Build the function vector s = (1, Σ b_i², −2 b_1, …, −2 b_m)."""
     return [1, sum(b * b for b in centroid), *(-2 * b for b in centroid)]
+
+
+class WorkerPool:
+    """A persistent, lazily-started fork pool owned by one party.
+
+    The previous implementation spawned a fresh ``multiprocessing.Pool``
+    inside every parallel phase — twice per k-means iteration — so
+    multi-iteration runs spent a fixed fork+teardown tax per phase.
+    This pool forks its workers on first use and keeps them until
+    :meth:`close`; because the start method is ``fork``, workers inherit
+    every fixed-base comb table and BSGS baby-step table the parent
+    built before that first use, copy-on-write and for free.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        self.n_workers = n_workers
+        self._pool = None
+
+    @property
+    def started(self) -> bool:
+        return self._pool is not None
+
+    def map(self, fn, args: Sequence) -> list:
+        if self._pool is None:
+            self._pool = multiprocessing.get_context("fork").Pool(self.n_workers)
+        return self._pool.map(fn, args)
+
+    def close(self) -> None:
+        """Shut the workers down and reap them (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class ProfileClient:
@@ -96,16 +153,39 @@ class KMeansCoordinator:
         value_bound: int,
         rng: random.Random,
         n_workers: int = 1,
+        use_fastexp: bool = True,
     ) -> None:
         self.group = group
         self.m = m
         self.t = m + 2
         self.value_bound = value_bound
         self.n_workers = n_workers
-        self.scheme = VectorElGamal(group, self.t)
+        self.use_fastexp = use_fastexp
+        self.scheme = VectorElGamal(group, self.t, use_fastexp=use_fastexp)
         self._secret, self.public_keys = self.scheme.keygen(rng)
-        self._fe = InnerProductFE(group)
+        self._fe = InnerProductFE(group, use_fastexp=use_fastexp)
         self.centroids: List[List[int]] = []
+        self.pool = WorkerPool(n_workers)
+        self._m_phase = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Release the persistent worker pool."""
+        self.pool.close()
+
+    def __enter__(self) -> "KMeansCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach the deployment's telemetry plane (phase latencies)."""
+        self._m_phase = _phase_histogram(telemetry.registry)
+
+    def _observe_phase(self, phase: str, seconds: float) -> None:
+        if self._m_phase is not None:
+            self._m_phase.observe(seconds, phase=phase)
 
     # -- centroid state -----------------------------------------------------
     def set_centroids(self, centroids: Sequence[Sequence[int]]) -> None:
@@ -133,23 +213,28 @@ class KMeansCoordinator:
         sees only masked ciphertexts, so the returned elements reveal
         nothing to it.
         """
+        started = time.perf_counter()
         s_vectors, f_keys = self._function_data()
         if self.n_workers <= 1 or len(masked) < 2:
-            return dict(
+            out = dict(
                 _distance_chunk(
-                    (self.group.p, self.group.q, self.group.g, s_vectors, f_keys, list(masked))
+                    (self.group.p, self.group.q, self.group.g,
+                     s_vectors, f_keys, list(masked), self.use_fastexp)
                 )
             )
+            self._observe_phase("distance", time.perf_counter() - started)
+            return out
         chunks = _split(list(masked), self.n_workers)
         args = [
-            (self.group.p, self.group.q, self.group.g, s_vectors, f_keys, chunk)
+            (self.group.p, self.group.q, self.group.g,
+             s_vectors, f_keys, chunk, self.use_fastexp)
             for chunk in chunks
             if chunk
         ]
         out: Dict[int, List[int]] = {}
-        with multiprocessing.get_context("fork").Pool(self.n_workers) as pool:
-            for partial in pool.map(_distance_chunk, args):
-                out.update(partial)
+        for partial in self.pool.map(_distance_chunk, args):
+            out.update(partial)
+        self._observe_phase("distance", time.perf_counter() - started)
         return out
 
     # -- update phase (Coordinator side) -----------------------------------
@@ -159,13 +244,14 @@ class KMeansCoordinator:
         """Decrypt the aggregated sums, average, re-quantize, store."""
         if cardinality <= 0:
             return self.centroids[cluster_index]  # empty cluster: keep it
+        started = time.perf_counter()
         bound = cardinality * self.value_bound
-        sums = [
-            self.scheme.decrypt_component(self._secret, aggregate, i, bound)
-            for i in range(2, self.t)
-        ]
+        sums = self.scheme.decrypt_components(
+            self._secret, aggregate, range(2, self.t), bound
+        )
         centroid = [int(round(s / cardinality)) for s in sums]
         self.centroids[cluster_index] = centroid
+        self._observe_phase("update", time.perf_counter() - started)
         return centroid
 
 
@@ -178,15 +264,38 @@ class KMeansAggregator:
         coordinator: KMeansCoordinator,
         rng: random.Random,
         n_workers: int = 1,
+        use_fastexp: bool = True,
     ) -> None:
         self.group = group
         self.coordinator = coordinator
         self._rng = rng
         self.n_workers = n_workers
-        self.scheme = VectorElGamal(group, coordinator.t)
+        self.use_fastexp = use_fastexp
+        self.scheme = VectorElGamal(group, coordinator.t, use_fastexp=use_fastexp)
         self._ciphertexts: Dict[str, Ciphertext] = {}
         self._order: List[str] = []
         self.assignments: Dict[str, int] = {}
+        self.pool = WorkerPool(n_workers)
+        self._m_phase = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Release the persistent worker pool."""
+        self.pool.close()
+
+    def __enter__(self) -> "KMeansAggregator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach the deployment's telemetry plane (phase latencies)."""
+        self._m_phase = _phase_histogram(telemetry.registry)
+
+    def _observe_phase(self, phase: str, seconds: float) -> None:
+        if self._m_phase is not None:
+            self._m_phase.observe(seconds, phase=phase)
 
     # -- intake ---------------------------------------------------------------
     def submit(self, client_id: str, ciphertext: Ciphertext) -> None:
@@ -202,26 +311,55 @@ class KMeansAggregator:
 
     # -- distance phase (Aggregator side) -------------------------------------
     def _mask(self, ct: Ciphertext) -> Tuple[Ciphertext, int]:
-        """Re-randomize and add ν to coordinate 1; returns (masked, ν)."""
+        """Re-randomize and add ν to coordinate 1; returns (masked, ν).
+
+        Fast path: multiply the re-randomization straight into the
+        ciphertext (``α·g^r``, ``β_i·h_i^r``, ``β_1·g^ν``) through the
+        fixed-base tables — 1 + t table exponentiations instead of the
+        naive path's full encryption of a mostly-zero mask vector
+        (1 + 2t raw ones).  Identical output, identical RNG draws
+        (ν then r) either way.
+        """
         nu = self.group.random_exponent(self._rng)
+        public = self.coordinator.public_keys
+        if self.use_fastexp:
+            masked = self.scheme.rerandomize(
+                public, ct, self._rng, add_at={0: nu}
+            )
+            return masked, nu
         mask_plain = [nu] + [0] * (self.coordinator.t - 1)
-        mask_ct = self.scheme.encrypt(self.coordinator.public_keys, mask_plain, self._rng)
+        mask_ct = self.scheme.encrypt(public, mask_plain, self._rng)
         return self.scheme.add(ct, mask_ct), nu
 
-    def assign_all(self) -> Tuple[Dict[str, int], int]:
-        """One client→cluster mapping pass; returns (mapping, n_changed)."""
-        m = self.coordinator.m
-        bound = m * self.coordinator.value_bound ** 2
+    def mask_all(self) -> Tuple[List[Tuple[int, int, Tuple[int, ...]]], List[int]]:
+        """Mask every held ciphertext; returns (masked batch, ν list)."""
+        started = time.perf_counter()
         masked_batch: List[Tuple[int, int, Tuple[int, ...]]] = []
         nus: List[int] = []
         for idx, client_id in enumerate(self._order):
             masked, nu = self._mask(self._ciphertexts[client_id])
             masked_batch.append((idx, masked.alpha, masked.betas))
             nus.append(nu)
-        gamma_map = self.coordinator.distance_elements_batch(masked_batch)
+        self._observe_phase("mask", time.perf_counter() - started)
+        return masked_batch, nus
 
+    def _unmask_factors(self, nus: Sequence[int]) -> List[int]:
+        """The per-client g^{-ν} factors, batch-inverted on the fast path."""
+        if self.use_fastexp:
+            g_nus = [self.scheme.gexp(nu) for nu in nus]
+            return fastexp.batch_invert(self.group.p, g_nus)
+        return [self.group.inv(self.group.gexp(nu)) for nu in nus]
+
+    def choose_clusters(
+        self, gamma_map: Dict[int, List[int]], nus: Sequence[int]
+    ) -> Tuple[Dict[str, int], int]:
+        """Unmask the γs, discrete-log, pick each client's nearest centroid."""
+        started = time.perf_counter()
+        m = self.coordinator.m
+        bound = m * self.coordinator.value_bound ** 2
+        unmask_factors = self._unmask_factors(nus)
         unmask_items = [
-            (idx, self.group.inv(self.group.gexp(nus[idx])), gamma_map[idx])
+            (idx, unmask_factors[idx], gamma_map[idx])
             for idx in range(len(self._order))
         ]
         if self.n_workers <= 1 or len(unmask_items) < 2:
@@ -229,6 +367,10 @@ class KMeansAggregator:
                 (self.group.p, self.group.q, self.group.g, bound, unmask_items)
             )
         else:
+            # build the BSGS context in the parent before the workers
+            # fork so every worker inherits it copy-on-write
+            if not self.pool.started:
+                _dlog.prewarm(self.group, bound)
             chunks = _split(unmask_items, self.n_workers)
             args = [
                 (self.group.p, self.group.q, self.group.g, bound, chunk)
@@ -236,9 +378,8 @@ class KMeansAggregator:
                 if chunk
             ]
             results = []
-            with multiprocessing.get_context("fork").Pool(self.n_workers) as pool:
-                for partial in pool.map(_unmask_chunk, args):
-                    results.extend(partial)
+            for partial in self.pool.map(_unmask_chunk, args):
+                results.extend(partial)
 
         changed = 0
         new_assignments: Dict[str, int] = {}
@@ -248,18 +389,28 @@ class KMeansAggregator:
             if self.assignments.get(client_id) != cluster:
                 changed += 1
         self.assignments = new_assignments
+        self._observe_phase("unmask", time.perf_counter() - started)
         return dict(new_assignments), changed
+
+    def assign_all(self) -> Tuple[Dict[str, int], int]:
+        """One client→cluster mapping pass; returns (mapping, n_changed)."""
+        masked_batch, nus = self.mask_all()
+        gamma_map = self.coordinator.distance_elements_batch(masked_batch)
+        return self.choose_clusters(gamma_map, nus)
 
     # -- update phase (Aggregator side) ---------------------------------------
     def aggregate_clusters(self) -> Dict[int, Tuple[Ciphertext, int]]:
         """Homomorphically sum each cluster's ciphertexts."""
+        started = time.perf_counter()
         groups: Dict[int, List[Ciphertext]] = {}
         for client_id, cluster in self.assignments.items():
             groups.setdefault(cluster, []).append(self._ciphertexts[client_id])
-        return {
+        out = {
             cluster: (self.scheme.add_many(cts), len(cts))
             for cluster, cts in groups.items()
         }
+        self._observe_phase("aggregate", time.perf_counter() - started)
+        return out
 
 
 # -- worker functions (module level so they fork+pickle cleanly) -----------
@@ -270,14 +421,13 @@ def _split(items: list, n: int) -> List[list]:
 
 
 def _distance_chunk(args) -> List[Tuple[int, List[int]]]:
-    p, q, g, s_vectors, f_keys, chunk = args
+    p, q, g, s_vectors, f_keys, chunk, use_fastexp = args
     group = SchnorrGroup(p=p, q=q, g=g)
-    fe = InnerProductFE(group)
+    fe = InnerProductFE(group, use_fastexp=use_fastexp)
     out = []
     for idx, alpha, betas in chunk:
         ct = Ciphertext(alpha=alpha, betas=tuple(betas))
-        gammas = [fe.eval_element(ct, s, f) for s, f in zip(s_vectors, f_keys)]
-        out.append((idx, gammas))
+        out.append((idx, fe.eval_elements(ct, s_vectors, f_keys)))
     return out
 
 
@@ -293,6 +443,17 @@ def _unmask_chunk(args) -> List[Tuple[int, int]]:
                 best_cluster, best_distance = cluster, d2
         out.append((idx, best_cluster))
     return out
+
+
+def _phase_histogram(registry):
+    """The shared per-phase latency histogram (one per registry)."""
+    return registry.histogram(
+        "sheriff_crypto_phase_seconds",
+        "Wall-clock seconds per secure k-means protocol phase",
+        labelnames=("phase",),
+        buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+                 30.0, 60.0, 120.0),
+    )
 
 
 # -- top-level driver --------------------------------------------------------
@@ -322,6 +483,8 @@ def run_secure_kmeans(
     halt_threshold: float = 0.02,
     max_iterations: int = 15,
     n_workers: int = 1,
+    use_fastexp: bool = True,
+    telemetry=None,
 ) -> SecureKMeansResult:
     """Run the full protocol over a set of client profiles.
 
@@ -329,6 +492,11 @@ def run_secure_kmeans(
     length, coordinates in [0, value_bound]).  Initial centroids default
     to a deterministic sample of the client points — chosen by the
     Aggregator's RNG, mirroring a Forgy initialization.
+
+    ``use_fastexp=False`` switches every party to the naive textbook
+    arithmetic; the result (and the RNG draw sequence) is identical
+    either way.  Pass a :class:`repro.obs.Telemetry` to record the
+    ``sheriff_crypto_*`` counters and per-phase latency histograms.
     """
     if not points:
         raise ValueError("no client points")
@@ -342,42 +510,56 @@ def run_secure_kmeans(
     m = dims.pop()
 
     coordinator = KMeansCoordinator(group, m=m, value_bound=value_bound, rng=rng,
-                                    n_workers=n_workers)
-    aggregator = KMeansAggregator(group, coordinator, rng=rng, n_workers=n_workers)
+                                    n_workers=n_workers, use_fastexp=use_fastexp)
+    aggregator = KMeansAggregator(group, coordinator, rng=rng,
+                                  n_workers=n_workers, use_fastexp=use_fastexp)
+    if telemetry is not None:
+        from repro.crypto.obs import bind_crypto_telemetry
 
-    # Clients encrypt and go offline.
-    for client_id, point in points.items():
-        client = ProfileClient(client_id, point, value_bound)
-        aggregator.submit(
-            client_id, client.encrypt_profile(coordinator.scheme,
-                                              coordinator.public_keys, rng)
+        bind_crypto_telemetry(telemetry)
+        coordinator.bind_telemetry(telemetry)
+        aggregator.bind_telemetry(telemetry)
+
+    try:
+        # Clients encrypt and go offline.
+        encrypt_started = time.perf_counter()
+        for client_id, point in points.items():
+            client = ProfileClient(client_id, point, value_bound)
+            aggregator.submit(
+                client_id, client.encrypt_profile(coordinator.scheme,
+                                                  coordinator.public_keys, rng)
+            )
+        aggregator._observe_phase("encrypt",
+                                  time.perf_counter() - encrypt_started)
+
+        if initial_centroids is None:
+            ids = sorted(points)
+            chosen = rng.sample(ids, min(k, len(ids)))
+            initial_centroids = [list(points[c]) for c in chosen]
+            while len(initial_centroids) < k:
+                initial_centroids.append(list(points[rng.choice(ids)]))
+        coordinator.set_centroids(initial_centroids)
+
+        iteration_seconds: List[float] = []
+        converged = False
+        iterations = 0
+        for iterations in range(1, max_iterations + 1):
+            started = time.perf_counter()
+            _, changed = aggregator.assign_all()
+            for cluster, (aggregate, cardinality) in aggregator.aggregate_clusters().items():
+                coordinator.update_centroid(cluster, aggregate, cardinality)
+            iteration_seconds.append(time.perf_counter() - started)
+            if changed / len(points) <= halt_threshold:
+                converged = True
+                break
+
+        return SecureKMeansResult(
+            centroids=[list(c) for c in coordinator.centroids],
+            assignments=dict(aggregator.assignments),
+            iterations=iterations,
+            converged=converged,
+            iteration_seconds=iteration_seconds,
         )
-
-    if initial_centroids is None:
-        ids = sorted(points)
-        chosen = rng.sample(ids, min(k, len(ids)))
-        initial_centroids = [list(points[c]) for c in chosen]
-        while len(initial_centroids) < k:
-            initial_centroids.append(list(points[rng.choice(ids)]))
-    coordinator.set_centroids(initial_centroids)
-
-    iteration_seconds: List[float] = []
-    converged = False
-    iterations = 0
-    for iterations in range(1, max_iterations + 1):
-        started = time.perf_counter()
-        _, changed = aggregator.assign_all()
-        for cluster, (aggregate, cardinality) in aggregator.aggregate_clusters().items():
-            coordinator.update_centroid(cluster, aggregate, cardinality)
-        iteration_seconds.append(time.perf_counter() - started)
-        if changed / len(points) <= halt_threshold:
-            converged = True
-            break
-
-    return SecureKMeansResult(
-        centroids=[list(c) for c in coordinator.centroids],
-        assignments=dict(aggregator.assignments),
-        iterations=iterations,
-        converged=converged,
-        iteration_seconds=iteration_seconds,
-    )
+    finally:
+        aggregator.close()
+        coordinator.close()

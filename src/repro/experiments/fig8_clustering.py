@@ -216,28 +216,28 @@ def _time_one_iteration(
 ) -> float:
     rng = random.Random(seed)
     group = TEST_GROUP
-    coordinator = KMeansCoordinator(group, m=m, value_bound=value_bound,
-                                    rng=rng, n_workers=n_workers)
-    aggregator = KMeansAggregator(group, coordinator, rng=rng,
-                                  n_workers=n_workers)
-    points = {}
-    for i in range(n_users):
-        point = [rng.randint(0, value_bound) if rng.random() < 0.3 else 0
-                 for _ in range(m)]
-        points[f"u{i}"] = point
-        client = ProfileClient(f"u{i}", point, value_bound)
-        aggregator.submit(
-            f"u{i}",
-            client.encrypt_profile(coordinator.scheme,
-                                   coordinator.public_keys, rng),
-        )
-    centroids = [points[f"u{i % n_users}"] for i in range(k)]
-    coordinator.set_centroids(centroids)
-    started = time.perf_counter()
-    aggregator.assign_all()
-    for cluster, (aggregate, card) in aggregator.aggregate_clusters().items():
-        coordinator.update_centroid(cluster, aggregate, card)
-    return time.perf_counter() - started
+    with KMeansCoordinator(group, m=m, value_bound=value_bound,
+                           rng=rng, n_workers=n_workers) as coordinator, \
+            KMeansAggregator(group, coordinator, rng=rng,
+                             n_workers=n_workers) as aggregator:
+        points = {}
+        for i in range(n_users):
+            point = [rng.randint(0, value_bound) if rng.random() < 0.3 else 0
+                     for _ in range(m)]
+            points[f"u{i}"] = point
+            client = ProfileClient(f"u{i}", point, value_bound)
+            aggregator.submit(
+                f"u{i}",
+                client.encrypt_profile(coordinator.scheme,
+                                       coordinator.public_keys, rng),
+            )
+        centroids = [points[f"u{i % n_users}"] for i in range(k)]
+        coordinator.set_centroids(centroids)
+        started = time.perf_counter()
+        aggregator.assign_all()
+        for cluster, (aggregate, card) in aggregator.aggregate_clusters().items():
+            coordinator.update_centroid(cluster, aggregate, card)
+        return time.perf_counter() - started
 
 
 def run_fig8c(scale: str = "default", repeats: int = 2) -> Fig8cResult:

@@ -14,7 +14,9 @@
   (Sect. 7): multi-country crawls, the four-country case studies, the
   temporal study, the Alexa-400 sweep;
 * :mod:`repro.workloads.perfmodel` — the Table 1 queueing model of the
-  old and new back-end architectures.
+  old and new back-end architectures;
+* :mod:`repro.workloads.cryptobench` — the Fig. 8(c) crypto benchmark:
+  naive vs fastexp arithmetic, 1 vs N workers, per protocol phase.
 """
 
 from repro.workloads.alexa import ContentWeb, build_alexa_ecommerce
@@ -32,6 +34,7 @@ from repro.workloads.crawlstudy import (
     temporal_study,
 )
 from repro.workloads.perfmodel import PerformanceModel, PerfRow, run_table1
+from repro.workloads.cryptobench import CryptoBenchConfig, run_cryptobench
 
 __all__ = [
     "ContentWeb",
@@ -50,4 +53,6 @@ __all__ = [
     "PerformanceModel",
     "PerfRow",
     "run_table1",
+    "CryptoBenchConfig",
+    "run_cryptobench",
 ]

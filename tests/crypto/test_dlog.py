@@ -4,7 +4,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.crypto.dlog import DiscreteLogError, clear_dlog_cache, discrete_log
+from repro.crypto import dlog as dlog_module
+from repro.crypto.dlog import (
+    DiscreteLogError,
+    clear_dlog_cache,
+    discrete_log,
+    dlog_cache_info,
+    prewarm,
+)
 from repro.crypto.group import TEST_GROUP
 
 
@@ -41,3 +48,68 @@ class TestDiscreteLog:
     @settings(max_examples=50, deadline=None)
     def test_roundtrip_property(self, x):
         assert discrete_log(TEST_GROUP, TEST_GROUP.gexp(x), bound=50_000) == x
+
+    def test_just_past_bound_raises(self):
+        # regression: the giant-step loop used to run one extra stride,
+        # so this was only caught by the x <= bound guard
+        for bound in (1, 99, 100, 1024):
+            element = TEST_GROUP.gexp(bound + 1)
+            with pytest.raises(DiscreteLogError):
+                discrete_log(TEST_GROUP, element, bound=bound)
+
+    @given(bound=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=50, deadline=None)
+    def test_boundary_property(self, bound):
+        assert discrete_log(TEST_GROUP, TEST_GROUP.gexp(bound), bound=bound) == bound
+        with pytest.raises(DiscreteLogError):
+            discrete_log(TEST_GROUP, TEST_GROUP.gexp(bound + 1), bound=bound)
+
+
+class TestCache:
+    def setup_method(self):
+        clear_dlog_cache()
+
+    def teardown_method(self):
+        clear_dlog_cache()
+
+    def test_prewarm_populates_cache(self):
+        assert dlog_cache_info()["entries"] == 0
+        prewarm(TEST_GROUP, bound=10_000)
+        assert dlog_cache_info()["entries"] == 1
+        # the subsequent discrete_log reuses the prewarmed entry
+        discrete_log(TEST_GROUP, TEST_GROUP.gexp(123), bound=10_000)
+        assert dlog_cache_info()["entries"] == 1
+
+    def test_lru_cap_evicts_oldest(self, monkeypatch):
+        monkeypatch.setattr(dlog_module, "MAX_CACHED_TABLES", 3)
+        bounds = [100, 400, 900, 1600, 2500]  # distinct strides m
+        for bound in bounds:
+            discrete_log(TEST_GROUP, TEST_GROUP.gexp(7), bound=bound)
+        assert dlog_cache_info()["entries"] == 3
+        # evicted entries are rebuilt transparently
+        assert discrete_log(TEST_GROUP, TEST_GROUP.gexp(7), bound=100) == 7
+
+    def test_giant_stride_cached_per_entry(self):
+        discrete_log(TEST_GROUP, TEST_GROUP.gexp(50), bound=10_000)
+        (entry,) = dlog_module._TABLE_CACHE.values()
+        # the cache key carries the stride m; the entry pins g^{-m}
+        key = next(iter(dlog_module._TABLE_CACHE))
+        stride = key[2]
+        assert entry.giant == TEST_GROUP.inv(TEST_GROUP.gexp(stride))
+
+    def test_eviction_metric_fires(self, monkeypatch):
+        class FakeCounter:
+            count = 0
+
+            def inc(self, amount=1):
+                self.count += amount
+
+        monkeypatch.setattr(dlog_module, "MAX_CACHED_TABLES", 1)
+        fake = FakeCounter()
+        dlog_module.bind_instruments(evictions=fake)
+        try:
+            discrete_log(TEST_GROUP, TEST_GROUP.gexp(3), bound=100)
+            discrete_log(TEST_GROUP, TEST_GROUP.gexp(3), bound=10_000)
+            assert fake.count == 1
+        finally:
+            dlog_module.bind_instruments()

@@ -1,0 +1,186 @@
+"""Lockstep proof: the fast crypto path is bit-identical to the naive one.
+
+``use_fastexp=True`` (the default) must be a pure performance change:
+for a fixed seed, both paths must produce byte-identical ciphertexts,
+identical assignments and centroids, and — the strictest check — consume
+the random stream draw-for-draw, so that mixing fast and naive parties
+mid-protocol can never diverge.  Worker pools must not perturb any of
+this, and must leave no stray child processes behind.
+"""
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro.crypto.dlog import clear_dlog_cache
+from repro.crypto.elgamal import VectorElGamal
+from repro.crypto.fastexp import clear_fastexp_cache
+from repro.crypto.fe import InnerProductFE
+from repro.crypto.group import TEST_GROUP
+from repro.crypto.secure_kmeans import (
+    KMeansAggregator,
+    KMeansCoordinator,
+    run_secure_kmeans,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_fastexp_cache()
+    clear_dlog_cache()
+    yield
+    clear_fastexp_cache()
+    clear_dlog_cache()
+
+
+def _points(n=14, m=5, bound=20, seed=99):
+    rng = random.Random(seed)
+    return {
+        f"u{i}": [rng.randint(0, bound) for _ in range(m)] for i in range(n)
+    }
+
+
+class TestSchemeLockstep:
+    def test_encrypt_bit_identical_and_same_rng_draws(self):
+        plaintext = [3, 1, 0, 17, 4]
+        results = []
+        for use_fastexp in (False, True):
+            rng = random.Random(42)
+            scheme = VectorElGamal(TEST_GROUP, 5, use_fastexp=use_fastexp)
+            secret, public = scheme.keygen(rng)
+            ct = scheme.encrypt(public, plaintext, rng)
+            results.append((secret, public, ct, rng.getstate()))
+        assert results[0] == results[1]
+
+    def test_rerandomize_equals_add_of_mask_encryption(self):
+        rng = random.Random(7)
+        scheme = VectorElGamal(TEST_GROUP, 4, use_fastexp=True)
+        _, public = scheme.keygen(rng)
+        ct = scheme.encrypt(public, [5, 0, 2, 9], rng)
+
+        rng_a = random.Random(13)
+        fast = scheme.rerandomize(public, ct, rng_a, add_at={0: 77})
+
+        rng_b = random.Random(13)
+        r = TEST_GROUP.random_exponent(rng_b)
+        mask = scheme.encrypt(public, [77, 0, 0, 0], _FixedDraw(r))
+        naive = scheme.add(ct, mask)
+
+        assert fast == naive
+        assert rng_a.getstate() == rng_b.getstate()
+
+    def test_fe_eval_matches_naive(self):
+        rng = random.Random(5)
+        fast = InnerProductFE(TEST_GROUP, use_fastexp=True)
+        naive = InnerProductFE(TEST_GROUP, use_fastexp=False)
+        scheme = VectorElGamal(TEST_GROUP, 6, use_fastexp=True)
+        secret, public = scheme.keygen(rng)
+        ct = scheme.encrypt(public, [4, 1, 0, 7, 2, 3], rng)
+        s_vectors = [
+            [1, 9, -2, 0, -8, 1],
+            [1, 0, 0, 0, 0, 0],
+            [0, -1, 5, -5, 1, 0],
+        ]
+        f_keys = [fast.function_key(secret, s) for s in s_vectors]
+        for s, f in zip(s_vectors, f_keys):
+            assert fast.eval_element(ct, s, f) == naive.eval_element(ct, s, f)
+        assert fast.eval_elements(ct, s_vectors, f_keys) == [
+            naive.eval_element(ct, s, f) for s, f in zip(s_vectors, f_keys)
+        ]
+
+    def test_decrypt_components_matches_naive(self):
+        rng = random.Random(11)
+        plaintext = [6, 0, 13, 2, 21]
+        outs = []
+        for use_fastexp in (False, True):
+            r = random.Random(11)
+            scheme = VectorElGamal(TEST_GROUP, 5, use_fastexp=use_fastexp)
+            secret, public = scheme.keygen(r)
+            ct = scheme.encrypt(public, plaintext, r)
+            outs.append(scheme.decrypt(secret, ct, bound=30))
+        assert outs[0] == outs[1] == plaintext
+
+
+class _FixedDraw:
+    """An 'rng' that replays one predetermined exponent draw."""
+
+    def __init__(self, value):
+        self._value = value
+
+    def randrange(self, *args):
+        return self._value
+
+
+class TestProtocolLockstep:
+    def _run(self, use_fastexp, n_workers=1):
+        return run_secure_kmeans(
+            _points(), k=3, value_bound=20, rng=random.Random(2017),
+            use_fastexp=use_fastexp, n_workers=n_workers,
+        )
+
+    def test_fast_and_naive_agree_exactly(self):
+        naive = self._run(False)
+        fast = self._run(True)
+        assert naive.assignments == fast.assignments
+        assert naive.centroids == fast.centroids
+        assert naive.iterations == fast.iterations
+        assert naive.converged == fast.converged
+
+    def test_rng_stream_consumed_identically(self):
+        states = []
+        for use_fastexp in (False, True):
+            rng = random.Random(2017)
+            run_secure_kmeans(
+                _points(), k=3, value_bound=20, rng=rng,
+                use_fastexp=use_fastexp,
+            )
+            states.append(rng.getstate())
+        assert states[0] == states[1]
+
+    def test_worker_pool_does_not_change_results(self):
+        single = self._run(True, n_workers=1)
+        pooled = self._run(True, n_workers=2)
+        assert single.assignments == pooled.assignments
+        assert single.centroids == pooled.centroids
+        assert single.iterations == pooled.iterations
+
+
+class TestPoolHygiene:
+    def test_run_leaves_no_stray_children(self):
+        multiprocessing.active_children()  # reap any leftovers first
+        run_secure_kmeans(
+            _points(n=8, m=4), k=2, value_bound=20,
+            rng=random.Random(1), n_workers=2,
+        )
+        assert multiprocessing.active_children() == []
+
+    def test_close_is_idempotent_and_reaps_workers(self):
+        rng = random.Random(3)
+        coordinator = KMeansCoordinator(
+            TEST_GROUP, m=4, value_bound=20, rng=rng, n_workers=2
+        )
+        aggregator = KMeansAggregator(
+            TEST_GROUP, coordinator, rng=rng, n_workers=2
+        )
+        # force the pools to actually start
+        aggregator.pool.map(_identity, [1, 2, 3])
+        coordinator.pool.map(_identity, [4, 5])
+        assert aggregator.pool.started and coordinator.pool.started
+        aggregator.close()
+        coordinator.close()
+        aggregator.close()  # second close is a no-op
+        assert multiprocessing.active_children() == []
+        assert not aggregator.pool.started
+
+    def test_unstarted_pool_close_never_forks(self):
+        rng = random.Random(3)
+        with KMeansCoordinator(
+            TEST_GROUP, m=4, value_bound=20, rng=rng, n_workers=4
+        ) as coordinator:
+            assert not coordinator.pool.started
+        assert multiprocessing.active_children() == []
+
+
+def _identity(x):
+    return x

@@ -1,0 +1,54 @@
+"""Tests for the crypto fast-path benchmark workload."""
+
+from repro.workloads.cryptobench import (
+    NAMED_GROUPS,
+    PHASES,
+    CryptoBenchConfig,
+    run_cryptobench,
+)
+
+
+def _micro_config():
+    return CryptoBenchConfig(
+        n_clients=6, m=4, k=2, value_bound=10,
+        groups=("test",), worker_counts=(1,), repeats=1,
+    )
+
+
+class TestCryptoBench:
+    def test_report_shape_and_lockstep(self):
+        report = run_cryptobench(_micro_config())
+        assert report["lockstep_ok"] is True
+        (group_report,) = report["groups"]
+        assert group_report["group"] == "test"
+        assert group_report["bits"] == NAMED_GROUPS["test"].bits
+        (row,) = group_report["workers"]
+        assert row["n_workers"] == 1
+        for phase in (*PHASES, "total"):
+            assert row["naive"][f"{phase}_s"] >= 0
+            assert row["fast"][f"{phase}_s"] >= 0
+            assert row["speedup"][phase] > 0
+        assert report["gate_speedup"] == row["speedup"]["encrypt_distance"]
+
+    def test_multi_worker_row_keeps_lockstep(self):
+        config = _micro_config()
+        config.worker_counts = (1, 2)
+        report = run_cryptobench(config)
+        assert report["lockstep_ok"] is True
+        assert [r["n_workers"] for r in report["groups"][0]["workers"]] == [1, 2]
+
+    def test_gate_absent_without_test_group(self):
+        config = _micro_config()
+        config.groups = ("bench256",)
+        config.n_clients, config.m = 3, 3  # keep the 256-bit pass tiny
+        report = run_cryptobench(config)
+        assert report["gate_speedup"] is None
+        assert report["lockstep_ok"] is True
+
+    def test_smoke_scale_is_reduced(self):
+        smoke = CryptoBenchConfig.smoke_scale()
+        full = CryptoBenchConfig()
+        assert smoke.n_clients < full.n_clients
+        assert smoke.m < full.m
+        assert smoke.groups == ("test",)
+        assert smoke.repeats >= 2  # steady-state gate needs a warm pass
