@@ -37,7 +37,18 @@ from repro.core.engine import PriceCheckEngine
 from repro.core.measurement import JobHandle, MeasurementServer, PriceCheckJob
 from repro.core.pricecheck import PriceCheckResult, ResultRow
 from repro.core.detector import PriceVariationReport, analyze_rows
+from repro.core.watchdog import WatchAlert, Watchdog
 from repro.obs import Telemetry
+from repro.ops import (
+    AuditTrail,
+    KillSwitch,
+    LogNotifier,
+    Notifier,
+    OpsEvent,
+    RestartPolicy,
+    Supervisor,
+    build_supervisor,
+)
 from repro.storage import (
     MemoryBackend,
     ShardedDatabase,
@@ -77,6 +88,18 @@ __all__ = [
     "make_backend",
     # observability
     "Telemetry",
+    # the price watchdog (Sect. 6): watches *products*
+    "Watchdog",
+    "WatchAlert",
+    # the operations layer: watches *the service itself*
+    "Supervisor",
+    "build_supervisor",
+    "RestartPolicy",
+    "KillSwitch",
+    "AuditTrail",
+    "OpsEvent",
+    "Notifier",
+    "LogNotifier",
     # deployment builders
     "DeploymentConfig",
     "LiveDeployment",

@@ -8,7 +8,11 @@ Gives the library a tool-shaped front door:
 * ``geoblock``    — scan a demo URL for geoblocking;
 * ``panels``      — render the Fig. 7 / Fig. 16 monitoring panels;
 * ``chaos``       — run a deployment under a named fault-injection
-  profile and report resolution/recovery counters;
+  profile and report resolution/recovery counters (add
+  ``--supervised`` to run it under the self-healing layer);
+* ``supervise``   — run a supervised deployment under chaos and report
+  the healing verdict: the ops panel, the heal report, and the audit
+  trail; exits non-zero if the deployment did not converge;
 * ``throughput``  — benchmark serial vs pipelined price-check
   execution and emit ``BENCH_throughput.json``;
 * ``storagebench`` — benchmark the storage engines (scan vs index,
@@ -90,6 +94,24 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="size of the simulated population")
     chaos.add_argument("--quorum", type=int, default=1,
                        help="minimum vantage points per accepted result")
+    chaos.add_argument("--supervised", action="store_true",
+                       help="run under the self-healing operations layer")
+
+    supervise = sub.add_parser(
+        "supervise",
+        help="supervised chaos run: heal, audit, and report the verdict",
+    )
+    supervise.add_argument("--chaos", default="chaos_monkey",
+                           choices=sorted(CHAOS_PROFILES),
+                           help="named fault-injection profile")
+    supervise.add_argument("--seed", type=int, default=0,
+                           help="seed of the fault plan's RNG")
+    supervise.add_argument("--requests", type=int, default=60,
+                           help="price checks to attempt")
+    supervise.add_argument("--users", type=int, default=30,
+                           help="size of the simulated population")
+    supervise.add_argument("--audit-out", default=None, metavar="JSONL",
+                           help="persist the ops audit trail to this file")
 
     throughput = sub.add_parser(
         "throughput",
@@ -400,8 +422,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     config.chaos_profile = args.profile
     config.chaos_seed = args.seed
     config.quorum = args.quorum
+    config.supervised = args.supervised
     print(f"chaos drill: profile={args.profile!r} seed={args.seed} "
-          f"requests={args.requests} users={args.users} quorum={args.quorum}")
+          f"requests={args.requests} users={args.users} quorum={args.quorum}"
+          + (" [supervised]" if args.supervised else ""))
     dataset = LiveDeployment(config).run()
     print(f"attempted          {dataset.n_attempted}")
     print(f"result pages       {len(dataset.results)}")
@@ -412,6 +436,58 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(console.faults_panel())
     print()
     print(console.servers_panel())
+    if dataset.supervisor is not None:
+        print()
+        print(console.ops_panel(dataset.supervisor))
+    return 0
+
+
+def _cmd_supervise(args: argparse.Namespace) -> int:
+    from repro.core.monitoring import ops_panel
+    from repro.workloads.deployment import DeploymentConfig, LiveDeployment
+
+    config = DeploymentConfig.test_scale()
+    config.n_users = args.users
+    config.n_requests = args.requests
+    config.chaos_profile = (
+        None if args.chaos in (None, "none") else args.chaos
+    )
+    config.chaos_seed = args.seed
+    config.supervised = True
+    config.audit_path = args.audit_out
+    print(f"supervised run: chaos={args.chaos!r} seed={args.seed} "
+          f"requests={args.requests} users={args.users}")
+    dataset = LiveDeployment(config).run()
+    supervisor = dataset.supervisor
+    heal = dataset.heal_report
+
+    print(f"attempted          {dataset.n_attempted}")
+    print(f"result pages       {len(dataset.results)}")
+    print(f"explicit failures  {dataset.n_explicit_failures}")
+    print(f"resolution rate    {dataset.resolution_rate:.1%}")
+    print()
+    print(ops_panel(supervisor))
+    print()
+    print("audit trail:")
+    for kind, count in sorted(supervisor.audit.counts().items()):
+        print(f"  {kind:<26} {count}")
+    if args.audit_out:
+        print(f"audit trail persisted to {args.audit_out}")
+
+    pending = dataset.sheriff.distributor.pending_jobs
+    converged = heal is not None and heal.converged
+    print()
+    if heal is not None:
+        print(f"healing: converged={heal.converged} "
+              f"elapsed={heal.elapsed:.0f}s ticks={heal.ticks}")
+    if not converged:
+        unhealthy = ", ".join(supervisor.unhealthy_components()) or "?"
+        print(f"FAIL: deployment did not converge (unhealthy: {unhealthy})")
+        return 1
+    if pending:
+        print(f"FAIL: {pending} job(s) permanently stuck in the distributor")
+        return 1
+    print("OK: deployment healed, no jobs lost")
     return 0
 
 
@@ -725,6 +801,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "panels": _cmd_panels,
         "watch": _cmd_watch,
         "chaos": _cmd_chaos,
+        "supervise": _cmd_supervise,
         "throughput": _cmd_throughput,
         "storagebench": _cmd_storagebench,
         "cryptobench": _cmd_cryptobench,

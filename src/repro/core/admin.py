@@ -23,6 +23,7 @@ from repro.core.errors import ProbeFailed
 from repro.core.measurement import MeasurementServer
 from repro.core.monitoring import (
     faults_panel,
+    ops_panel,
     peers_panel,
     pipeline_panel,
     servers_panel,
@@ -101,3 +102,9 @@ class AdminConsole:
 
     def pipeline_panel(self) -> str:
         return pipeline_panel(self._sheriff.telemetry.registry)
+
+    def ops_panel(self, supervisor) -> str:
+        """The self-healing layer's component table (pass the
+        :class:`repro.ops.supervisor.Supervisor` watching this
+        deployment — the console does not own one)."""
+        return ops_panel(supervisor)

@@ -110,6 +110,12 @@ class Coordinator:
         self.dopp_manager = dopp_manager
         self.max_ppcs_per_request = max_ppcs_per_request
         self._rng = rng if rng is not None else random.Random(1099)
+        #: dedicated jitter stream for retry backoff.  Backoff draws must
+        #: not share the PPC-selection RNG: a failover would then shift
+        #: every later select_ppcs() shuffle, and a healed chaos run
+        #: could never be row-identical to a fault-free one (the
+        #: restart-equivalence property tests/ops pins down).
+        self._backoff_rng = random.Random(2029)
         self._job_seq = itertools.count(1)
         self.jobs: Dict[str, JobRecord] = {}
         #: chaos schedule; None means a clean network
@@ -318,7 +324,7 @@ class Coordinator:
 
     def next_backoff(self, attempt: int) -> float:
         """Jittered, capped-exponential wait before retry ``attempt``."""
-        delay = self.backoff.delay(attempt, self._rng)
+        delay = self.backoff.delay(attempt, self._backoff_rng)
         self.backoff_seconds += delay
         self._m_backoff.inc(delay)
         return delay

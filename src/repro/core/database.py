@@ -54,6 +54,10 @@ class DatabaseServer:
         self.peak_connections = 0
         self.query_count = 0
         self.batched_writes = 0
+        #: simulated time of the newest row written, taken from the
+        #: rows' own ``time`` fields — no clock plumbing needed.  The
+        #: ops layer's shard-staleness probe reads this.
+        self.last_write_time: Optional[float] = None
         self._m_queries = None
         self._m_batch_rows = None
         self._m_connections = None
@@ -124,9 +128,16 @@ class DatabaseServer:
             if self._m_connections is not None:
                 self._m_connections.set(self._connections_in_use)
 
+    def _note_write_time(self, row: Dict[str, Any]) -> None:
+        stamp = row.get("time")
+        if isinstance(stamp, (int, float)):
+            if self.last_write_time is None or stamp > self.last_write_time:
+                self.last_write_time = float(stamp)
+
     # -- generic table access -----------------------------------------------
     def insert(self, table: str, row: Dict[str, Any]) -> int:
         self._count_query()
+        self._note_write_time(row)
         return self.backend.insert(table, row)
 
     def insert_many(self, table: str, rows: List[Dict[str, Any]]) -> List[int]:
@@ -141,6 +152,8 @@ class DatabaseServer:
         if self._m_queries is not None:
             self._m_queries.inc()
             self._m_batch_rows.observe(len(rows))
+        for row in rows:
+            self._note_write_time(row)
         return self.backend.insert_many(table, rows)
 
     def scan(
@@ -165,6 +178,12 @@ class DatabaseServer:
 
     def count(self, table: str) -> int:
         return self.backend.count(table)
+
+    def shard_last_writes(self) -> Dict[str, Optional[float]]:
+        """Single-server counterpart of
+        :meth:`repro.storage.ShardedDatabase.shard_last_writes`, so the
+        ops staleness probe works against either database layout."""
+        return {"db": self.last_write_time}
 
     # -- stored procedures -------------------------------------------------
     def sp_record_request(

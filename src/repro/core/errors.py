@@ -158,6 +158,14 @@ class ProbeFailed(SheriffError, RuntimeError):
     """A machine failed the Measurement server registration self-test."""
 
 
+class KillSwitchTripped(SheriffError, RuntimeError):
+    """The operations kill-switch is latched; supervised actions refuse.
+
+    See :class:`repro.ops.killswitch.KillSwitch` — an operator must
+    reset the switch before the self-healing machinery acts again.
+    """
+
+
 __all__ = [
     "SheriffError",
     "AdmissionDenied",
@@ -179,4 +187,5 @@ __all__ = [
     "StateFetchFailed",
     "ConfigurationError",
     "ProbeFailed",
+    "KillSwitchTripped",
 ]

@@ -32,6 +32,7 @@ from repro.obs.metrics import MetricsRegistry, NullRegistry
 
 __all__ = [
     "faults_panel",
+    "ops_panel",
     "peers_panel",
     "pipeline_panel",
     "render_table",
@@ -134,6 +135,28 @@ def faults_panel(
         )
     table = render_table(rows, columns=("Counter", "Value"))
     return "Fault injection and recovery counters.\n" + table
+
+
+# -- the operations panel (self-healing layer) --------------------------------
+
+def ops_panel(source) -> str:
+    """The self-healing operations panel: one row per supervised
+    component, plus the kill-switch and audit tallies.
+
+    ``source`` is a :class:`repro.ops.supervisor.Supervisor` (anything
+    with ``monitoring_rows()`` / ``status()`` works).
+    """
+    rows = source.monitoring_rows()
+    table = render_table(
+        rows, columns=("Component", "State", "Restarts", "Detail")
+    )
+    status = source.status()
+    footer = (
+        f"kill-switch: {status['killswitch']}  "
+        f"restarts: {status['restarts']}  "
+        f"audit events: {status['audit_events']}"
+    )
+    return "Supervised components and healing state.\n" + table + "\n" + footer
 
 
 # -- Fig. 16: the peer-proxy panel --------------------------------------------

@@ -247,6 +247,44 @@ class PriceSheriff:
         self.distributor.remove_server(name)  # refuses while jobs pending
         self.measurement_servers.pop(name, None)
 
+    def restart_measurement_server(self, name: str) -> MeasurementServer:
+        """Replace a Measurement server with a fresh process (self-healing).
+
+        The supervised restart action of :mod:`repro.ops`: jobs still
+        pending on the old instance fail over to the survivors, the
+        instance is rebuilt from the same wiring (its registration row —
+        URL, port — is kept), any open flap window on the host is closed
+        (the replacement process answers heartbeats), and the first
+        heartbeat lands immediately.
+
+        Determinism: rebuilding consumes no world RNG — the replacement's
+        latency model is re-seeded from the server *name*, and fetch
+        durations never influence row content — so a healed run stays
+        row-identical to a fault-free one (tested in ``tests/ops``).
+        """
+        record = self.distributor.server(name)  # raises UnknownServer
+        if record.jobs > 0:
+            self.coordinator.handle_server_failure(name)
+        fresh = MeasurementServer(
+            name=name,
+            coordinator=self.coordinator,
+            db=self.db,
+            rates=self.world.rates,
+            ipcs=self.ipcs,
+            overlay=self.overlay,
+            clock=self.world.clock,
+            diffstore=self.diffstore,
+            quorum=self.quorum,
+            engine=self.engine,
+            pipelined=self.pipelined,
+            telemetry=self.telemetry,
+        )
+        self.measurement_servers[name] = fresh
+        if self.faults is not None:
+            self.faults.end_flap(name)
+        self.distributor.heartbeat(name, self.world.clock.now)
+        return fresh
+
     def measurement_server(self, name: str) -> MeasurementServer:
         return self.measurement_servers[name]
 

@@ -1,4 +1,4 @@
-"""The watchdog service: continuous monitoring with alerts.
+"""The *price* watchdog: continuous product monitoring with alerts.
 
 The paper's framing — "our software has 'watchdog' value" — implies an
 ongoing service, not one-shot checks: users (or regulators) keep a
@@ -13,6 +13,18 @@ exactly that on top of the price-check pipeline:
   changes (e.g. ``none`` → ``within-country``), or when the spread moves
   by more than a threshold;
 * a per-product history of (time, classification, spread) for audits.
+
+Naming note — two watchdogs live in this codebase, and they watch
+different things:
+
+* :class:`Watchdog` (this module) watches **product prices** for the
+  user-facing Sect. 6 service;
+* :class:`repro.ops.supervisor.Supervisor` watches **the deployment
+  itself** — heartbeats, restarts, kill-switch — i.e. the watchdog's
+  watchdog.
+
+Both are exported from :mod:`repro` under those distinct names; when a
+doc says "watchdog" unqualified it means this price watcher.
 """
 
 from __future__ import annotations

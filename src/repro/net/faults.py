@@ -279,7 +279,22 @@ class FaultPlan:
         return False
 
     def flapping_hosts(self, now: float) -> List[str]:
+        """Hosts currently inside a flap window — a *pure read*, unlike
+        :meth:`host_down`: no rule gets a draw, so supervisor health
+        probes can poll it without perturbing the fault RNG stream."""
         return sorted(n for n, t in self._flap_until.items() if now < t)
+
+    def end_flap(self, name: str) -> bool:
+        """Close ``name``'s flap window now (RNG-free).
+
+        Models an operator (or the :class:`repro.ops.supervisor`)
+        replacing the flapped process: the restarted host answers its
+        next heartbeat instead of serving out the window.  Returns
+        whether a window was actually open.  Flap rules may still open
+        a *new* window on a later :meth:`host_down` draw — a restart
+        fixes the instance, not the rule causing the flapping.
+        """
+        return self._flap_until.pop(name, None) is not None
 
     # -- response corruption -------------------------------------------------
     def corrupt_text(self, text: str) -> str:

@@ -151,6 +151,19 @@ class SimNetwork:
     def hosts(self) -> List[Host]:
         return list(self._hosts.values())
 
+    def restart_host(self, name: str) -> Host:
+        """Bring a host back online (the ops layer's restart action).
+
+        Flips the host's ``online`` flag and closes any flap window the
+        fault plan holds open for it — a replaced process answers its
+        next heartbeat.  RNG-free, like every supervised action.
+        """
+        host = self.host(name)
+        host.online = True
+        if self.faults is not None:
+            self.faults.end_flap(name)
+        return host
+
     # -- traffic -------------------------------------------------------------
     def rtt(self, src: str, dst: str) -> float:
         """Round-trip latency between two registered hosts."""

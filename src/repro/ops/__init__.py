@@ -1,0 +1,78 @@
+"""``repro.ops`` — the self-healing operations layer.
+
+The paper's watchdog service watched *prices*; its own availability was
+kept up by operators applying corrective measures by hand (App. 10.3).
+This package is the automated operator:
+
+* :mod:`repro.ops.supervisor` — the :class:`Supervisor` loop: liveness
+  and health probes per component, auto-restarts with flap-prevention
+  delays and sliding-window restart budgets, escalation when a budget
+  runs dry;
+* :mod:`repro.ops.health` — the probe library (heartbeats, queue depth,
+  error rates, shard staleness, pollution budgets), all read-only and
+  RNG-free;
+* :mod:`repro.ops.killswitch` — the latched circuit breaker anomalies
+  trip;
+* :mod:`repro.ops.audit` — the persistent, sim-clock-stamped audit
+  trail, mirrored 1:1 into ``sheriff_ops_*`` metrics;
+* :mod:`repro.ops.notifiers` — pluggable alert fan-out (log, callback,
+  file, webhook stub);
+* :mod:`repro.ops.wiring` — :func:`build_supervisor`, which registers a
+  whole :class:`repro.core.sheriff.PriceSheriff` deployment.
+
+Not to be confused with :class:`repro.core.watchdog.Watchdog`, the
+Sect. 6 product-price watcher — that one watches prices, this package
+watches the service.
+"""
+
+from repro.ops.audit import AuditTrail, OpsEvent
+from repro.ops.health import (
+    CallableProbe,
+    ErrorRateProbe,
+    HeartbeatProbe,
+    PollutionBudgetProbe,
+    ProbeResult,
+    QueueDepthProbe,
+    ShardStalenessProbe,
+)
+from repro.ops.killswitch import KillSwitch, KillSwitchTripped
+from repro.ops.notifiers import (
+    CallbackNotifier,
+    FileNotifier,
+    LogNotifier,
+    Notifier,
+    NotifierFanout,
+    WebhookNotifier,
+)
+from repro.ops.supervisor import (
+    Component,
+    HealReport,
+    RestartPolicy,
+    Supervisor,
+)
+from repro.ops.wiring import build_supervisor
+
+__all__ = [
+    "AuditTrail",
+    "CallableProbe",
+    "CallbackNotifier",
+    "Component",
+    "ErrorRateProbe",
+    "FileNotifier",
+    "HealReport",
+    "HeartbeatProbe",
+    "KillSwitch",
+    "KillSwitchTripped",
+    "LogNotifier",
+    "Notifier",
+    "NotifierFanout",
+    "OpsEvent",
+    "PollutionBudgetProbe",
+    "ProbeResult",
+    "QueueDepthProbe",
+    "RestartPolicy",
+    "ShardStalenessProbe",
+    "Supervisor",
+    "WebhookNotifier",
+    "build_supervisor",
+]

@@ -1,0 +1,105 @@
+"""The operations audit trail: every self-healing action, on the record.
+
+The paper's deployment was healed by hand — App. 10.3 describes the
+operators' "corrective measures" but no log of when they fired.  The
+supervisor automates those measures, and automation that restarts
+services or trips a kill-switch must leave a paper trail: an operator
+(or a regression test) has to be able to reconstruct *exactly* what the
+machinery did and when, on the simulated clock.
+
+:class:`AuditTrail` is that record.  It is append-only, stamped by the
+injected clock (never wall time, so runs replay identically from their
+seeds), optionally persisted as JSON lines, and mirrored 1:1 into the
+``sheriff_ops_events_total`` metric family — the single
+:meth:`AuditTrail.record` choke point bumps the counter, so the metric
+cannot drift from the log the tests compare.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, IO, List, Optional, Tuple
+
+__all__ = ["AuditTrail", "OpsEvent"]
+
+
+@dataclass(frozen=True)
+class OpsEvent:
+    """One supervisor/kill-switch action, exactly once in the trail."""
+
+    seq: int
+    time: float
+    kind: str        # e.g. "component_down", "component_restarted",
+                     # "restart_budget_exhausted", "killswitch_tripped"
+    component: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        text = f"t={self.time:10.1f}  {self.kind:<26} {self.component}"
+        return f"{text}  ({self.detail})" if self.detail else text
+
+
+class AuditTrail:
+    """Append-only, sim-clock-stamped log of operations events.
+
+    ``path`` (optional) appends each event as one JSON line the moment
+    it is recorded, so a crash mid-run still leaves the trail on disk —
+    the persistence the kill-switch requires.
+    """
+
+    def __init__(self, clock, path: Optional[str] = None) -> None:
+        self._clock = clock
+        self._path = path
+        self._events: List[OpsEvent] = []
+        self._m_events = None
+
+    def bind_telemetry(self, telemetry) -> None:
+        """Mirror every event into ``sheriff_ops_events_total{kind=}``."""
+        self._m_events = telemetry.registry.counter(
+            "sheriff_ops_events_total",
+            "Supervisor/kill-switch events, by kind",
+            labelnames=("kind",),
+        )
+        for event in self._events:  # backfill pre-bind events
+            self._m_events.inc(kind=event.kind)
+
+    # -- recording ---------------------------------------------------------
+    def record(self, kind: str, component: str, detail: str = "") -> OpsEvent:
+        event = OpsEvent(
+            seq=len(self._events), time=self._clock.now,
+            kind=kind, component=component, detail=detail,
+        )
+        self._events.append(event)
+        if self._m_events is not None:
+            self._m_events.inc(kind=kind)
+        if self._path is not None:
+            with open(self._path, "a") as fh:
+                fh.write(json.dumps(asdict(event)) + "\n")
+        return event
+
+    # -- reading -----------------------------------------------------------
+    def events(
+        self, kind: Optional[str] = None, component: Optional[str] = None
+    ) -> Tuple[OpsEvent, ...]:
+        """Immutable snapshot, filterable, comparable across runs."""
+        return tuple(
+            e for e in self._events
+            if (kind is None or e.kind == kind)
+            and (component is None or e.component == component)
+        )
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for event in self._events:
+            tally[event.kind] = tally.get(event.kind, 0) + 1
+        return tally
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def export_jsonl(self, fh: IO[str]) -> int:
+        """Write the whole trail as JSON lines; returns the line count."""
+        for event in self._events:
+            fh.write(json.dumps(asdict(event)) + "\n")
+        return len(self._events)

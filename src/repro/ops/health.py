@@ -1,0 +1,194 @@
+"""Health probes: how the supervisor decides a component is alive.
+
+Each probe answers one narrow question against live deployment state —
+is this Measurement server heartbeating, is this engine queue bounded,
+is this DB shard still taking writes, is the error rate spiking, are
+the doppelgangers polluted past their budget.  Probes are **read-only
+and RNG-free**: they may inspect clocks, metrics, and component state,
+but they never consume a seeded RNG stream or advance simulated time,
+so supervising a run cannot perturb its rows (the restart-equivalence
+property the ops tests pin down).
+
+In particular :class:`HeartbeatProbe` reads
+:meth:`repro.net.faults.FaultPlan.flapping_hosts` — the RNG-free view
+of the flap table — never :meth:`~repro.net.faults.FaultPlan.host_down`,
+which gives flap rules a fresh random draw on every call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = [
+    "CallableProbe",
+    "ErrorRateProbe",
+    "HeartbeatProbe",
+    "PollutionBudgetProbe",
+    "ProbeResult",
+    "QueueDepthProbe",
+    "ShardStalenessProbe",
+]
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """One probe verdict: healthy or not, with the observed value."""
+
+    healthy: bool
+    reason: str = ""
+    value: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.healthy
+
+
+OK = ProbeResult(healthy=True)
+
+
+class HeartbeatProbe:
+    """Is the Measurement server online and outside any flap window?
+
+    Combines the distributor's view (heartbeat-expired servers are
+    marked offline) with the fault plan's flap table, so a server that
+    just entered a flap window reads as down *before* the heartbeat
+    timeout elapses — detection latency is one supervisor tick, not one
+    timeout.
+    """
+
+    def __init__(self, distributor, name: str, faults=None) -> None:
+        self.distributor = distributor
+        self.name = name
+        self.faults = faults
+
+    def check(self, now: float) -> ProbeResult:
+        record = self.distributor.server(self.name)
+        if not record.online:
+            return ProbeResult(False, "heartbeat expired", 0.0)
+        if self.faults is not None and self.name in self.faults.flapping_hosts(now):
+            return ProbeResult(False, "host flapping", 0.0)
+        return OK
+
+
+class QueueDepthProbe:
+    """Is the server's engine fetch queue bounded?
+
+    A queue deeper than ``max_queued`` means fetch tasks are piling up
+    faster than the worker pool drains them — the Table-1 saturation
+    regime.  The heal action for this probe is a drain, not a restart.
+    """
+
+    def __init__(self, engine, server_name: str, max_queued: int = 64) -> None:
+        self.engine = engine
+        self.server_name = server_name
+        self.max_queued = max_queued
+
+    def check(self, now: float) -> ProbeResult:
+        depth = self.engine.pool_for(self.server_name).queued
+        if depth > self.max_queued:
+            return ProbeResult(
+                False, f"queue depth {depth} > {self.max_queued}", float(depth)
+            )
+        return ProbeResult(True, value=float(depth))
+
+
+class ErrorRateProbe:
+    """Is a cumulative error counter growing faster than allowed?
+
+    ``sample`` returns the counter's current cumulative value (e.g.
+    ``lambda: coordinator.jobs_failed``, or a ``repro.obs`` counter
+    read).  Each check measures the delta since the previous check —
+    a per-tick window — and flags when it exceeds ``max_delta``.
+    The first check only establishes the baseline.
+    """
+
+    def __init__(
+        self, sample: Callable[[], float], max_delta: float, name: str = "errors"
+    ) -> None:
+        self.sample = sample
+        self.max_delta = max_delta
+        self.name = name
+        self._last: Optional[float] = None
+
+    def check(self, now: float) -> ProbeResult:
+        current = float(self.sample())
+        previous, self._last = self._last, current
+        if previous is None:
+            return ProbeResult(True, value=0.0)
+        delta = current - previous
+        if delta > self.max_delta:
+            return ProbeResult(
+                False,
+                f"{self.name} rate spike: +{delta:g} > {self.max_delta:g} per tick",
+                delta,
+            )
+        return ProbeResult(True, value=delta)
+
+
+class ShardStalenessProbe:
+    """Has this DB shard taken a write recently enough?
+
+    Staleness is measured against the shard's ``last_write_time`` —
+    stamped from the rows' own ``time`` fields, so the probe needs no
+    clock plumbing into the storage layer.  A shard that has never been
+    written is healthy: an empty deployment is not a failing one.
+    """
+
+    def __init__(self, db, shard_name: str, max_age: float = 3600.0) -> None:
+        self.db = db
+        self.shard_name = shard_name
+        self.max_age = max_age
+
+    def check(self, now: float) -> ProbeResult:
+        last = self.db.shard_last_writes().get(self.shard_name)
+        if last is None:
+            return OK
+        age = now - last
+        if age > self.max_age:
+            return ProbeResult(
+                False, f"no write for {age:g}s > {self.max_age:g}s", age
+            )
+        return ProbeResult(True, value=age)
+
+
+class PollutionBudgetProbe:
+    """Are too many doppelgangers saturated past their pollution budget?
+
+    Reads :meth:`repro.profiles.doppelganger.Doppelganger.saturated_fraction`
+    over the whole fleet; blowing past ``max_fraction`` means served
+    profiles no longer look like their clusters — an anomaly worth a
+    kill-switch, since continuing to serve them pollutes measurements.
+    """
+
+    def __init__(self, dopp_manager, max_fraction: float = 0.5) -> None:
+        self.dopp_manager = dopp_manager
+        self.max_fraction = max_fraction
+
+    def check(self, now: float) -> ProbeResult:
+        dopps = self.dopp_manager.doppelgangers()
+        if not dopps:
+            return OK
+        saturated = sum(1 for d in dopps if d.needs_regeneration())
+        fraction = saturated / len(dopps)
+        if fraction > self.max_fraction:
+            return ProbeResult(
+                False,
+                f"{saturated}/{len(dopps)} doppelgangers saturated "
+                f"(> {self.max_fraction:.0%})",
+                fraction,
+            )
+        return ProbeResult(True, value=fraction)
+
+
+class CallableProbe:
+    """Adapts ``fn(now) -> bool | ProbeResult`` into a probe."""
+
+    def __init__(self, fn: Callable[[float], object], name: str = "probe") -> None:
+        self.fn = fn
+        self.name = name
+
+    def check(self, now: float) -> ProbeResult:
+        verdict = self.fn(now)
+        if isinstance(verdict, ProbeResult):
+            return verdict
+        return OK if verdict else ProbeResult(False, f"{self.name} failed")

@@ -1,0 +1,121 @@
+"""Pluggable alert notifiers for the operations layer.
+
+When the supervisor restarts a component or the kill-switch trips,
+someone has to hear about it.  A :class:`Notifier` receives each
+:class:`repro.ops.audit.OpsEvent` once; :class:`NotifierFanout` delivers
+one event to every registered notifier, isolating a broken notifier so
+an alerting failure can never take the healing loop down with it.
+
+Four concrete notifiers ship:
+
+* :class:`LogNotifier` — collects human-readable lines (the operator
+  console / test assertion surface);
+* :class:`CallbackNotifier` — invokes an arbitrary callable (pager glue);
+* :class:`FileNotifier` — appends JSON lines to a path;
+* :class:`WebhookNotifier` — a *stub*: the simulation has no real HTTP,
+  so it records the POSTs it would have made, payload included.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Callable, Dict, List, Tuple
+
+from repro.ops.audit import OpsEvent
+
+__all__ = [
+    "CallbackNotifier",
+    "FileNotifier",
+    "LogNotifier",
+    "Notifier",
+    "NotifierFanout",
+    "WebhookNotifier",
+]
+
+
+class Notifier:
+    """Base class: receives each operations event exactly once."""
+
+    def notify(self, event: OpsEvent) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class LogNotifier(Notifier):
+    """Collects rendered alert lines (and optionally prints them)."""
+
+    def __init__(self, echo: bool = False) -> None:
+        self.echo = echo
+        self.lines: List[str] = []
+
+    def notify(self, event: OpsEvent) -> None:
+        line = event.describe()
+        self.lines.append(line)
+        if self.echo:  # pragma: no cover - console side effect
+            print(f"[ops] {line}")
+
+
+class CallbackNotifier(Notifier):
+    """Hands each event to a callable — the pager/chat-bot adapter."""
+
+    def __init__(self, fn: Callable[[OpsEvent], None]) -> None:
+        self.fn = fn
+
+    def notify(self, event: OpsEvent) -> None:
+        self.fn(event)
+
+
+class FileNotifier(Notifier):
+    """Appends one JSON line per event to a file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def notify(self, event: OpsEvent) -> None:
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(asdict(event)) + "\n")
+
+
+class WebhookNotifier(Notifier):
+    """Webhook stub: records the deliveries a real one would POST.
+
+    The container has no network and the simulation no HTTP client, so
+    this notifier only builds the payload and remembers it — enough for
+    tests to assert the webhook surface, and for a deployment to swap in
+    a real transport by overriding :meth:`deliver`.
+    """
+
+    def __init__(self, url: str) -> None:
+        self.url = url
+        self.deliveries: List[Tuple[str, Dict[str, object]]] = []
+
+    def deliver(self, url: str, payload: Dict[str, object]) -> None:
+        self.deliveries.append((url, payload))
+
+    def notify(self, event: OpsEvent) -> None:
+        self.deliver(self.url, asdict(event))
+
+
+class NotifierFanout:
+    """Delivers each event to every notifier, tolerating broken ones.
+
+    A notifier that raises is counted in ``delivery_failures`` and the
+    fan-out continues — alerting must never be able to crash (or stall)
+    the supervisor that is trying to heal the deployment.
+    """
+
+    def __init__(self, notifiers: Tuple[Notifier, ...] = ()) -> None:
+        self.notifiers: List[Notifier] = list(notifiers)
+        self.delivered = 0
+        self.delivery_failures = 0
+
+    def add(self, notifier: Notifier) -> None:
+        self.notifiers.append(notifier)
+
+    def notify(self, event: OpsEvent) -> None:
+        for notifier in self.notifiers:
+            try:
+                notifier.notify(event)
+                self.delivered += 1
+            except Exception:
+                self.delivery_failures += 1

@@ -1,0 +1,164 @@
+"""Wiring a :class:`~repro.ops.supervisor.Supervisor` over a deployment.
+
+:func:`build_supervisor` registers every component of a
+:class:`repro.core.sheriff.PriceSheriff` with the probes and restart
+actions that fit it:
+
+* **Measurement servers** — heartbeat probe (distributor status + flap
+  table); restart = :meth:`PriceSheriff.restart_measurement_server`.
+  These are the components the chaos profiles actually kill, so they
+  are the ones with a real restart action and the ``critical`` flag.
+* **Engine worker pools** — queue-depth probe per server; heal action
+  is a drain (run the loop dry), not a process restart.
+* **DB shards** — staleness probe per shard (alert-only: the simulated
+  storage engine has no process to bounce, a stale shard needs a
+  human).
+* **Coordinator** — error-rate probe over its terminal job failures.
+* **IPC fleet / PPC overlay** — fleet-wide error-rate probes
+  (alert-only; individual volunteers cannot be restarted by us).
+
+Plus the deployment-wide anomaly detectors: a fleet error-rate spike
+and a pollution-budget blowout trip the kill-switch; stale shards
+alert.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ops.audit import AuditTrail
+from repro.ops.health import (
+    CallableProbe,
+    ErrorRateProbe,
+    HeartbeatProbe,
+    PollutionBudgetProbe,
+    QueueDepthProbe,
+    ShardStalenessProbe,
+)
+from repro.ops.notifiers import Notifier
+from repro.ops.supervisor import RestartPolicy, Supervisor
+
+__all__ = ["build_supervisor"]
+
+
+def build_supervisor(
+    sheriff,
+    notifiers: Sequence[Notifier] = (),
+    audit_path: Optional[str] = None,
+    restart_policy: Optional[RestartPolicy] = None,
+    heartbeat_policy: Optional[RestartPolicy] = None,
+    max_queue_depth: int = 256,
+    max_job_failures_per_tick: float = 5.0,
+    shard_staleness: float = 24 * 3600.0,
+    pollution_max_fraction: float = 0.5,
+) -> Supervisor:
+    """Stand up the self-healing layer over a live deployment."""
+    clock = sheriff.world.clock
+    audit = AuditTrail(clock, path=audit_path)
+    supervisor = Supervisor(clock, audit=audit, notifiers=notifiers)
+    if sheriff.telemetry.registry.enabled:
+        supervisor.bind_telemetry(sheriff.telemetry)
+    policy = restart_policy if restart_policy is not None else RestartPolicy()
+    ms_policy = heartbeat_policy if heartbeat_policy is not None else policy
+
+    # Measurement servers: the restartable, critical fleet.
+    for name in list(sheriff.measurement_servers):
+        supervisor.register(
+            name,
+            probes=(
+                HeartbeatProbe(sheriff.distributor, name, faults=sheriff.faults),
+            ),
+            restart=(
+                lambda server_name=name:
+                sheriff.restart_measurement_server(server_name)
+            ),
+            critical=True,
+            policy=ms_policy,
+        )
+        supervisor.register(
+            f"{name}/pool",
+            probes=(QueueDepthProbe(sheriff.engine, name, max_queue_depth),),
+            restart=sheriff.engine.drain,
+            policy=policy,
+        )
+
+    # Database shards: staleness is observable, restarts are not ours.
+    for shard_name in sheriff.db.shard_last_writes():
+        supervisor.register(
+            f"db/{shard_name}",
+            probes=(
+                ShardStalenessProbe(sheriff.db, shard_name, shard_staleness),
+            ),
+        )
+
+    # Coordinator: watch terminal job failures per tick.
+    supervisor.register(
+        "coordinator",
+        probes=(
+            ErrorRateProbe(
+                lambda: sheriff.coordinator.jobs_failed,
+                max_job_failures_per_tick,
+                name="job failures",
+            ),
+        ),
+    )
+
+    # IPC fleet: fetch failures after retries, fleet-wide.
+    supervisor.register(
+        "ipc-fleet",
+        probes=(
+            ErrorRateProbe(
+                lambda: sheriff.measurement_stats().ipc_failures,
+                max_job_failures_per_tick,
+                name="IPC fetch failures",
+            ),
+        ),
+    )
+
+    # PPC overlay: lost volunteer replies, fleet-wide.
+    supervisor.register(
+        "ppc-fleet",
+        probes=(
+            ErrorRateProbe(
+                lambda: (
+                    lambda s: s.ppc_dropped + s.ppc_timeouts + s.ppc_corrupt
+                )(sheriff.measurement_stats()),
+                max_job_failures_per_tick,
+                name="PPC losses",
+            ),
+        ),
+    )
+
+    # Deployment-wide anomaly detectors.
+    supervisor.add_anomaly_detector(
+        "error-spike",
+        ErrorRateProbe(
+            lambda: sheriff.coordinator.jobs_failed,
+            max(10.0, 3 * max_job_failures_per_tick),
+            name="deployment job failures",
+        ),
+        action="kill",
+    )
+    supervisor.add_anomaly_detector(
+        "pollution-budget",
+        PollutionBudgetProbe(sheriff.dopp_manager, pollution_max_fraction),
+        action="kill",
+    )
+    supervisor.add_anomaly_detector(
+        "stale-shards",
+        CallableProbe(
+            lambda now, db=sheriff.db, age=shard_staleness: _all_shards_fresh(
+                db, now, age
+            ),
+            name="all shards fresh",
+        ),
+        action="alert",
+    )
+    return supervisor
+
+
+def _all_shards_fresh(db, now: float, max_age: float) -> bool:
+    last_writes = [t for t in db.shard_last_writes().values() if t is not None]
+    if not last_writes:
+        return True
+    return all(now - t <= max_age for t in last_writes)

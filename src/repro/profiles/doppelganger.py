@@ -185,6 +185,11 @@ class DoppelgangerManager:
         except KeyError:
             raise KeyError("unknown doppelganger token") from None
 
+    def doppelgangers(self) -> List[Doppelganger]:
+        """Every live doppelganger (the ops pollution probe reads the
+        fleet's saturation through this)."""
+        return list(self._doppelgangers.values())
+
     def client_state_for(self, dopp_id: str) -> Dict[str, Dict[str, str]]:
         """Bearer-token state request: only a correct token succeeds."""
         return self.get(dopp_id).client_state

@@ -188,6 +188,18 @@ class ShardedDatabase:
             name: shard.count(table) for name, shard in self.shards.items()
         }
 
+    def shard_last_writes(self) -> Dict[str, Optional[float]]:
+        """Newest row ``time`` written per shard (None = never written).
+
+        The ops layer's shard-staleness probe compares these against
+        the deployment clock: a shard whose neighbours keep taking
+        writes while it sits still is stale, not merely idle.
+        """
+        return {
+            name: shard.last_write_time
+            for name, shard in self.shards.items()
+        }
+
     # -- connection pool -----------------------------------------------------
     @contextmanager
     def connection(self) -> Iterator["ShardedDatabase"]:

@@ -29,6 +29,7 @@ from repro.core.pricecheck import PriceCheckResult
 from repro.core.sheriff import PriceSheriff, SheriffWorld
 from repro.net.events import SECONDS_PER_DAY
 from repro.obs import Telemetry
+from repro.ops import HealReport, Supervisor, build_supervisor
 from repro.workloads.alexa import ContentWeb
 from repro.workloads.population import Population, PopulationConfig
 from repro.workloads.stores import (
@@ -82,6 +83,12 @@ class DeploymentConfig:
     #: shard the Database layer by domain across this many servers
     #: (1 = the paper's single-server deployment)
     db_shards: int = 1
+    #: run the self-healing operations layer (repro.ops): a Supervisor
+    #: ticks once per request and heals failed components; supervision
+    #: is RNG-free so rows are identical with it on or off (tested)
+    supervised: bool = False
+    #: persist the supervisor's audit trail as JSON lines here
+    audit_path: Optional[str] = None
 
     @classmethod
     def paper_scale(cls) -> "DeploymentConfig":
@@ -122,6 +129,10 @@ class DeploymentDataset:
     #: (rejections, selection errors, exhausted retries, lost quorum)
     n_attempted: int = 0
     n_explicit_failures: int = 0
+    #: the operations layer, when the run was supervised (else None)
+    supervisor: Optional["Supervisor"] = None
+    #: outcome of the end-of-run healing convergence loop
+    heal_report: Optional["HealReport"] = None
 
     @property
     def n_domains_checked(self) -> int:
@@ -189,6 +200,13 @@ class LiveDeployment:
             else PopulationConfig(n_users=cfg.n_users, seed=cfg.seed + 4),
         )
         self._store_weights = [s.popularity for s in self.specs]
+        #: the self-healing layer — built only when asked for; its ticks
+        #: are RNG-free, so rows match an unsupervised run exactly
+        self.supervisor: Optional[Supervisor] = (
+            build_supervisor(self.sheriff, audit_path=cfg.audit_path)
+            if cfg.supervised
+            else None
+        )
 
     # -- request generation ------------------------------------------------
     def _pick_store(self) -> StoreSpec:
@@ -217,9 +235,11 @@ class LiveDeployment:
             except (RequestRejected, PriceSelectionError, PriceCheckFailed):
                 failures[spec.domain] += 1
                 explicit_failures += 1
+                self._supervision_tick()
                 continue
             results.append(result)
             request_countries[addon.browser.location.country] += 1
+            self._supervision_tick()
 
         for domain, product_id in cfg.spotlight_products:
             store = self.stores.get(domain)
@@ -235,15 +255,28 @@ class LiveDeployment:
                 except (RequestRejected, PriceSelectionError, PriceCheckFailed):
                     failures[domain] += 1
                     explicit_failures += 1
+                    self._supervision_tick()
                     continue
                 results.append(result)
                 request_countries[addon.browser.location.country] += 1
+                self._supervision_tick()
 
         if cfg.enable_doppelgangers:
             reference = self.content_web.alexa_top(
                 min(50, len(self.content_web.domains))
             )
             self.sheriff.run_doppelganger_clustering(reference, max_iterations=4)
+
+        # End-of-run convergence: let the supervisor finish healing
+        # whatever the chaos schedule left flapped.  All rows are
+        # already persisted, so advancing the clock here cannot change
+        # the dataset — only the components' final health.
+        heal_report = None
+        if self.supervisor is not None:
+            heal_report = self.supervisor.heal(
+                max_seconds=3600.0, step=15.0,
+                pre_tick=self.sheriff.coordinator.chaos_tick,
+            )
 
         return DeploymentDataset(
             config=cfg,
@@ -255,7 +288,14 @@ class LiveDeployment:
             request_countries=request_countries,
             n_attempted=attempted,
             n_explicit_failures=explicit_failures,
+            supervisor=self.supervisor,
+            heal_report=heal_report,
         )
+
+    def _supervision_tick(self) -> None:
+        """One supervision sweep after a request resolves (RNG-free)."""
+        if self.supervisor is not None:
+            self.supervisor.tick()
 
 
 # -- Fig. 5: add-on adoption over time -------------------------------------

@@ -1,0 +1,107 @@
+"""Notifier fan-out: every alert reaches every channel, broken ones
+cannot take the healing loop down, and the webhook stub records the
+POSTs a real transport would make."""
+
+import json
+
+import pytest
+
+from repro.net.events import Clock
+from repro.ops import (
+    AuditTrail,
+    CallbackNotifier,
+    FileNotifier,
+    LogNotifier,
+    Notifier,
+    NotifierFanout,
+    OpsEvent,
+    WebhookNotifier,
+)
+
+
+@pytest.fixture
+def event():
+    return OpsEvent(
+        seq=0, time=120.0, kind="component_restarted", component="ms-1",
+        detail="attempt 1",
+    )
+
+
+class TestConcreteNotifiers:
+    def test_log_notifier_collects_lines(self, event):
+        log = LogNotifier()
+        log.notify(event)
+        assert len(log.lines) == 1
+        assert "component_restarted" in log.lines[0]
+        assert "ms-1" in log.lines[0]
+
+    def test_callback_notifier_invokes_fn(self, event):
+        seen = []
+        CallbackNotifier(seen.append).notify(event)
+        assert seen == [event]
+
+    def test_file_notifier_appends_jsonl(self, event, tmp_path):
+        path = tmp_path / "alerts.jsonl"
+        notifier = FileNotifier(str(path))
+        notifier.notify(event)
+        notifier.notify(event)
+        rows = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(rows) == 2
+        assert rows[0]["kind"] == "component_restarted"
+        assert rows[0]["component"] == "ms-1"
+
+    def test_webhook_stub_records_deliveries(self, event):
+        hook = WebhookNotifier("https://ops.example/hook")
+        hook.notify(event)
+        assert len(hook.deliveries) == 1
+        url, payload = hook.deliveries[0]
+        assert url == "https://ops.example/hook"
+        assert payload["kind"] == "component_restarted"
+        assert payload["detail"] == "attempt 1"
+
+    def test_base_notifier_is_abstract(self, event):
+        with pytest.raises(NotImplementedError):
+            Notifier().notify(event)
+
+
+class TestFanout:
+    def test_every_notifier_receives_every_event(self, event):
+        log_a, log_b = LogNotifier(), LogNotifier()
+        fanout = NotifierFanout((log_a,))
+        fanout.add(log_b)
+        fanout.notify(event)
+        fanout.notify(event)
+        assert len(log_a.lines) == len(log_b.lines) == 2
+        assert fanout.delivered == 4
+        assert fanout.delivery_failures == 0
+
+    def test_broken_notifier_is_isolated(self, event):
+        class Broken(Notifier):
+            def notify(self, event):
+                raise RuntimeError("pager service is down")
+
+        log = LogNotifier()
+        fanout = NotifierFanout((Broken(), log, Broken()))
+        fanout.notify(event)        # must not raise
+        assert log.lines            # the healthy channel still delivered
+        assert fanout.delivered == 1
+        assert fanout.delivery_failures == 2
+
+    def test_audit_driven_fanout_end_to_end(self, tmp_path):
+        """The wiring the supervisor uses: one audit record, fanned to a
+        log, a callback, a file, and a webhook — one delivery each."""
+        clock = Clock()
+        audit = AuditTrail(clock)
+        log = LogNotifier()
+        seen = []
+        path = tmp_path / "alerts.jsonl"
+        hook = WebhookNotifier("https://ops.example/hook")
+        fanout = NotifierFanout((
+            log, CallbackNotifier(seen.append), FileNotifier(str(path)), hook,
+        ))
+        fanout.notify(audit.record("killswitch_tripped", "deployment", "spike"))
+        assert len(log.lines) == 1
+        assert len(seen) == 1
+        assert len(path.read_text().splitlines()) == 1
+        assert len(hook.deliveries) == 1
+        assert fanout.delivered == 4

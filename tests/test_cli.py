@@ -54,6 +54,38 @@ class TestOtherCommands:
             main([])
 
 
+class TestSupervise:
+    def test_supervised_chaos_run_heals_and_exits_zero(self, capsys, tmp_path):
+        audit = tmp_path / "audit.jsonl"
+        assert main([
+            "supervise", "--chaos", "chaos_monkey", "--seed", "3",
+            "--requests", "12", "--users", "8",
+            "--audit-out", str(audit),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Supervised components and healing state." in out
+        assert "OK: deployment healed, no jobs lost" in out
+
+    def test_clean_profile_runs_silent(self, capsys):
+        assert main([
+            "supervise", "--chaos", "none",
+            "--requests", "8", "--users", "6",
+        ]) == 0
+        assert "OK: deployment healed" in capsys.readouterr().out
+
+    def test_chaos_supervised_flag_prints_ops_panel(self, capsys):
+        assert main([
+            "chaos", "--profile", "lossy", "--requests", "10",
+            "--users", "8", "--supervised",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Supervised components and healing state." in out
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["supervise", "--chaos", "mayhem"])
+
+
 class TestCryptobench:
     def test_smoke_run_writes_report(self, capsys, tmp_path):
         out = tmp_path / "BENCH_crypto.json"
