@@ -34,6 +34,9 @@ from repro.core.sheriff import PriceSheriff, SheriffWorld
 from repro.core.addon import SheriffAddon
 from repro.core.database import DatabaseServer
 from repro.core.engine import PriceCheckEngine
+from repro.core.errors import InvalidConfig, JobDeadLettered, QueueSaturated
+from repro.core.jobapi import JobAPI, SheriffJobs
+from repro.core.jobqueue import QueuedMeasurementTier
 from repro.core.measurement import JobHandle, MeasurementServer, PriceCheckJob
 from repro.core.pricecheck import PriceCheckResult, ResultRow
 from repro.core.detector import PriceVariationReport, analyze_rows
@@ -69,11 +72,17 @@ __all__ = [
     "Sheriff",
     "SheriffWorld",
     "SheriffAddon",
-    # job lifecycle
+    # job lifecycle (the JobAPI protocol and its implementations)
+    "JobAPI",
+    "SheriffJobs",
     "MeasurementServer",
     "PriceCheckJob",
     "JobHandle",
     "PriceCheckEngine",
+    "QueuedMeasurementTier",
+    "QueueSaturated",
+    "JobDeadLettered",
+    "InvalidConfig",
     # results and analysis
     "PriceCheckResult",
     "ResultRow",

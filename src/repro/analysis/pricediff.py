@@ -12,7 +12,7 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.pricecheck import PriceCheckResult, ResultRow
+from repro.core.pricecheck import PriceCheckResult
 
 DIFFERENCE_TOLERANCE = 0.005
 

@@ -10,7 +10,6 @@ domain-level view the add-on donates.
 
 from __future__ import annotations
 
-import copy
 from collections import Counter
 from dataclasses import dataclass
 from typing import List, Optional

@@ -35,7 +35,7 @@ from __future__ import annotations
 import argparse
 import random
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 EXPERIMENT_CHOICES = (
     "table1", "table2", "table3", "table4", "table5",
@@ -112,6 +112,9 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="size of the simulated population")
     supervise.add_argument("--audit-out", default=None, metavar="JSONL",
                            help="persist the ops audit trail to this file")
+    supervise.add_argument("--config", default=None, metavar="JSON",
+                           help="load the DeploymentConfig from this JSON "
+                                "file (CLI flags override it)")
 
     throughput = sub.add_parser(
         "throughput",
@@ -149,6 +152,36 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="measure telemetry-on vs telemetry-off "
                                  "wall time; exit 1 if the overhead "
                                  "fraction exceeds this bound")
+
+    scalebench = sub.add_parser(
+        "scalebench",
+        help="benchmark checks/sec scaling with the Measurement-server "
+             "fleet size (queued dispatch), plus a 1k-1M user projection",
+    )
+    scalebench.add_argument("--scale", default="default",
+                            choices=("smoke", "default"),
+                            help="smoke = reduced CI instance")
+    scalebench.add_argument("--servers", type=int, nargs="+", default=None,
+                            help="fleet sizes to sweep (e.g. 1 2 4 8)")
+    scalebench.add_argument("--checks", type=int, default=None,
+                            help="price checks per fleet size")
+    scalebench.add_argument("--users", type=int, default=None,
+                            help="concurrent submitters per wave")
+    scalebench.add_argument("--users-levels", type=int, nargs="+",
+                            default=None,
+                            help="population levels of the projection sweep")
+    scalebench.add_argument("--ipcs", type=int, default=None,
+                            help="IPC fleet size (max 30)")
+    scalebench.add_argument("--seed", type=int, default=None)
+    scalebench.add_argument("--config", default=None, metavar="JSON",
+                            help="load the ScaleBenchConfig from this JSON "
+                                 "file (CLI flags override it)")
+    scalebench.add_argument("--out", default="BENCH_scale.json",
+                            help="where to write the JSON report")
+    scalebench.add_argument("--require-scaling", type=float, default=None,
+                            metavar="X",
+                            help="exit 1 unless checks/sec at the largest "
+                                 "fleet is at least X times the baseline")
 
     storagebench = sub.add_parser(
         "storagebench",
@@ -442,11 +475,42 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_config_json(path: str, parse):
+    """Load a run config from a JSON file through a validating parser.
+
+    Returns None (after printing the reason) when the file is missing,
+    malformed JSON, or fails the parser's validation.
+    """
+    import json
+
+    from repro.core.errors import InvalidConfig
+
+    try:
+        with open(path) as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        print(f"FAIL: cannot read config {path}: {exc}")
+        return None
+    except json.JSONDecodeError as exc:
+        print(f"FAIL: config {path} is not valid JSON: {exc}")
+        return None
+    try:
+        return parse(data)
+    except InvalidConfig as exc:
+        print(f"FAIL: invalid config {path}: {exc}")
+        return None
+
+
 def _cmd_supervise(args: argparse.Namespace) -> int:
     from repro.core.monitoring import ops_panel
     from repro.workloads.deployment import DeploymentConfig, LiveDeployment
 
-    config = DeploymentConfig.test_scale()
+    if args.config is not None:
+        config = _load_config_json(args.config, DeploymentConfig.from_dict)
+        if config is None:
+            return 1
+    else:
+        config = DeploymentConfig.test_scale()
     config.n_users = args.users
     config.n_requests = args.requests
     config.chaos_profile = (
@@ -576,6 +640,83 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
         print(
             f"OK: telemetry overhead {overhead:.1%} <= "
             f"{args.max_telemetry_overhead:.1%}"
+        )
+    return 0
+
+
+def _cmd_scalebench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.clients.ipc import DEFAULT_IPC_SITES
+    from repro.workloads.scalebench import ScaleBenchConfig, run_scalebench
+
+    if args.config is not None:
+        config = _load_config_json(args.config, ScaleBenchConfig.from_dict)
+        if config is None:
+            return 1
+    else:
+        config = (
+            ScaleBenchConfig.smoke_scale()
+            if args.scale == "smoke"
+            else ScaleBenchConfig()
+        )
+    if args.servers is not None:
+        config.server_counts = tuple(args.servers)
+    if args.checks is not None:
+        config.total_checks = args.checks
+    if args.users is not None:
+        config.n_users = args.users
+    if args.users_levels is not None:
+        config.users_levels = tuple(args.users_levels)
+    if args.ipcs is not None:
+        config.ipc_sites = DEFAULT_IPC_SITES[: args.ipcs]
+    if args.seed is not None:
+        config.seed = args.seed
+
+    report = run_scalebench(config)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    print(f"{'servers':>8} {'checks/s':>10} {'rows':>6} "
+          f"{'stolen':>7} {'shed':>5} {'dlq':>4}")
+    for level in report["levels"]:
+        queue = level["queue"]
+        print(
+            f"{level['servers']:>8} "
+            f"{level['checks_per_sec']:>10.4f} "
+            f"{level['rows']:>6} "
+            f"{sum(queue.get('steals', {}).values()):>7} "
+            f"{queue.get('shed', 0):>5} "
+            f"{queue.get('dead_letters', 0):>4}"
+        )
+    scaling = report["scaling"]
+    print(
+        f"scaling: {scaling['speedup']:.2f}x at "
+        f"{scaling['top_servers']} servers vs "
+        f"{scaling['baseline_servers']}"
+    )
+    print("projection (1 day at measured capacity):")
+    for level in report["projection"]["levels"]:
+        print(
+            f"  {level['users']:>9,} users: "
+            f"{level['arrivals_per_day']:>6} checks/day, "
+            f"shed {level['shed']}, "
+            f"p95 wait {level['p95_wait_s']:.3f}s, "
+            f"utilization {level['utilization']:.2%}"
+        )
+    print(f"report written to {args.out}")
+
+    if args.require_scaling is not None:
+        speedup = scaling["speedup"]
+        if speedup < args.require_scaling:
+            print(
+                f"FAIL: scaling {speedup:.2f}x at {scaling['top_servers']} "
+                f"servers is below {args.require_scaling:.2f}x"
+            )
+            return 1
+        print(
+            f"OK: scaling {speedup:.2f}x >= {args.require_scaling:.2f}x"
         )
     return 0
 
@@ -803,6 +944,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "supervise": _cmd_supervise,
         "throughput": _cmd_throughput,
+        "scalebench": _cmd_scalebench,
         "storagebench": _cmd_storagebench,
         "cryptobench": _cmd_cryptobench,
         "metrics": _cmd_metrics,

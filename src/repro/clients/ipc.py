@@ -12,7 +12,7 @@ overloaded (Sect. 5); the ``slowdown`` factor models that.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.browser.browser import Browser
 from repro.browser.fingerprint import user_agent

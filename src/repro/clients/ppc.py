@@ -18,13 +18,12 @@ Measurement server asks a PPC to fetch a product page:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.browser.browser import Browser
 from repro.browser.fingerprint import parse_user_agent
 from repro.browser.sandbox import sandboxed_fetch
-from repro.core.aggregator import Aggregator, NoDoppelgangerAssigned
+from repro.core.aggregator import Aggregator
 from repro.core.coordinator import Coordinator
 from repro.core.errors import StateFetchFailed
 from repro.net.faults import ROLE_STATE, BackoffPolicy, FaultPlan

@@ -29,7 +29,7 @@ from __future__ import annotations
 import random
 from collections import Counter
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.browser.browser import Browser
 from repro.browser.fingerprint import parse_user_agent

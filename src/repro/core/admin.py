@@ -17,7 +17,6 @@ monitoring panels render on demand.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.errors import ProbeFailed
 from repro.core.measurement import MeasurementServer

@@ -17,7 +17,7 @@ doppelganger client-side state.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.crypto.elgamal import Ciphertext
 from repro.crypto.group import SchnorrGroup, TEST_GROUP

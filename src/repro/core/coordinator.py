@@ -24,7 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.dispatch import NoServerAvailable, RequestDistributor, ServerRecord
+from repro.core.dispatch import NoServerAvailable, RequestDistributor
 from repro.core.errors import (
     AdmissionDenied,
     ConfigurationError,
@@ -307,6 +307,10 @@ class Coordinator:
         record = self.jobs.get(job_id)
         if record is None:
             raise UnknownJob(f"unknown job {job_id!r}")
+        if record.resolved:
+            # the ticket already reached a terminal state; its pending
+            # count was released, so there is nothing left to move
+            raise UnknownJob(f"job {job_id!r} is already resolved")
         if record.attempts >= self.retry_budget:
             raise RetryBudgetExhausted(job_id, record.attempts)
         server = self.distributor.reassign_job(job_id)
@@ -315,6 +319,28 @@ class Coordinator:
         self.jobs_reassigned += 1
         self._m_recovery.inc(event="reassigned")
         self._m_retry_budget.inc()
+        return RequestTicket(
+            job_id=job_id,
+            server_name=server.name,
+            server_url=server.url,
+            server_port=server.port,
+        )
+
+    def transfer_job(self, job_id: str, server_name: str) -> RequestTicket:
+        """Work stealing: move a queued job onto a less loaded server.
+
+        Free of retry-budget charges — the old owner is healthy, merely
+        backlogged — and counted as a ``stolen`` recovery event so the
+        queue tier's rebalancing is visible in telemetry.
+        """
+        record = self.jobs.get(job_id)
+        if record is None:
+            raise UnknownJob(f"unknown job {job_id!r}")
+        if record.resolved:
+            raise UnknownJob(f"job {job_id!r} is already resolved")
+        server = self.distributor.transfer_job(job_id, server_name)
+        record.server_name = server.name
+        self._m_recovery.inc(event="stolen")
         return RequestTicket(
             job_id=job_id,
             server_name=server.name,

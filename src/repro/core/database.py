@@ -22,7 +22,6 @@ routes jobs by domain across N of these servers behind the same
 
 from __future__ import annotations
 
-import warnings
 from collections import Counter
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
@@ -73,16 +72,6 @@ class DatabaseServer:
         ``sp_*`` queries resolve through secondary indexes.
         """
         self._bind_registry(telemetry.registry)
-
-    def bind_metrics(self, registry) -> None:
-        """Deprecated alias of :meth:`bind_telemetry` (old convention)."""
-        warnings.warn(
-            "DatabaseServer.bind_metrics(registry) is deprecated; use "
-            "bind_telemetry(telemetry) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self._bind_registry(registry)
 
     def _bind_registry(self, registry) -> None:
         self._m_queries = registry.counter(

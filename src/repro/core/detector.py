@@ -17,7 +17,7 @@ observations; this module handles the per-check structural part.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.pricecheck import ResultRow

@@ -13,7 +13,7 @@ the storage saving the optimization buys (an ablation benchmark).
 from __future__ import annotations
 
 import difflib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 # an opcode: (tag, ref_lo, ref_hi, replacement_lines)

@@ -18,7 +18,7 @@ corrective measures of App. 10.3 made continuous instead of manual.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.errors import (
@@ -243,6 +243,32 @@ class RequestDistributor:
         self._job_server[job_id] = record.name
         self.reassignments += 1
         self._m_lifecycle.inc(event="reassigned")
+        self._sync_gauges(record)
+        return record
+
+    def transfer_job(self, job_id: str, to_name: str) -> ServerRecord:
+        """Work stealing: move a *queued* job to a less loaded server.
+
+        Unlike :meth:`reassign_job` this is not a failure response — the
+        old owner is healthy, just busier — so it consumes no retry
+        budget, picks no server itself (the queue tier already chose the
+        steal target), and is counted as a steal, not a reassignment.
+        """
+        old_name = self._job_server.get(job_id)
+        if old_name is None:
+            raise UnknownJob(f"unknown job {job_id!r}")
+        record = self.server(to_name)
+        if not record.online:
+            raise NoServerAvailable(f"steal target {to_name!r} is offline")
+        if record.name == old_name:
+            return record
+        old = self._servers.get(old_name)
+        if old is not None and old.jobs > 0:
+            old.jobs -= 1
+            self._sync_gauges(old)
+        record.jobs += 1
+        self._job_server[job_id] = record.name
+        self._m_lifecycle.inc(event="stolen")
         self._sync_gauges(record)
         return record
 

@@ -29,13 +29,23 @@ which is what the throughput benchmark measures.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.pricecheck import PriceCheckResult
 from repro.net.events import Clock, EventLoop
 from repro.obs.metrics import NULL_REGISTRY
 
-__all__ = ["JobHandle", "PageCache", "PriceCheckEngine", "WorkerPool"]
+__all__ = [
+    "EngineJob",
+    "JobHandle",
+    "PageCache",
+    "PriceCheckEngine",
+    "WorkerPool",
+]
+
+#: rows handed out per progressive poll (the AJAX page-size)
+POLL_BATCH_ROWS = 8
 
 #: lifecycle states of a JobHandle
 PENDING = "pending"
@@ -180,18 +190,6 @@ class PageCache:
         """Re-emit hit/miss counts as registry series (panel input)."""
         self._bind_registry(telemetry.registry)
 
-    def bind_metrics(self, registry) -> None:
-        """Deprecated alias of :meth:`bind_telemetry` (old convention)."""
-        import warnings
-
-        warnings.warn(
-            "PageCache.bind_metrics(registry) is deprecated; use "
-            "bind_telemetry(telemetry) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self._bind_registry(registry)
-
     def _bind_registry(self, registry) -> None:
         self._hit_counter = registry.counter(
             "sheriff_cache_hits_total", "Page-cache hits"
@@ -234,6 +232,24 @@ class PageCache:
         dead = [k for k, (t, _) in self._pages.items() if now - t > self.ttl]
         for k in dead:
             del self._pages[k]
+
+
+@dataclass
+class EngineJob:
+    """A fully-executed fan-out handed to the engine for placement.
+
+    The Measurement server performs the fetches eagerly (keeping every
+    RNG stream canonical) and packages what the engine needs to place
+    them on the simulated timeline: one ``(duration, produced_row)``
+    task per fetch, plus the already-computed result or error.  This is
+    the engine's input type for the unified ``submit`` of the job API.
+    """
+
+    job_id: str
+    server_name: str
+    tasks: List[Tuple[float, bool]] = field(default_factory=list)
+    result: Optional[PriceCheckResult] = None
+    error: Optional[BaseException] = None
 
 
 class PriceCheckEngine:
@@ -319,6 +335,52 @@ class PriceCheckEngine:
         self._m_submitted.inc(server=server_name)
         self._m_completed.inc(server=server_name, state=DONE)
         self._m_latency.observe(seconds, server=server_name, mode="serial")
+
+    # -- the unified job lifecycle (submit → poll → result) ---------------
+    def submit(self, job: EngineJob) -> JobHandle:
+        """Place one executed fan-out on the timeline; return its handle.
+
+        A job that arrived with an error is terminal immediately — no
+        worker time is spent on a fan-out that already failed.
+        """
+        handle = JobHandle(job.job_id, job.server_name)
+        handle._result = job.result
+        handle.error = job.error
+        handle.service_seconds = sum(d for d, _ in job.tasks)
+        if job.error is not None:
+            handle.rows_arrived = handle.total_rows
+            handle.state = FAILED
+            return handle
+        self.schedule(handle, job.tasks)
+        return handle
+
+    def poll(self, handle: JobHandle) -> Tuple[List[Any], bool]:
+        """One progressive poll: (rows landed since last poll, finished).
+
+        Pumps the loop just far enough for something new to land, then
+        hands out at most :data:`POLL_BATCH_ROWS` rows in canonical
+        order.  Raises the job's error if it ended in a failure report.
+        """
+        if handle.error is not None:
+            raise handle.error
+        if not handle.finished:
+            self.pump(handle)
+        available = handle.rows_arrived - handle.rows_delivered
+        batch = handle._result.rows[
+            handle.rows_delivered:
+            handle.rows_delivered + min(POLL_BATCH_ROWS, available)
+        ] if handle._result is not None else []
+        handle.rows_delivered += len(batch)
+        finished = handle.finished and handle.rows_delivered >= handle.total_rows
+        return list(batch), finished
+
+    def result(self, handle: JobHandle) -> Optional[PriceCheckResult]:
+        """Drive the handle to its terminal state; return (or raise) it."""
+        self.drive(handle)
+        handle.rows_delivered = handle.total_rows
+        if handle.error is not None:
+            raise handle.error
+        return handle._result
 
     # -- scheduling ------------------------------------------------------
     def schedule(

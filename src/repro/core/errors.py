@@ -136,6 +136,43 @@ class PriceSelectionError(SheriffError, ValueError):
     """No plausible price element could be selected on the page."""
 
 
+# -- the measurement-tier job queue (admission control) ---------------------
+
+class QueueSaturated(SheriffError, RuntimeError):
+    """The measurement tier shed the job: its dispatch queue is full.
+
+    This is the *backpressure* signal of the queue tier — the add-on
+    (or any other client) should wait ``retry_after`` simulated seconds
+    before resubmitting.  Nothing was fetched for a shed job and its
+    ticket is failed at the Coordinator, so accounting never leaks.
+    """
+
+    def __init__(self, job_id: str, depth: int, limit: int,
+                 retry_after: float) -> None:
+        super().__init__(
+            f"job {job_id!r} shed: queue depth {depth} at limit {limit}; "
+            f"retry after {retry_after:.2f}s"
+        )
+        self.job_id = job_id
+        self.depth = depth
+        self.limit = limit
+        self.retry_after = retry_after
+
+
+class JobDeadLettered(SheriffError, RuntimeError):
+    """The queued job exhausted its retries and moved to the dead-letter
+    store for operator inspection instead of being silently dropped."""
+
+    def __init__(self, job_id: str, reason: str) -> None:
+        super().__init__(f"job {job_id!r} dead-lettered: {reason}")
+        self.job_id = job_id
+        self.reason = reason
+
+
+class InvalidConfig(SheriffError, ValueError):
+    """A run configuration has unknown keys or out-of-range values."""
+
+
 # -- infrastructure ---------------------------------------------------------
 
 class ConnectionPoolExhausted(SheriffError, RuntimeError):
@@ -182,6 +219,9 @@ __all__ = [
     "QuorumNotMet",
     "PriceCheckFailed",
     "PriceSelectionError",
+    "QueueSaturated",
+    "JobDeadLettered",
+    "InvalidConfig",
     "ConnectionPoolExhausted",
     "UnknownTable",
     "StateFetchFailed",

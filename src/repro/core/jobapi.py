@@ -1,0 +1,105 @@
+"""The unified job API: one protocol, one façade.
+
+Every layer of the measurement tier speaks the same three-method
+lifecycle — ``submit → poll → result`` — formalized here as the
+:class:`JobAPI` protocol:
+
+* :class:`repro.core.engine.PriceCheckEngine` — places an executed
+  fan-out (:class:`repro.core.engine.EngineJob`) on the simulated
+  timeline;
+* :class:`repro.core.measurement.MeasurementServer` — runs the fan-out
+  itself, then delegates timeline placement to the engine;
+* :class:`repro.core.jobqueue.QueuedMeasurementTier` — queues jobs in
+  front of N Measurement servers with admission control and work
+  stealing.
+
+Callers should not care which layer they hold: the add-on's
+``PendingCheck.server`` is any :class:`JobAPI`, and the
+:class:`SheriffJobs` façade (``sheriff.jobs``) routes by deployment
+configuration — through the queue tier when one is enabled, directly to
+the owning Measurement server otherwise — so nothing outside
+``repro.core`` reaches into per-component methods anymore.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Protocol, Tuple, runtime_checkable
+
+from repro.core.engine import JobHandle
+from repro.core.errors import UnknownJob
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.sheriff import PriceSheriff
+
+__all__ = ["JobAPI", "SheriffJobs"]
+
+
+@runtime_checkable
+class JobAPI(Protocol):
+    """The submit/poll/result lifecycle every job-running layer offers.
+
+    ``submit`` accepts the layer's job type (a ``PriceCheckJob`` for
+    servers and the queue tier, an ``EngineJob`` for the engine) and
+    returns the :class:`JobHandle` tracking it.  ``poll`` is one
+    progressive AJAX poll — a batch of newly landed rows plus the
+    'request finish' flag.  ``result`` drives the job to its terminal
+    state and returns the outcome or raises the job's typed error.
+    """
+
+    def submit(self, job: Any) -> JobHandle:
+        ...  # pragma: no cover - protocol
+
+    def poll(self, handle: Any) -> Tuple[List[Any], bool]:
+        ...  # pragma: no cover - protocol
+
+    def result(self, handle: Any) -> Any:
+        ...  # pragma: no cover - protocol
+
+
+class SheriffJobs:
+    """The deployment-level :class:`JobAPI` façade (``sheriff.jobs``).
+
+    Routes every call to the active entry point — the queued
+    measurement tier when the deployment runs one, else the Measurement
+    server owning the job — and adds :meth:`gather`, the scatter-gather
+    read of persisted result rows from the (possibly sharded) database.
+    """
+
+    def __init__(self, sheriff: "PriceSheriff") -> None:
+        self._sheriff = sheriff
+
+    def _entrypoint_for(self, job_id: str):
+        sheriff = self._sheriff
+        if sheriff.job_queue is not None:
+            return sheriff.job_queue
+        record = sheriff.coordinator.jobs.get(job_id)
+        if record is None:
+            raise UnknownJob(f"unknown job {job_id!r}")
+        return sheriff.measurement_server(record.server_name)
+
+    def submit(self, job: Any) -> JobHandle:
+        """Hand a :class:`PriceCheckJob` to the active measurement tier.
+
+        The job must already hold a Coordinator ticket (the add-on's
+        ``submit_price_check`` mints one); the façade only routes.
+        """
+        return self._entrypoint_for(job.job_id).submit(job)
+
+    def poll(self, handle: Any) -> Tuple[List[Any], bool]:
+        job_id = handle.job_id if isinstance(handle, JobHandle) else handle
+        return self._entrypoint_for(job_id).poll(handle)
+
+    def result(self, handle: Any) -> Any:
+        job_id = handle.job_id if isinstance(handle, JobHandle) else handle
+        return self._entrypoint_for(job_id).result(handle)
+
+    def gather(self, job_ids: List[str]) -> Dict[str, List[Dict[str, Any]]]:
+        """Scatter-gather the persisted response rows of many jobs.
+
+        ``sp_responses_for_job`` routes per job — an index seek on a
+        single shard when the job's shard is known, a scatter otherwise
+        — so collecting a whole wave of results costs one indexed query
+        per job, never a full-table scan.
+        """
+        db = self._sheriff.db
+        return {job_id: db.sp_responses_for_job(job_id) for job_id in job_ids}

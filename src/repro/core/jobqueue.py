@@ -1,0 +1,533 @@
+"""The queued multi-server measurement tier (outbox-pattern dispatch).
+
+The direct tier hands every job to its Measurement server the moment
+the Coordinator assigns it.  That cannot absorb bursts: crowd-assisted
+discovery delivers user-nominated URLs in waves far larger than the
+fleet's instantaneous capacity.  This module puts a bounded,
+work-stealing job queue between the Coordinator and the N Measurement
+servers:
+
+* **admission control** — the queue holds at most ``max_depth`` jobs;
+  an arrival beyond that is *shed* with a typed
+  :class:`repro.core.errors.QueueSaturated` carrying a deterministic
+  ``retry_after`` (capped exponential in the shed streak) — the
+  backpressure signal clients wait on before resubmitting.  A shed
+  job's ticket is failed at the Coordinator so accounting never leaks.
+* **outbox drain** — enqueued jobs are dispatched lazily, in global
+  admission order (FIFO), when a caller polls for results.  Draining
+  in admission order consumes every RNG stream exactly as the direct
+  tier does, which is why queued dispatch stays row-identical to
+  direct dispatch (property-tested on both storage backends).
+* **work stealing** — at dispatch time a job whose owner went offline
+  is reassigned through the Coordinator (consuming retry budget); a
+  job whose owner is merely backlogged beyond ``steal_threshold``
+  fetch tasks is *transferred* to the least loaded server, budget-free
+  (``Coordinator.transfer_job``).
+* **retry → dead letter** — a job whose reassignment exhausts its
+  retry budget (or finds no online server) moves to the
+  :class:`DeadLetterStore` for operator inspection and its handle
+  fails with :class:`repro.core.errors.JobDeadLettered`; nothing is
+  silently dropped.
+* **scatter-gather** — :meth:`QueuedMeasurementTier.gather` collects
+  persisted rows per job through the sharded database's indexed
+  ``sp_responses_for_job``.
+
+The tier implements the :class:`repro.core.jobapi.JobAPI` protocol, so
+the add-on's ``PendingCheck.server`` may be the tier itself — clients
+cannot tell queued dispatch from direct dispatch (except when told to
+back off).
+
+Queue traffic is observable twice over: ``sheriff_queue_*`` metrics
+(depth, enqueued, dispatched, steals by reason, shed, dead-lettered,
+wait-time histogram) and a clock-stamped
+:class:`repro.net.events.EventLog` of
+``enqueue``/``dispatch``/``steal``/``shed``/``dead_letter`` events.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.core.coordinator import Coordinator
+from repro.core.engine import JobHandle
+from repro.core.errors import (
+    ConfigurationError,
+    JobDeadLettered,
+    NoServerAvailable,
+    QueueSaturated,
+    RetryExhausted,
+    UnknownJob,
+    UnknownServer,
+)
+from repro.net.events import EventLog
+from repro.net.faults import BackoffPolicy
+from repro.obs.metrics import NULL_REGISTRY
+
+__all__ = [
+    "DeadLetter",
+    "DeadLetterStore",
+    "JobQueue",
+    "QueuedHandle",
+    "QueuedJob",
+    "QueuedMeasurementTier",
+]
+
+#: extra lifecycle state of a handle waiting in the queue
+QUEUED = "queued"
+
+
+@dataclass
+class QueuedJob:
+    """One admitted-but-not-yet-dispatched job in the outbox."""
+
+    seq: int
+    job: Any  # a PriceCheckJob
+    server_name: str
+    enqueued_at: float = 0.0
+
+
+class JobQueue:
+    """The bounded outbox: admitted jobs in global admission order.
+
+    Jobs are keyed by owner for depth accounting and stealing, but the
+    drain order is the *global* FIFO of admission sequence numbers —
+    that is the order the direct tier would have executed them in, and
+    therefore the order that preserves every RNG stream.
+    """
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, QueuedJob] = {}  # insertion = admission order
+        self._seq = itertools.count(1)
+        self.enqueued_total = 0
+        self.max_depth_seen = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self._jobs)
+
+    def depth_on(self, server_name: str) -> int:
+        return sum(
+            1 for qj in self._jobs.values() if qj.server_name == server_name
+        )
+
+    def offer(self, server_name: str, job: Any, now: float = 0.0) -> QueuedJob:
+        queued = QueuedJob(
+            seq=next(self._seq), job=job,
+            server_name=server_name, enqueued_at=now,
+        )
+        self._jobs[job.job_id] = queued
+        self.enqueued_total += 1
+        self.max_depth_seen = max(self.max_depth_seen, self.depth)
+        return queued
+
+    def head(self) -> Optional[QueuedJob]:
+        """The oldest admitted job still queued (global FIFO head)."""
+        return next(iter(self._jobs.values()), None)
+
+    def get(self, job_id: str) -> Optional[QueuedJob]:
+        return self._jobs.get(job_id)
+
+    def pop(self, queued: QueuedJob) -> None:
+        del self._jobs[queued.job.job_id]
+
+    def move(self, queued: QueuedJob, to_server: str) -> None:
+        queued.server_name = to_server
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current per-server depth (gauge input)."""
+        counts: Dict[str, int] = {}
+        for qj in self._jobs.values():
+            counts[qj.server_name] = counts.get(qj.server_name, 0) + 1
+        return counts
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One job parked for operator inspection instead of silent loss."""
+
+    job_id: str
+    url: str
+    server_name: str
+    reason: str
+    at: float
+
+
+class DeadLetterStore:
+    """Append-only store of jobs that exhausted their corrective budget."""
+
+    def __init__(self) -> None:
+        self._entries: List[DeadLetter] = []
+
+    def add(self, entry: DeadLetter) -> None:
+        self._entries.append(entry)
+
+    @property
+    def entries(self) -> List[DeadLetter]:
+        return list(self._entries)
+
+    def for_job(self, job_id: str) -> Optional[DeadLetter]:
+        for entry in self._entries:
+            if entry.job_id == job_id:
+                return entry
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class QueuedHandle(JobHandle):
+    """Handle of a job admitted to the queue tier.
+
+    Starts in the :data:`QUEUED` state with no server attached; once the
+    outbox drain dispatches the job, :meth:`bind` links the owning
+    Measurement server's inner handle and the outer handle mirrors it.
+    """
+
+    def __init__(self, job_id: str, server_name: str) -> None:
+        super().__init__(job_id, server_name)
+        self.state = QUEUED
+        self.server: Any = None  # the owning MeasurementServer
+        self.inner: Optional[JobHandle] = None
+
+    def bind(self, server: Any, inner: JobHandle) -> None:
+        self.server = server
+        self.inner = inner
+        self.server_name = inner.server_name
+        self.service_seconds = inner.service_seconds
+        self.state = inner.state
+
+    @property
+    def dispatched(self) -> bool:
+        return self.inner is not None
+
+
+class QueuedMeasurementTier:
+    """N Measurement servers behind one bounded work-stealing queue.
+
+    Implements :class:`repro.core.jobapi.JobAPI`: ``submit`` admits (or
+    sheds) a Coordinator-ticketed job; ``poll``/``result`` first drain
+    the whole outbox in admission order, then delegate to the owning
+    server's handle.
+    """
+
+    def __init__(
+        self,
+        coordinator: Coordinator,
+        server_lookup: Callable[[str], Any],
+        db: Any = None,
+        engine: Any = None,
+        clock: Any = None,
+        max_depth: int = 256,
+        steal_threshold: Optional[int] = 16,
+        backoff: Optional[BackoffPolicy] = None,
+        telemetry: Any = None,
+        event_log: Optional[EventLog] = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {max_depth}")
+        self.coordinator = coordinator
+        self._server_lookup = server_lookup
+        self.db = db
+        self.engine = engine
+        self.clock = clock
+        self.max_depth = max_depth
+        self.steal_threshold = steal_threshold
+        #: retry_after schedule for shed jobs: deterministic (no RNG —
+        #: the tier must stay restart-equivalent), capped exponential in
+        #: the current shed streak
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.queue = JobQueue()
+        self.dead_letters = DeadLetterStore()
+        self.events = (
+            event_log if event_log is not None
+            else (EventLog(clock) if clock is not None else None)
+        )
+        self._handles: Dict[str, QueuedHandle] = {}
+        self._shed_streak = 0
+        self.shed_total = 0
+        self.dispatched_total = 0
+        self.steals: Dict[str, int] = {}
+        self._bind_registry(NULL_REGISTRY)
+        if telemetry is not None:
+            self.bind_telemetry(telemetry)
+
+    # -- telemetry --------------------------------------------------------
+    def bind_telemetry(self, telemetry) -> None:
+        """Attach the deployment's telemetry plane (unified convention)."""
+        self._bind_registry(telemetry.registry)
+
+    def _bind_registry(self, registry) -> None:
+        self.metrics = registry
+        self._m_depth = registry.gauge(
+            "sheriff_queue_depth",
+            "Jobs waiting in the measurement tier's outbox, per server",
+            labelnames=("server",),
+        )
+        self._m_enqueued = registry.counter(
+            "sheriff_queue_enqueued_total",
+            "Jobs admitted to the queue", labelnames=("server",),
+        )
+        self._m_dispatched = registry.counter(
+            "sheriff_queue_dispatched_total",
+            "Jobs drained from the queue to a server",
+            labelnames=("server",),
+        )
+        self._m_steals = registry.counter(
+            "sheriff_queue_steals_total",
+            "Queued jobs moved off their assigned server, by reason",
+            labelnames=("reason",),
+        )
+        self._m_shed = registry.counter(
+            "sheriff_queue_shed_total",
+            "Jobs refused at admission (queue saturated)",
+        )
+        self._m_dlq = registry.counter(
+            "sheriff_queue_dlq_total",
+            "Jobs parked in the dead-letter store",
+        )
+        self._m_wait = registry.histogram(
+            "sheriff_queue_wait_seconds",
+            "Time jobs spent queued before dispatch",
+        )
+
+    def _now(self) -> float:
+        if self.engine is not None:
+            return self.engine.now
+        if self.clock is not None:
+            return self.clock.now
+        return 0.0
+
+    def _log(self, kind: str, job_id: str, **detail: object) -> None:
+        if self.events is not None:
+            self.events.record(kind, job_id, **detail)
+
+    def _sync_depth(self) -> None:
+        snapshot = self.queue.snapshot()
+        for record in self.coordinator.distributor.servers():
+            self._m_depth.set(snapshot.get(record.name, 0), server=record.name)
+
+    # -- admission (submit) ----------------------------------------------
+    @property
+    def depth(self) -> int:
+        return self.queue.depth
+
+    def _owner_of(self, job_id: str) -> str:
+        record = self.coordinator.jobs.get(job_id)
+        if record is None:
+            raise UnknownJob(
+                f"job {job_id!r} has no Coordinator ticket; the queue tier "
+                "only accepts jobs admitted through Coordinator.new_request"
+            )
+        return record.server_name
+
+    def submit(self, job: Any) -> QueuedHandle:
+        """Admit one ticketed job to the outbox, or shed it.
+
+        Raises :class:`QueueSaturated` — with the accounting already
+        cleaned up — when the queue is at ``max_depth``.  The exception's
+        ``retry_after`` grows exponentially over a streak of consecutive
+        sheds and resets on the first successful admission, so a
+        persistently saturated tier pushes callers further and further
+        back (backpressure) without consuming any randomness.
+        """
+        owner = self._owner_of(job.job_id)
+        if self.queue.depth >= self.max_depth:
+            self._shed_streak += 1
+            retry_after = min(
+                self.backoff.cap,
+                self.backoff.base * self.backoff.factor ** (self._shed_streak - 1),
+            )
+            self.shed_total += 1
+            self._m_shed.inc()
+            self._log("shed", job.job_id, depth=self.queue.depth,
+                      retry_after=retry_after)
+            self.coordinator.fail_job(job.job_id, "shed: queue saturated")
+            raise QueueSaturated(
+                job.job_id, self.queue.depth, self.max_depth, retry_after
+            )
+        self._shed_streak = 0
+        queued = self.queue.offer(owner, job, now=self._now())
+        handle = QueuedHandle(job.job_id, owner)
+        self._handles[job.job_id] = handle
+        self._m_enqueued.inc(server=owner)
+        self._log("enqueue", job.job_id, server=owner, depth=self.queue.depth)
+        self._sync_depth()
+        return handle
+
+    # -- the outbox drain -------------------------------------------------
+    def _server_record(self, name: str):
+        try:
+            return self.coordinator.distributor.server(name)
+        except UnknownServer:
+            return None
+
+    def _backlog(self, name: str) -> int:
+        """A server's load: engine fetch tasks in flight + queued jobs."""
+        load = self.queue.depth_on(name)
+        if self.engine is not None:
+            pool = self.engine.pool_for(name)
+            load += pool.busy + pool.queued
+        return load
+
+    def _steal_target(self, owner: str) -> Optional[str]:
+        """A strictly less loaded online server, if the imbalance pays.
+
+        Deterministic: loads come from engine pool occupancy and queue
+        depths (no RNG), ties break on server name.
+        """
+        if self.steal_threshold is None:
+            return None
+        online = [
+            r for r in self.coordinator.distributor.servers() if r.online
+        ]
+        if len(online) < 2:
+            return None
+        best = min(online, key=lambda r: (self._backlog(r.name), r.name))
+        if best.name == owner:
+            return None
+        if self._backlog(owner) - self._backlog(best.name) > self.steal_threshold:
+            return best.name
+        return None
+
+    def _count_steal(self, reason: str) -> None:
+        self.steals[reason] = self.steals.get(reason, 0) + 1
+        self._m_steals.inc(reason=reason)
+
+    def _dead_letter(self, queued: QueuedJob, exc: Exception) -> None:
+        self.queue.pop(queued)
+        reason = str(exc)
+        self.coordinator.fail_job(queued.job.job_id, reason)
+        self.dead_letters.add(DeadLetter(
+            job_id=queued.job.job_id, url=queued.job.url,
+            server_name=queued.server_name, reason=reason, at=self._now(),
+        ))
+        handle = self._handles.get(queued.job.job_id)
+        if handle is not None:
+            handle.error = JobDeadLettered(queued.job.job_id, reason)
+            handle.state = "failed"
+        self._m_dlq.inc()
+        self._log("dead_letter", queued.job.job_id, reason=reason)
+        self._sync_depth()
+
+    def _dispatch_head(self) -> bool:
+        """Dispatch the FIFO head (stealing or dead-lettering en route)."""
+        queued = self.queue.head()
+        if queued is None:
+            return False
+        owner = queued.server_name
+        record = self._server_record(owner)
+        if record is None or not record.online:
+            # dead-owner steal: a real failover, through the retry budget
+            try:
+                ticket = self.coordinator.reassign_job(queued.job.job_id)
+            except (RetryExhausted, NoServerAvailable) as exc:
+                self._dead_letter(queued, exc)
+                return True
+            self.queue.move(queued, ticket.server_name)
+            self._count_steal("offline")
+            self._log("steal", queued.job.job_id, reason="offline",
+                      src=owner, dst=ticket.server_name)
+            owner = ticket.server_name
+        else:
+            target = self._steal_target(owner)
+            if target is not None:
+                # load-balancing steal: owner healthy, budget untouched
+                self.coordinator.transfer_job(queued.job.job_id, target)
+                self.queue.move(queued, target)
+                self._count_steal("imbalance")
+                self._log("steal", queued.job.job_id, reason="imbalance",
+                          src=owner, dst=target)
+                owner = target
+        self.queue.pop(queued)
+        server = self._server_lookup(owner)
+        inner = server.submit(queued.job)
+        handle = self._handles.get(queued.job.job_id)
+        if handle is not None:
+            handle.bind(server, inner)
+        self.dispatched_total += 1
+        self._m_dispatched.inc(server=owner)
+        self._m_wait.observe(max(0.0, self._now() - queued.enqueued_at))
+        self._log("dispatch", queued.job.job_id, server=owner)
+        self._sync_depth()
+        return True
+
+    def pump(self) -> int:
+        """Drain the whole outbox in admission order; return the count.
+
+        Draining everything (not just up to one job) is what lets the
+        engine overlap a wave's fan-outs across every server's worker
+        pool — the scale-out the benchmark measures.
+        """
+        dispatched = 0
+        while self._dispatch_head():
+            dispatched += 1
+        return dispatched
+
+    # -- poll / result ----------------------------------------------------
+    def _resolve(self, handle: Union[JobHandle, str]) -> QueuedHandle:
+        job_id = handle.job_id if isinstance(handle, JobHandle) else handle
+        found = self._handles.get(job_id)
+        if found is None or (
+            isinstance(handle, JobHandle) and found is not handle
+        ):
+            raise UnknownJob(f"unknown or finished job {job_id!r}")
+        return found
+
+    def poll(self, handle: Union[JobHandle, str]) -> Tuple[List[Any], bool]:
+        """One progressive poll, draining the outbox first."""
+        h = self._resolve(handle)
+        if not h.dispatched and h.error is None:
+            self.pump()
+        if h.error is not None:
+            self._handles.pop(h.job_id, None)
+            raise h.error
+        try:
+            batch, finished = h.server.poll(h.inner)
+        except Exception:
+            self._handles.pop(h.job_id, None)
+            raise
+        h.state = h.inner.state
+        if finished:
+            self._handles.pop(h.job_id, None)  # 'request finish'
+        return batch, finished
+
+    def result(self, handle: Union[JobHandle, str]) -> Any:
+        """Drive one job to its terminal state, draining the outbox first."""
+        h = self._resolve(handle)
+        if not h.dispatched and h.error is None:
+            self.pump()
+        self._handles.pop(h.job_id, None)
+        if h.error is not None:
+            raise h.error
+        try:
+            result = h.server.result(h.inner)
+        finally:
+            h.state = h.inner.state
+        return result
+
+    # -- scatter-gather ----------------------------------------------------
+    def gather(self, job_ids: List[str]) -> Dict[str, List[Dict[str, Any]]]:
+        """Persisted response rows per job, through the sharded database."""
+        if self.db is None:
+            raise ConfigurationError("queue tier was built without a database")
+        return {job_id: self.db.sp_responses_for_job(job_id) for job_id in job_ids}
+
+    # -- observability -----------------------------------------------------
+    @property
+    def pending_handles(self) -> List[str]:
+        return list(self._handles)
+
+    def stats(self) -> Dict[str, object]:
+        """Operator snapshot of the tier (panel/benchmark input)."""
+        return {
+            "depth": self.queue.depth,
+            "max_depth": self.max_depth,
+            "max_depth_seen": self.queue.max_depth_seen,
+            "enqueued": self.queue.enqueued_total,
+            "dispatched": self.dispatched_total,
+            "shed": self.shed_total,
+            "steals": dict(self.steals),
+            "dead_letters": len(self.dead_letters),
+        }

@@ -23,8 +23,7 @@ whose slowdown exceeds the timeout budget are dropped the same way.
 from __future__ import annotations
 
 import random
-import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.coordinator import Coordinator
@@ -32,6 +31,7 @@ from repro.core.database import DatabaseServer
 from repro.core.diffstorage import DiffStorage
 from repro.core.engine import (
     CACHE_HIT_SECONDS,
+    EngineJob,
     JobHandle,
     PriceCheckEngine,
 )
@@ -41,7 +41,7 @@ from repro.core.tagspath import TagsPath, extract_price_text
 from repro.currency.detect import Confidence, CurrencyDetectionError, detect_price
 from repro.currency.rates import ExchangeRateProvider, UnknownCurrencyError
 from repro.net.events import Clock
-from repro.net.faults import PeerTimeout, ProxyFetchError, ProxyTimeout
+from repro.net.faults import PeerTimeout, ProxyFetchError
 from repro.net.geo import Location
 from repro.net.p2p import PeerOverlay
 from repro.net.sim import LatencyModel, fetch_duration
@@ -377,8 +377,9 @@ class MeasurementServer:
     # hands back rows that have *landed* on the engine's simulated
     # timeline since the last poll plus the finished flag; result()
     # drives the handle to its terminal state and returns (or raises)
-    # the outcome.  handle_price_check() and start_price_check() are
-    # thin compatibility wrappers over the same lifecycle.
+    # the outcome.  The same three methods — the JobAPI protocol
+    # (:mod:`repro.core.jobapi`) — are offered by the engine and the
+    # queued measurement tier.
 
     def submit(self, job: PriceCheckJob) -> JobHandle:
         """Run the fan-out and return the handle tracking its delivery.
@@ -386,19 +387,21 @@ class MeasurementServer:
         The fetches themselves execute eagerly in the canonical serial
         order — that is what keeps every RNG stream identical between
         serial and pipelined runs — while the *timing* of each fetch is
-        scheduled on the engine's worker pool, so concurrent jobs
-        overlap on the simulated timeline.
+        delegated to the engine's worker pool (``engine.submit``), so
+        concurrent jobs overlap on the simulated timeline.
         """
-        handle = JobHandle(job.job_id, self.name)
         result, tasks, error = self._execute(job)
-        handle._result = result
-        handle.error = error
-        handle.service_seconds = sum(d for d, _ in tasks)
-        self._handles[job.job_id] = handle
         if error is None and self.pipelined and self.engine is not None:
-            self.engine.schedule(handle, tasks)
+            handle = self.engine.submit(EngineJob(
+                job_id=job.job_id, server_name=self.name,
+                tasks=tasks, result=result,
+            ))
         else:
             # serial mode (or a failed job): everything lands at once
+            handle = JobHandle(job.job_id, self.name)
+            handle._result = result
+            handle.error = error
+            handle.service_seconds = sum(d for d, _ in tasks)
             handle.rows_arrived = handle.total_rows
             handle.state = "failed" if error is not None else "done"
             if error is None and self.engine is not None:
@@ -408,6 +411,7 @@ class MeasurementServer:
                 self.engine.observe_serial_check(
                     self.name, handle.service_seconds
                 )
+        self._handles[job.job_id] = handle
         return handle
 
     def _resolve(self, handle: Union[JobHandle, str]) -> JobHandle:
@@ -430,12 +434,15 @@ class MeasurementServer:
         if h.error is not None:
             self._handles.pop(h.job_id, None)
             raise h.error
-        if self.pipelined and self.engine is not None and not h.finished:
-            self.engine.pump(h)
-        available = h.rows_arrived - h.rows_delivered
-        batch = h._result.rows[h.rows_delivered : h.rows_delivered + min(8, available)]
-        h.rows_delivered += len(batch)
-        finished = h.finished and h.rows_delivered >= h.total_rows
+        if self.engine is not None:
+            batch, finished = self.engine.poll(h)
+        else:
+            available = h.rows_arrived - h.rows_delivered
+            batch = h._result.rows[
+                h.rows_delivered : h.rows_delivered + min(8, available)
+            ]
+            h.rows_delivered += len(batch)
+            finished = h.finished and h.rows_delivered >= h.total_rows
         if finished:
             del self._handles[h.job_id]  # 'request finish'
         return list(batch), finished
@@ -447,45 +454,16 @@ class MeasurementServer:
         ended in an explicit failure report.
         """
         h = self._resolve(handle)
-        if self.pipelined and self.engine is not None:
-            self.engine.drive(h)
-        h.rows_delivered = h.total_rows
         self._handles.pop(h.job_id, None)
-        if h.error is not None:
-            raise h.error
-        assert h._result is not None
-        return h._result
-
-    # -- compatibility wrappers --------------------------------------------------
-    def start_price_check(self, job: PriceCheckJob) -> str:
-        """Legacy entry point: begin a job, return its ID for poll().
-
-        .. deprecated:: use ``submit(job).job_id`` instead.
-        """
-        warnings.warn(
-            "MeasurementServer.start_price_check(job) is deprecated; use "
-            "submit(job) and read .job_id off the returned JobHandle",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        handle = self.submit(job)
-        if handle.error is not None:
-            self._handles.pop(handle.job_id, None)
-            raise handle.error
-        return handle.job_id
-
-    def handle_price_check(self, job: PriceCheckJob) -> PriceCheckResult:
-        """Blocking entry point: submit and wait for the full result.
-
-        .. deprecated:: use ``result(submit(job))`` instead.
-        """
-        warnings.warn(
-            "MeasurementServer.handle_price_check(job) is deprecated; use "
-            "result(submit(job))",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.result(self.submit(job))
+        if self.engine is not None:
+            result = self.engine.result(h)
+        else:
+            h.rows_delivered = h.total_rows
+            if h.error is not None:
+                raise h.error
+            result = h._result
+        assert result is not None
+        return result
 
     # -- the fan-out --------------------------------------------------------------
     def _fetch_page_cached(self, job: PriceCheckJob, ipc) -> Tuple[Any, int, bool]:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Sequence, Union
+from typing import Any, Dict, List, Sequence, Union
 
 from repro.core.pricecheck import PriceCheckResult, ResultRow
 

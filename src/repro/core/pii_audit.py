@@ -14,8 +14,8 @@ paths back into the whitelist's blacklist patterns.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.database import DatabaseServer
 from repro.core.whitelist import Whitelist

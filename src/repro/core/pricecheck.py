@@ -11,7 +11,7 @@ produces the textual equivalent of the add-on's result page.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 
 @dataclass(frozen=True)

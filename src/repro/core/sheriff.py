@@ -19,7 +19,7 @@ Typical use (see ``examples/quickstart.py``)::
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.browser.browser import Browser
@@ -32,6 +32,8 @@ from repro.core.database import DatabaseServer
 from repro.core.diffstorage import DiffStorage
 from repro.core.dispatch import RequestDistributor
 from repro.core.engine import PageCache, PriceCheckEngine
+from repro.core.jobapi import SheriffJobs
+from repro.core.jobqueue import QueuedMeasurementTier
 from repro.core.measurement import MeasurementServer
 from repro.core.pricecheck import PriceCheckResult
 from repro.core.whitelist import Whitelist
@@ -133,6 +135,9 @@ class PriceSheriff:
         telemetry: Optional[Telemetry] = None,
         db_backend: Optional[str] = None,
         db_shards: int = 1,
+        job_queue: bool = False,
+        queue_depth: int = 256,
+        queue_steal_threshold: Optional[int] = 16,
     ) -> None:
         self.world = world
         #: the observability plane: a metrics registry threaded through
@@ -218,7 +223,38 @@ class PriceSheriff:
         self.measurement_servers: Dict[str, MeasurementServer] = {}
         for i in range(n_measurement_servers):
             self.add_measurement_server(f"ms-{i}")
+        #: the queued measurement tier (None = direct dispatch): a
+        #: bounded work-stealing outbox between the Coordinator and the
+        #: Measurement servers, with admission control and dead letters
+        self.job_queue: Optional[QueuedMeasurementTier] = None
+        if job_queue:
+            self.job_queue = QueuedMeasurementTier(
+                coordinator=self.coordinator,
+                server_lookup=self.measurement_server,
+                db=self.db,
+                engine=self.engine if pipelined else None,
+                clock=world.clock,
+                max_depth=queue_depth,
+                steal_threshold=queue_steal_threshold,
+                backoff=self.coordinator.backoff,
+                telemetry=self.telemetry if metrics.enabled else None,
+            )
+        self._jobs_facade: Optional[SheriffJobs] = None
         self.addons: List[SheriffAddon] = []
+
+    @property
+    def jobs(self) -> SheriffJobs:
+        """The deployment's unified :class:`JobAPI` façade."""
+        if self._jobs_facade is None:
+            self._jobs_facade = SheriffJobs(self)
+        return self._jobs_facade
+
+    def _job_entrypoint(self, server_name: str):
+        """Where the add-on sends a ticketed job: the queue tier when one
+        is enabled, else the owning Measurement server directly."""
+        if self.job_queue is not None:
+            return self.job_queue
+        return self.measurement_server(server_name)
 
     # -- elasticity: attach/detach Measurement servers ----------------------
     def add_measurement_server(self, name: str) -> MeasurementServer:
@@ -339,7 +375,7 @@ class PriceSheriff:
             coordinator=self.coordinator,
             aggregator=self.aggregator,
             overlay=self.overlay,
-            measurement_lookup=self.measurement_server,
+            measurement_lookup=self._job_entrypoint,
             consent=consent,
             # minted from the world's seeded RNG so chaos event logs
             # replay identically from the same seed

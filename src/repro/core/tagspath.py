@@ -20,7 +20,7 @@ prices and when the result varies between remote page requests".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Tuple
 
 from repro.web.html import Element, HTMLParseError, VOID_TAGS, iter_elements, parse
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.detector import PriceVariationReport, analyze_rows
+from repro.core.detector import analyze_rows
 
 
 @dataclass

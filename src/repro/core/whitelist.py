@@ -9,7 +9,7 @@ are likely to include PII".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Set, Tuple
 
 #: URL path fragments that mark likely-PII pages.

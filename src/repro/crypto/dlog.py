@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.crypto import fastexp
 from repro.crypto.group import SchnorrGroup

@@ -43,7 +43,7 @@ switches back to raw ``pow`` wholesale.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 __all__ = [
     "FixedBaseTable",

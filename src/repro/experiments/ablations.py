@@ -18,7 +18,6 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
 from repro.analysis.reports import format_table
 from repro.crypto.group import TEST_GROUP

@@ -14,11 +14,10 @@ from __future__ import annotations
 import random
 import time
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reports import format_table
-from repro.core.sheriff import SheriffWorld
 from repro.crypto.group import TEST_GROUP
 from repro.crypto.secure_kmeans import (
     KMeansAggregator,
@@ -28,7 +27,6 @@ from repro.crypto.secure_kmeans import (
 from repro.experiments import registry
 from repro.profiles.kmeans import lloyd_kmeans, silhouette_score
 from repro.profiles.vector import profile_from_counts
-from repro.workloads.alexa import ContentWeb
 
 
 # -- donated profile collection ------------------------------------------------

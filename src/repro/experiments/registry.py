@@ -16,7 +16,7 @@ Scales:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.clients.ipc import DEFAULT_IPC_SITES
 from repro.workloads.crawlstudy import (

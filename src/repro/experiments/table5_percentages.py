@@ -8,7 +8,7 @@ stays below 14% everywhere.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict
 
 from repro.analysis.pricediff import within_country_percentages
 from repro.analysis.reports import format_table

@@ -12,11 +12,11 @@ variant) or cuts across it (per-user personalisation).
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.core.tagspath import TagsPath, build_tags_path, extract_price_text
-from repro.web.html import Element, parse
+from repro.web.html import Element
 
 
 @dataclass

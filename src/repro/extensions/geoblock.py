@@ -10,7 +10,7 @@ the page is geoblocked.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 BLOCK_STATUSES = frozenset({403, 451})
 

@@ -16,7 +16,7 @@ majority ordering are flagged as steered.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 
 def kendall_tau_distance(a: Sequence[str], b: Sequence[str]) -> float:

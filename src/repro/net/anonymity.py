@@ -20,8 +20,8 @@ the sender.
 from __future__ import annotations
 
 import secrets
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 
 @dataclass

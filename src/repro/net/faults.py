@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fnmatch import fnmatchcase
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -193,18 +193,6 @@ class FaultPlan:
         event log the determinism tests compare.
         """
         self._bind_registry(telemetry.registry)
-
-    def bind_metrics(self, registry) -> None:
-        """Deprecated alias of :meth:`bind_telemetry` (old convention)."""
-        import warnings
-
-        warnings.warn(
-            "FaultPlan.bind_metrics(registry) is deprecated; use "
-            "bind_telemetry(telemetry) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self._bind_registry(registry)
 
     def _bind_registry(self, registry) -> None:
         self._m_injected = registry.counter(

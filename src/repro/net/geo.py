@@ -22,7 +22,7 @@ out by name in the paper (Tables 2 & 4, Fig. 2) are listed first.
 from __future__ import annotations
 
 import ipaddress
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 import secrets
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.net.faults import ROLE_PPC, FaultPlan, PeerTimeout
@@ -118,18 +118,6 @@ class PeerOverlay:
     def bind_telemetry(self, telemetry) -> None:
         """Churn counters + the presence series the Fig. 16 panel reads."""
         self._bind_registry(telemetry.registry)
-
-    def bind_metrics(self, registry) -> None:
-        """Deprecated alias of :meth:`bind_telemetry` (old convention)."""
-        import warnings
-
-        warnings.warn(
-            "PeerOverlay.bind_metrics(registry) is deprecated; use "
-            "bind_telemetry(telemetry) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self._bind_registry(registry)
 
     def _bind_registry(self, registry) -> None:
         self._m_churn = registry.counter(

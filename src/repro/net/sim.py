@@ -12,7 +12,7 @@ aggregate (Table 1), where it is fed into the queueing model.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.net.faults import FaultPlan

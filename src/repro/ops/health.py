@@ -22,8 +22,10 @@ from typing import Callable, Optional
 
 __all__ = [
     "CallableProbe",
+    "DeadLetterProbe",
     "ErrorRateProbe",
     "HeartbeatProbe",
+    "JobQueueBacklogProbe",
     "PollutionBudgetProbe",
     "ProbeResult",
     "QueueDepthProbe",
@@ -178,6 +180,63 @@ class PollutionBudgetProbe:
                 fraction,
             )
         return ProbeResult(True, value=fraction)
+
+
+class JobQueueBacklogProbe:
+    """Is the queued measurement tier's outbox near its admission limit?
+
+    Reads the tier's current depth against ``max_depth``; a sustained
+    backlog above ``max_fraction`` of the limit means admission control
+    is about to start shedding — worth an alert *before* clients see
+    :class:`~repro.core.errors.QueueSaturated`.  Alert-only: the queue
+    drains itself on the next poll, there is nothing to restart.
+    """
+
+    def __init__(self, tier, max_fraction: float = 0.9) -> None:
+        self.tier = tier
+        self.max_fraction = max_fraction
+
+    def check(self, now: float) -> ProbeResult:
+        depth = self.tier.queue.depth
+        limit = self.tier.max_depth
+        fraction = depth / limit if limit else 0.0
+        if fraction > self.max_fraction:
+            return ProbeResult(
+                False,
+                f"queue backlog {depth}/{limit} (> {self.max_fraction:.0%})",
+                fraction,
+            )
+        return ProbeResult(True, value=fraction)
+
+
+class DeadLetterProbe:
+    """Did the queue tier dead-letter any jobs since the last check?
+
+    Delta-style like :class:`ErrorRateProbe`: each check compares the
+    dead-letter store's size against the previous tick and flags any
+    growth beyond ``max_delta``.  The first check only establishes the
+    baseline.  Dead letters are terminal — every one is a job whose
+    retry budget ran dry — so the default tolerance is zero.
+    """
+
+    def __init__(self, tier, max_delta: float = 0.0) -> None:
+        self.tier = tier
+        self.max_delta = max_delta
+        self._last: Optional[int] = None
+
+    def check(self, now: float) -> ProbeResult:
+        current = len(self.tier.dead_letters)
+        previous, self._last = self._last, current
+        if previous is None:
+            return ProbeResult(True, value=0.0)
+        delta = current - previous
+        if delta > self.max_delta:
+            return ProbeResult(
+                False,
+                f"{delta} new dead-lettered job(s) this tick",
+                float(delta),
+            )
+        return ProbeResult(True, value=float(delta))
 
 
 class CallableProbe:

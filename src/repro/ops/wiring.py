@@ -29,8 +29,10 @@ from typing import Optional, Sequence
 from repro.ops.audit import AuditTrail
 from repro.ops.health import (
     CallableProbe,
+    DeadLetterProbe,
     ErrorRateProbe,
     HeartbeatProbe,
+    JobQueueBacklogProbe,
     PollutionBudgetProbe,
     QueueDepthProbe,
     ShardStalenessProbe,
@@ -51,6 +53,7 @@ def build_supervisor(
     max_job_failures_per_tick: float = 5.0,
     shard_staleness: float = 24 * 3600.0,
     pollution_max_fraction: float = 0.5,
+    queue_backlog_fraction: float = 0.9,
 ) -> Supervisor:
     """Stand up the self-healing layer over a live deployment."""
     clock = sheriff.world.clock
@@ -89,6 +92,21 @@ def build_supervisor(
             probes=(
                 ShardStalenessProbe(sheriff.db, shard_name, shard_staleness),
             ),
+        )
+
+    # Queued measurement tier (when one is deployed): backlog pressure
+    # and dead-letter growth.  Both alert-only — the queue drains itself
+    # and dead letters are terminal; restarting nothing keeps the
+    # supervisor's restart-equivalence property intact.
+    job_queue = getattr(sheriff, "job_queue", None)
+    if job_queue is not None:
+        supervisor.register(
+            "jobqueue",
+            probes=(JobQueueBacklogProbe(job_queue, queue_backlog_fraction),),
+        )
+        supervisor.register(
+            "jobqueue/dlq",
+            probes=(DeadLetterProbe(job_queue),),
         )
 
     # Coordinator: watch terminal job failures per tick.

@@ -25,7 +25,6 @@ lookups route without a scatter.
 from __future__ import annotations
 
 import hashlib
-import warnings
 from bisect import bisect_right
 from collections import Counter
 from contextlib import contextmanager
@@ -122,21 +121,6 @@ class ShardedDatabase:
             "sheriff_db_router_connections_busy",
             "Router-level connections currently held",
         )
-
-    def bind_metrics(self, registry) -> None:
-        """Deprecated alias of :meth:`bind_telemetry` (old convention)."""
-        warnings.warn(
-            "ShardedDatabase.bind_metrics(registry) is deprecated; use "
-            "bind_telemetry(telemetry) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-
-        class _Shim:
-            def __init__(self, registry) -> None:
-                self.registry = registry
-
-        self.bind_telemetry(_Shim(registry))
 
     def _sync_occupancy(self, shard_name: str, table: str) -> None:
         if self._m_shard_rows is not None:

@@ -9,8 +9,7 @@ Proxy Clients use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.web.pricing import RequestContext
 from repro.web.store import EStore, StoreResponse

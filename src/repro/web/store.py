@@ -24,7 +24,7 @@ import hashlib
 import random
 import secrets
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.currency.codes import CURRENCIES

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import secrets
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 
 @dataclass

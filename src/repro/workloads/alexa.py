@@ -16,7 +16,7 @@ which is exactly what that experiment must *not* flag).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.web.catalog import make_catalog
 from repro.web.internet import ContentSite, Internet

@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 import zlib
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.browser.fingerprint import all_user_agents

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.sheriff import SheriffWorld
@@ -28,8 +28,7 @@ from repro.web.catalog import Product, flagship_products, make_catalog
 from repro.web.pricing import (
     ABTestPricing,
     CompositePricing,
-    CountryMultiplierPricing,
-    PerCountryABTestPricing,
+        PerCountryABTestPricing,
     PricingPolicy,
     RegionalPricing,
     TemporalDriftPricing,

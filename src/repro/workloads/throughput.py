@@ -201,7 +201,7 @@ def run_throughput(config: Optional[ThroughputConfig] = None) -> Dict[str, objec
             "levels": list(config.levels),
         },
         "levels": levels,
-        "max_speedup": max(l["speedup"] for l in levels),
+        "max_speedup": max(level["speedup"] for level in levels),
         "speedup_at_top_level": levels[-1]["speedup"],
     }
 

@@ -5,8 +5,6 @@ traces of remote product page requests in any VM."
 """
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.browser.browser import Browser
 from repro.browser.sandbox import Sandbox, sandboxed_fetch

@@ -1,6 +1,5 @@
 """Tests for the systematic crawler driver."""
 
-import pytest
 
 from repro.clients.crawler import SystematicCrawler
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.web.internet import parse_url
 
 
 @pytest.fixture

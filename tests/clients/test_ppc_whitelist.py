@@ -1,6 +1,5 @@
 """PPC defence-in-depth: peers refuse non-whitelisted domains."""
 
-import pytest
 
 from repro.web.internet import ContentSite
 

@@ -1,6 +1,5 @@
 """End-to-end anonymity of doppelganger state requests."""
 
-import pytest
 
 
 class TestCoordinatorIntegration:

@@ -1,9 +1,5 @@
 """Silhouette-driven k selection wired through the deployment."""
 
-import random
-
-import pytest
-
 
 class TestSheriffIntegration:
     def test_choose_k_from_donors(self, world, sheriff):

@@ -1,112 +1,58 @@
-"""The deprecated compatibility surface: old names keep working, warn.
+"""The deprecated compatibility surface is gone.
 
-PR 4 unified two conventions — job lifecycle (``submit``/``poll``/
-``result`` replacing ``start_price_check``/``handle_price_check``) and
-telemetry attachment (``bind_telemetry(telemetry)`` replacing
-``bind_metrics(registry)``).  The old entry points remain thin wrappers
-that emit ``DeprecationWarning``; these tests pin both the warning and
-the unchanged behavior, so ``-W error::DeprecationWarning`` runs stay
-green everywhere else.
+PR 4 unified the job-lifecycle and telemetry conventions and left the
+old entry points (``start_price_check``/``handle_price_check`` and the
+``bind_metrics`` aliases) behind as ``DeprecationWarning`` wrappers.
+This PR removes the wrappers outright — the unified surface
+(:mod:`repro.core.jobapi` and ``bind_telemetry``) is the only one.
+These tests pin the removal: the old names neither exist nor are
+referenced anywhere under ``src/``.
 """
-
-import pytest
 
 from repro.core.database import DatabaseServer
 from repro.core.engine import PageCache
+from repro.core.measurement import MeasurementServer
 from repro.net.faults import chaos_plan
 from repro.net.p2p import PeerOverlay
-from repro.obs import Telemetry
 from repro.storage import ShardedDatabase
 
-from tests.core.test_progressive_and_pii import product_url
+
+class TestLifecycleWrappersRemoved:
+    def test_measurement_server_wrappers_gone(self):
+        assert not hasattr(MeasurementServer, "start_price_check")
+        assert not hasattr(MeasurementServer, "handle_price_check")
 
 
-class TestLifecycleWrappers:
-    def _job(self, world, sheriff, es_user):
-        from repro.core.measurement import PriceCheckJob
-
-        url = product_url(world)
-        response = es_user.browser.visit(url)
-        tags_path, _ = es_user.build_selection(response.html)
-        ticket, ppcs = sheriff.coordinator.new_request(
-            es_user.peer_id, url, es_user.browser.location
-        )
-        job = PriceCheckJob(
-            job_id=ticket.job_id, url=url, tags_path=tags_path,
-            requested_currency="EUR", initiator_peer_id=es_user.peer_id,
-            initiator_html=response.html,
-            initiator_location=es_user.browser.location,
-            initiator_os="Linux", initiator_browser="Firefox",
-            ppc_ids=ppcs,
-        )
-        return sheriff.measurement_server(ticket.server_name), job
-
-    def test_handle_price_check_warns_but_works(self, world, sheriff, es_user):
-        server, job = self._job(world, sheriff, es_user)
-        with pytest.warns(DeprecationWarning, match="handle_price_check"):
-            result = server.handle_price_check(job)
-        assert result.rows
-
-    def test_start_price_check_warns_but_works(self, world, sheriff, es_user):
-        server, job = self._job(world, sheriff, es_user)
-        with pytest.warns(DeprecationWarning, match="start_price_check"):
-            job_id = server.start_price_check(job)
-        assert job_id == job.job_id
-        finished = False
-        while not finished:
-            _, finished = server.poll(job_id)
-
-
-class TestBindMetricsAliases:
-    def _registry(self):
-        return Telemetry().registry
-
+class TestBindMetricsAliasesRemoved:
     def test_database_server(self):
-        db = DatabaseServer()
-        with pytest.warns(DeprecationWarning, match="bind_telemetry"):
-            db.bind_metrics(self._registry())
-        db.insert("requests", {"domain": "a.example"})
-        assert db._m_queries.total >= 1
+        assert not hasattr(DatabaseServer(), "bind_metrics")
 
     def test_sharded_database(self):
-        db = ShardedDatabase(n_shards=2)
-        with pytest.warns(DeprecationWarning, match="bind_telemetry"):
-            db.bind_metrics(self._registry())
-        assert db._m_shard_rows is not None
+        assert not hasattr(ShardedDatabase(n_shards=2), "bind_metrics")
 
     def test_page_cache(self):
-        cache = PageCache(ttl=10.0)
-        with pytest.warns(DeprecationWarning, match="bind_telemetry"):
-            cache.bind_metrics(self._registry())
+        assert not hasattr(PageCache(ttl=10.0), "bind_metrics")
 
     def test_peer_overlay(self):
-        overlay = PeerOverlay()
-        with pytest.warns(DeprecationWarning, match="bind_telemetry"):
-            overlay.bind_metrics(self._registry())
+        assert not hasattr(PeerOverlay(), "bind_metrics")
 
     def test_fault_plan(self):
-        plan = chaos_plan("lossy", seed=1)
-        with pytest.warns(DeprecationWarning, match="bind_telemetry"):
-            plan.bind_metrics(self._registry())
+        assert not hasattr(chaos_plan("lossy", seed=1), "bind_metrics")
 
 
-def test_no_first_party_callers_of_deprecated_names():
-    """Nothing under src/ calls the deprecated entry points anymore
-    (outside the wrappers themselves and their docstrings)."""
+def test_deprecated_names_absent_from_source():
+    """No definition or call of the removed entry points survives
+    anywhere under src/."""
     import pathlib
     import re
 
     root = pathlib.Path(__file__).resolve().parents[2] / "src"
     offenders = []
     pattern = re.compile(
-        r"\.(handle_price_check|start_price_check|bind_metrics)\("
+        r"(def |\.)(handle_price_check|start_price_check|bind_metrics)\("
     )
     for path in root.rglob("*.py"):
         for i, line in enumerate(path.read_text().splitlines(), 1):
-            match = pattern.search(line)
-            if match is None or "def " in line:
-                continue
-            if '"' in line[: match.start()]:  # the warning message itself
-                continue
-            offenders.append(f"{path.name}:{i}: {line.strip()}")
+            if pattern.search(line):
+                offenders.append(f"{path.name}:{i}: {line.strip()}")
     assert offenders == []

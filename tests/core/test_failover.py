@@ -14,7 +14,7 @@ from repro.core.addon import PriceCheckFailed
 from repro.core.coordinator import RetryBudgetExhausted
 from repro.core.dispatch import NoServerAvailable, RequestDistributor
 from repro.core.sheriff import PriceSheriff
-from repro.net.faults import FaultPlan, FaultRule, ROLE_SERVER
+from repro.net.faults import FaultPlan, FaultRule
 from repro.workloads.deployment import DeploymentConfig, LiveDeployment
 
 from tests.core.conftest import SMALL_IPC_SITES

@@ -3,9 +3,10 @@
 ``MeasurementServer.submit`` returns a :class:`JobHandle`; ``poll``
 pumps the engine's simulated timeline and hands out arrived rows in
 progressive batches; ``result`` drives the job to its terminal state.
-The old blocking ``handle_price_check`` and the two-step
-``start_price_check``/``poll`` entry points are thin wrappers over the
-same path (their contracts are pinned by test_progressive_and_pii.py).
+The same three-method lifecycle is formalized as the
+:class:`repro.core.jobapi.JobAPI` protocol, which the engine, the
+Measurement servers, and the queued measurement tier all implement
+(protocol conformance is pinned by test_jobapi.py).
 """
 
 import pytest

@@ -1,0 +1,93 @@
+"""The JobAPI protocol: one lifecycle, three implementations, one façade.
+
+``submit → poll → result`` is formalized as
+:class:`repro.core.jobapi.JobAPI`; the engine, the Measurement servers,
+and the queued tier all conform, and ``sheriff.jobs`` routes by
+deployment configuration (queue tier when one runs, owning server
+otherwise) plus the scatter-gather ``gather``.
+"""
+
+import pytest
+
+from repro.core.engine import PriceCheckEngine
+from repro.core.errors import UnknownJob
+from repro.core.jobapi import JobAPI, SheriffJobs
+from repro.core.jobqueue import QueuedMeasurementTier
+from repro.core.measurement import MeasurementServer
+from repro.core.sheriff import PriceSheriff
+
+from .conftest import SMALL_IPC_SITES
+
+
+def _first_product_url(world, domain="uniform.example"):
+    store = world.internet.site(domain)
+    return store.product_url(store.catalog.products[0].product_id)
+
+
+class TestProtocolConformance:
+    def test_every_layer_implements_jobapi(self, world, sheriff):
+        assert isinstance(sheriff.engine, JobAPI)
+        for server in sheriff.measurement_servers.values():
+            assert isinstance(server, JobAPI)
+        assert isinstance(sheriff.jobs, JobAPI)
+        assert issubclass(PriceCheckEngine, JobAPI)
+        assert issubclass(MeasurementServer, JobAPI)
+        assert issubclass(QueuedMeasurementTier, JobAPI)
+
+    def test_queue_tier_instance_conforms(self, world):
+        queued = PriceSheriff(
+            world, n_measurement_servers=2, ipc_sites=SMALL_IPC_SITES,
+            job_queue=True,
+        )
+        assert isinstance(queued.job_queue, JobAPI)
+        assert isinstance(queued.jobs, SheriffJobs)
+
+
+class TestSheriffJobsFacade:
+    def test_routes_direct_deployment_to_owning_server(
+        self, world, sheriff, es_user, es_peers
+    ):
+        pending = es_user.submit_price_check(_first_product_url(world))
+        entry = sheriff.jobs._entrypoint_for(pending.job_id)
+        assert entry is pending.server
+
+        delivered = []
+        finished = False
+        while not finished:
+            batch, finished = sheriff.jobs.poll(pending.handle)
+            delivered.extend(batch)
+        assert len(delivered) == pending.handle.total_rows
+
+    def test_result_and_gather_direct(self, world, sheriff, es_user, es_peers):
+        pending = es_user.submit_price_check(_first_product_url(world))
+        result = sheriff.jobs.result(pending.handle)
+        assert result.rows
+        gathered = sheriff.jobs.gather([pending.job_id])
+        assert set(gathered) == {pending.job_id}
+        assert len(gathered[pending.job_id]) == len(result.rows)
+
+    def test_routes_queued_deployment_through_the_tier(self, world):
+        sheriff = PriceSheriff(
+            world, n_measurement_servers=2, ipc_sites=SMALL_IPC_SITES,
+            job_queue=True,
+        )
+        addon = sheriff.install_addon(world.make_browser("ES", "Madrid"))
+        pending = addon.submit_price_check(_first_product_url(world))
+        assert sheriff.jobs._entrypoint_for(pending.job_id) is sheriff.job_queue
+        result = sheriff.jobs.result(pending.handle)
+        assert result.rows
+        gathered = sheriff.jobs.gather([pending.job_id])
+        assert len(gathered[pending.job_id]) == len(result.rows)
+
+    def test_poll_accepts_job_id_string(self, world, sheriff, es_user, es_peers):
+        pending = es_user.submit_price_check(_first_product_url(world))
+        batch, _ = sheriff.jobs.poll(pending.job_id)
+        assert batch
+        sheriff.jobs.result(pending.job_id)
+
+    def test_unknown_job_raises(self, sheriff):
+        with pytest.raises(UnknownJob):
+            sheriff.jobs.poll("job-unminted")
+
+    def test_facade_is_cached(self, sheriff):
+        assert sheriff.jobs is sheriff.jobs

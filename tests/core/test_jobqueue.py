@@ -1,0 +1,279 @@
+"""The queued measurement tier: admission, drain order, stealing, DLQ.
+
+Builds sheriffs with ``job_queue=True`` and drives the tier through the
+add-on exactly as clients do — submit enqueues, the first poll/result
+drains the whole outbox in admission order — then pins the failure
+machinery: load shedding with an escalating ``retry_after``, offline-
+owner steals through the retry budget, imbalance transfers outside it,
+and dead-lettering once the budget runs dry.
+"""
+
+import pytest
+
+from repro.core.errors import (
+    JobDeadLettered,
+    QueueSaturated,
+    UnknownJob,
+)
+from repro.core.measurement import PriceCheckJob
+from repro.core.sheriff import PriceSheriff
+from repro.obs import Telemetry
+
+from .conftest import SMALL_IPC_SITES
+
+
+def _queued_sheriff(world, **kwargs):
+    kwargs.setdefault("n_measurement_servers", 2)
+    kwargs.setdefault("ipc_sites", SMALL_IPC_SITES)
+    kwargs.setdefault("job_queue", True)
+    return PriceSheriff(world, **kwargs)
+
+
+def _product_urls(world, domain="uniform.example"):
+    store = world.internet.site(domain)
+    return [store.product_url(p.product_id) for p in store.catalog.products]
+
+
+def _addon(world, sheriff, city="Madrid"):
+    return sheriff.install_addon(world.make_browser("ES", city))
+
+
+class TestAdmissionAndDrain:
+    def test_submit_enqueues_and_first_poll_drains_all(self, world):
+        sheriff = _queued_sheriff(world)
+        addon = _addon(world, sheriff)
+        urls = _product_urls(world)
+        wave = [addon.submit_price_check(url) for url in urls[:3]]
+        tier = sheriff.job_queue
+        assert tier.depth == 3
+        assert all(p.server is tier for p in wave)
+        assert all(p.handle.state == "queued" for p in wave)
+
+        batch, _ = tier.poll(wave[0].handle)
+        assert tier.depth == 0
+        assert tier.dispatched_total == 3
+        assert batch  # first progressive batch of the first job
+        for pending in wave:
+            result = addon.collect(pending)
+            assert result.rows
+
+    def test_drain_follows_admission_order(self, world):
+        sheriff = _queued_sheriff(world)
+        addon = _addon(world, sheriff)
+        urls = _product_urls(world)
+        wave = [addon.submit_price_check(url) for url in urls[:4]]
+        tier = sheriff.job_queue
+        tier.pump()
+        dispatches = [e.subject for e in tier.events.of_kind("dispatch")]
+        assert dispatches == [p.handle.job_id for p in wave]
+        enqueues = [e.subject for e in tier.events.of_kind("enqueue")]
+        assert enqueues == dispatches
+
+    def test_submit_without_ticket_is_rejected(self, world):
+        sheriff = _queued_sheriff(world)
+        job = PriceCheckJob(
+            job_id="job-forged", url="http://uniform.example/product/p-1",
+            tags_path="html>body", requested_currency="EUR",
+            initiator_peer_id="peer-x", initiator_html="<html></html>",
+            initiator_location=world.geodb.make_location("ES", "Madrid"),
+            initiator_os="Linux", initiator_browser="Firefox",
+        )
+        with pytest.raises(UnknownJob, match="no Coordinator ticket"):
+            sheriff.job_queue.submit(job)
+
+    def test_finished_job_is_forgotten(self, world):
+        sheriff = _queued_sheriff(world)
+        addon = _addon(world, sheriff)
+        pending = addon.submit_price_check(_product_urls(world)[0])
+        addon.collect(pending)
+        with pytest.raises(UnknownJob):
+            sheriff.job_queue.result(pending.handle)
+
+
+class TestLoadShedding:
+    def test_shed_beyond_depth_with_escalating_retry_after(self, world):
+        sheriff = _queued_sheriff(world, queue_depth=2)
+        addon = _addon(world, sheriff)
+        urls = _product_urls(world)
+        wave = [addon.submit_price_check(url) for url in urls[:2]]
+        tier = sheriff.job_queue
+
+        with pytest.raises(QueueSaturated) as first:
+            addon.submit_price_check(urls[2])
+        with pytest.raises(QueueSaturated) as second:
+            addon.submit_price_check(urls[3])
+        base, factor = tier.backoff.base, tier.backoff.factor
+        assert first.value.retry_after == pytest.approx(base)
+        assert second.value.retry_after == pytest.approx(base * factor)
+        assert first.value.depth == 2 and first.value.limit == 2
+        assert tier.shed_total == 2
+
+        # shed tickets are failed at the Coordinator: nothing leaks
+        shed_id = first.value.job_id
+        assert sheriff.coordinator.jobs[shed_id].failed
+        assert sheriff.coordinator.pending_jobs() == 2
+
+        # draining makes room and resets the shed streak
+        for pending in wave:
+            addon.collect(pending)
+        late = addon.submit_price_check(urls[4])
+        assert tier._shed_streak == 0
+        with pytest.raises(QueueSaturated):
+            # saturate again: the streak starts over at the base delay
+            [addon.submit_price_check(u) for u in urls[5:7]]
+        assert addon.collect(late).rows
+
+    def test_retry_after_is_capped(self, world):
+        sheriff = _queued_sheriff(world, queue_depth=1)
+        addon = _addon(world, sheriff)
+        urls = _product_urls(world)
+        addon.submit_price_check(urls[0])
+        tier = sheriff.job_queue
+        last = 0.0
+        for url in (urls * 4)[:12]:
+            with pytest.raises(QueueSaturated) as exc:
+                addon.submit_price_check(url)
+            last = exc.value.retry_after
+            assert last <= tier.backoff.cap
+        assert last == pytest.approx(tier.backoff.cap)
+
+
+class TestWorkStealing:
+    def test_offline_owner_steal_consumes_retry_budget(self, world):
+        sheriff = _queued_sheriff(world)
+        addon = _addon(world, sheriff)
+        pending = addon.submit_price_check(_product_urls(world)[0])
+        tier = sheriff.job_queue
+        owner = pending.handle.server_name
+        sheriff.distributor.mark_offline(owner)
+
+        result = addon.collect(pending)
+        assert result.rows
+        assert tier.steals == {"offline": 1}
+        record = sheriff.coordinator.jobs[pending.job_id]
+        assert record.attempts == 2
+        assert record.server_name != owner
+        steal = tier.events.of_kind("steal")[0]
+        assert steal.detail == {
+            "reason": "offline", "src": owner, "dst": record.server_name,
+        }
+
+    def test_imbalance_transfer_is_budget_free(self, world):
+        sheriff = _queued_sheriff(world, queue_steal_threshold=2)
+        addon = _addon(world, sheriff)
+        urls = _product_urls(world)
+        # pile every assignment onto ms-0 while ms-1 is down...
+        sheriff.distributor.mark_offline("ms-1")
+        wave = [addon.submit_price_check(url) for url in urls[:4]]
+        assert all(p.handle.server_name == "ms-0" for p in wave)
+        # ...then bring ms-1 back before the drain
+        sheriff.distributor.heartbeat("ms-1", world.clock.now)
+
+        tier = sheriff.job_queue
+        tier.pump()
+        assert tier.steals.get("imbalance", 0) >= 1
+        stolen = [
+            e for e in tier.events.of_kind("steal")
+            if e.detail["reason"] == "imbalance"
+        ]
+        assert stolen and stolen[0].detail["dst"] == "ms-1"
+        # a transfer is not a failover: no retry budget was spent
+        for pending in wave:
+            assert sheriff.coordinator.jobs[pending.job_id].attempts == 1
+            assert addon.collect(pending).rows
+
+    def test_stealing_disabled_with_none_threshold(self, world):
+        sheriff = _queued_sheriff(world, queue_steal_threshold=None)
+        addon = _addon(world, sheriff)
+        sheriff.distributor.mark_offline("ms-1")
+        wave = [
+            addon.submit_price_check(url)
+            for url in _product_urls(world)[:4]
+        ]
+        sheriff.distributor.heartbeat("ms-1", world.clock.now)
+        sheriff.job_queue.pump()
+        assert sheriff.job_queue.steals == {}
+        for pending in wave:
+            addon.collect(pending)
+
+
+class TestDeadLetters:
+    def test_budget_exhaustion_dead_letters_the_job(self, world):
+        sheriff = _queued_sheriff(world)
+        addon = _addon(world, sheriff)
+        url = _product_urls(world)[0]
+        pending = addon.submit_price_check(url)
+        tier = sheriff.job_queue
+        # no server left online: the offline steal finds nowhere to go
+        for name in ("ms-0", "ms-1"):
+            sheriff.distributor.mark_offline(name)
+
+        with pytest.raises(JobDeadLettered) as exc:
+            tier.result(pending.handle)
+        assert exc.value.job_id == pending.job_id
+        assert len(tier.dead_letters) == 1
+        entry = tier.dead_letters.for_job(pending.job_id)
+        assert entry.url == url
+        assert sheriff.coordinator.jobs[pending.job_id].failed
+        assert tier.events.of_kind("dead_letter")
+        # the handle is spent: a later poll is an UnknownJob
+        with pytest.raises(UnknownJob):
+            tier.poll(pending.handle)
+
+    def test_dead_letter_does_not_block_the_queue(self, world):
+        sheriff = _queued_sheriff(world)
+        addon = _addon(world, sheriff)
+        urls = _product_urls(world)
+        doomed = addon.submit_price_check(urls[0])
+        sheriff.distributor.mark_offline(doomed.handle.server_name)
+        survivor_name = (
+            "ms-1" if doomed.handle.server_name == "ms-0" else "ms-0"
+        )
+        # exhaust the doomed job's budget against a one-server fleet
+        record = sheriff.coordinator.jobs[doomed.job_id]
+        record.attempts = sheriff.coordinator.retry_budget
+        healthy = addon.submit_price_check(urls[1])
+
+        result = addon.collect(healthy)
+        assert result.rows
+        assert len(sheriff.job_queue.dead_letters) == 1
+        with pytest.raises(JobDeadLettered):
+            sheriff.job_queue.result(doomed.handle)
+        assert sheriff.coordinator.jobs[healthy.job_id].completed
+        assert survivor_name  # the fleet kept serving
+
+
+class TestObservability:
+    def test_queue_metrics_and_stats(self, world):
+        telemetry = Telemetry(metrics_only=True)
+        sheriff = _queued_sheriff(world, telemetry=telemetry, queue_depth=2)
+        addon = _addon(world, sheriff)
+        urls = _product_urls(world)
+        wave = [addon.submit_price_check(url) for url in urls[:2]]
+        with pytest.raises(QueueSaturated):
+            addon.submit_price_check(urls[2])
+        for pending in wave:
+            addon.collect(pending)
+
+        registry = telemetry.registry
+        assert registry.get("sheriff_queue_enqueued_total").total == 2
+        assert registry.get("sheriff_queue_dispatched_total").total == 2
+        assert registry.get("sheriff_queue_shed_total").total == 1
+        assert registry.get("sheriff_queue_depth") is not None
+        assert registry.get("sheriff_queue_wait_seconds").total_count() == 2
+
+        stats = sheriff.job_queue.stats()
+        assert stats == {
+            "depth": 0,
+            "max_depth": 2,
+            "max_depth_seen": 2,
+            "enqueued": 2,
+            "dispatched": 2,
+            "shed": 1,
+            "steals": {},
+            "dead_letters": 0,
+        }
+
+    def test_tier_rejects_degenerate_depth(self, world):
+        with pytest.raises(ValueError):
+            _queued_sheriff(world, queue_depth=0)

@@ -5,8 +5,7 @@ import random
 import pytest
 
 from repro.core.tagspath import (
-    TagsPath,
-    TagsPathError,
+        TagsPathError,
     build_tags_path,
     extract_price_element,
     extract_price_text,

@@ -6,12 +6,10 @@ import pytest
 
 from repro.core.sheriff import PriceSheriff, SheriffWorld
 from repro.core.watchdog import Watchdog
-from repro.net.events import SECONDS_PER_DAY
 from repro.web.catalog import make_catalog
 from repro.web.pricing import (
     CountryMultiplierPricing,
     PricingPolicy,
-    UniformPricing,
 )
 from repro.web.store import EStore
 

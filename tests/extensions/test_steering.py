@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.browser.browser import Browser
 from repro.core.sheriff import SheriffWorld
 from repro.extensions.steering import (
     RankingObservation,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.anonymity import AnonymityNetwork, AnonymousRequest
+from repro.net.anonymity import AnonymityNetwork
 
 
 @pytest.fixture

@@ -98,8 +98,8 @@ class TestExport:
                 pass
         fh = io.StringIO()
         assert tr.export_jsonl(fh) == 2
-        lines = [json.loads(l) for l in fh.getvalue().splitlines()]
-        assert [l["name"] for l in lines] == ["fetch", "price_check"]
+        lines = [json.loads(line) for line in fh.getvalue().splitlines()]
+        assert [line["name"] for line in lines] == ["fetch", "price_check"]
         assert lines[0]["attrs"] == {"vantage": "IPC", "ok": True}
         assert lines[0]["duration"] == 2.0
         assert lines[1]["duration"] == 2.0  # stretched over the child

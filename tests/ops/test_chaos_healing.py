@@ -12,7 +12,7 @@ number of simulated seconds with zero permanently lost jobs.
 import pytest
 
 from repro.core.sheriff import PriceSheriff, SheriffWorld
-from repro.net.faults import CHAOS_PROFILES, ROLE_SERVER, FaultPlan, FaultRule
+from repro.net.faults import CHAOS_PROFILES, FaultPlan, FaultRule
 from repro.ops import RestartPolicy, build_supervisor
 from repro.ops.supervisor import ESCALATED, RESTART_PENDING, UP
 from repro.workloads.deployment import DeploymentConfig, LiveDeployment

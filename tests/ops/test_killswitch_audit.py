@@ -67,8 +67,8 @@ class TestAuditTrail:
         lines = path.read_text().splitlines()
         assert len(lines) == 1
         audit.record("killswitch_reset", "operator")
-        lines = [json.loads(l) for l in path.read_text().splitlines()]
-        assert [l["kind"] for l in lines] == [
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["kind"] for line in lines] == [
             "killswitch_tripped", "killswitch_reset",
         ]
         assert lines[0]["component"] == "deployment"

@@ -45,7 +45,7 @@ class TestConcreteNotifiers:
         notifier = FileNotifier(str(path))
         notifier.notify(event)
         notifier.notify(event)
-        rows = [json.loads(l) for l in path.read_text().splitlines()]
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
         assert len(rows) == 2
         assert rows[0]["kind"] == "component_restarted"
         assert rows[0]["component"] == "ms-1"

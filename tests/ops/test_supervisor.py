@@ -14,7 +14,6 @@ from repro.core.monitoring import ops_panel
 from repro.ops import CallableProbe, RestartPolicy, Supervisor
 from repro.ops.supervisor import DOWN, ESCALATED, RESTART_PENDING, UP
 
-from .conftest import FlakyComponent
 
 
 def _supervise(clock, flaky, policy=None, critical=False):

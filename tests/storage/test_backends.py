@@ -1,6 +1,5 @@
 """Unit tests for the storage engines behind the Database server."""
 
-import os
 
 import pytest
 

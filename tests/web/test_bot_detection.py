@@ -11,7 +11,6 @@ import random
 
 import pytest
 
-from repro.clients.ipc import InfrastructureProxyClient
 from repro.core.sheriff import PriceSheriff, SheriffWorld
 from repro.web.catalog import make_catalog
 from repro.web.pricing import RequestContext, UniformPricing

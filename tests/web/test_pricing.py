@@ -7,8 +7,7 @@ from repro.net.geo import GeoDatabase
 from repro.web.catalog import Product
 from repro.web.pricing import (
     ABTestPricing,
-    Adjustment,
-    CompositePricing,
+        CompositePricing,
     CountryMultiplierPricing,
     PdiPdPricing,
     RequestContext,

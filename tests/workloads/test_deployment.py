@@ -1,13 +1,17 @@
 """Tests for the live deployment driver and the Fig. 5 adoption model."""
 
+import json
+
 import pytest
 
 from repro.analysis.pricediff import domains_with_difference
+from repro.core.errors import InvalidConfig
 from repro.workloads.deployment import (
     DeploymentConfig,
     LiveDeployment,
     adoption_series,
 )
+from repro.workloads.population import PopulationConfig
 
 
 @pytest.fixture(scope="module")
@@ -68,6 +72,71 @@ class TestConfigs:
     def test_test_scale_is_small(self):
         cfg = DeploymentConfig.test_scale()
         assert cfg.n_requests <= 100
+
+
+class TestConfigSerialization:
+    def test_round_trip_through_json(self):
+        cfg = DeploymentConfig.test_scale()
+        cfg.job_queue = True
+        cfg.queue_depth = 32
+        cfg.population = PopulationConfig(n_users=40)
+        restored = DeploymentConfig.from_dict(json.loads(json.dumps(cfg.to_dict())))
+        assert restored.to_dict() == cfg.to_dict()
+        assert restored.ipc_sites == cfg.ipc_sites
+        assert isinstance(restored.population, PopulationConfig)
+        assert restored.population == cfg.population
+
+    def test_defaults_round_trip(self):
+        cfg = DeploymentConfig()
+        assert DeploymentConfig.from_dict(cfg.to_dict()).to_dict() == cfg.to_dict()
+
+    def test_unknown_top_level_key(self):
+        with pytest.raises(InvalidConfig, match="unknown deployment config key"):
+            DeploymentConfig.from_dict({"bogus": 1})
+
+    def test_unknown_population_key(self):
+        with pytest.raises(InvalidConfig, match="unknown population config key"):
+            DeploymentConfig.from_dict({"population": {"bogus": 1}})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(InvalidConfig, match="JSON object"):
+            DeploymentConfig.from_dict([1, 2, 3])
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            {"n_users": 0},
+            {"n_measurement_servers": 0},
+            {"quorum": 0},
+            {"duration_days": 0},
+            {"page_cache_ttl": -1.0},
+            {"queue_depth": 0},
+            {"queue_steal_threshold": 0},
+            {"job_queue": "yes"},
+            {"chaos_profile": "not-a-profile"},
+            {"db_backend": "postgres"},
+            {"ipc_sites": [["ES", "Madrid"]]},
+            {"spotlight_products": [["only-domain"]]},
+            {"n_users": True},
+        ],
+    )
+    def test_out_of_range_values_rejected(self, data):
+        with pytest.raises(InvalidConfig):
+            DeploymentConfig.from_dict(data)
+
+    def test_queue_knobs_reach_the_sheriff(self):
+        cfg = DeploymentConfig.test_scale()
+        cfg.n_requests = 4
+        cfg.duration_days = 2.0
+        cfg.job_queue = True
+        cfg.queue_depth = 64
+        deployment = LiveDeployment(cfg)
+        tier = deployment.sheriff.job_queue
+        assert tier is not None
+        assert tier.max_depth == 64
+
+    def test_direct_deployment_has_no_tier(self, dataset):
+        assert dataset.sheriff.job_queue is None
 
 
 class TestAdoptionModel:

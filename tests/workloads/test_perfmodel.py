@@ -4,8 +4,7 @@ import pytest
 
 from repro.workloads.perfmodel import (
     PerformanceModel,
-    ServerCrashed,
-    TABLE1_CONFIGS,
+        TABLE1_CONFIGS,
     run_table1,
 )
 

@@ -1,0 +1,104 @@
+"""Tests for the measurement-tier scaling benchmark workload."""
+
+import pytest
+
+from repro.clients.ipc import DEFAULT_IPC_SITES
+from repro.core.errors import InvalidConfig
+from repro.workloads.scalebench import ScaleBenchConfig, run_scalebench
+
+
+def _micro_config():
+    """A tiny sweep that still exercises both report sections."""
+    return ScaleBenchConfig(
+        server_counts=(1, 2),
+        total_checks=8,
+        n_users=4,
+        ipc_sites=DEFAULT_IPC_SITES[:6],
+        n_stores=2,
+        users_levels=(1_000,),
+    )
+
+
+class TestScaleBench:
+    def test_report_shape(self):
+        report = run_scalebench(_micro_config())
+        assert "scaling" in report and "projection" in report
+        levels = report["levels"]
+        assert [entry["servers"] for entry in levels] == [1, 2]
+        for entry in levels:
+            assert entry["checks"] == 8
+            assert entry["checks_per_sec"] > 0
+            assert entry["rows"] > 0
+            # scatter-gather read-back finds every persisted row
+            assert entry["rows_gathered"] == entry["rows"]
+            assert entry["db_shards"] == entry["servers"]
+            assert entry["queue"]["enqueued"] == 8
+            assert entry["queue"]["dispatched"] == 8
+            assert entry["queue"]["dead_letters"] == 0
+
+        scaling = report["scaling"]
+        assert scaling["baseline_servers"] == 1
+        assert scaling["top_servers"] == 2
+        assert scaling["speedup"] > 0
+
+        projection = report["projection"]
+        assert projection["capacity_checks_per_sec"] == pytest.approx(
+            levels[-1]["checks_per_sec"]
+        )
+        (level,) = projection["levels"]
+        assert level["users"] == 1_000
+        assert level["admitted"] + level["shed"] == level["arrivals_per_day"]
+        assert level["p50_wait_s"] <= level["p95_wait_s"]
+        assert 0.0 <= level["utilization"] <= 1.0
+
+    def test_report_is_deterministic(self):
+        assert run_scalebench(_micro_config()) == run_scalebench(_micro_config())
+
+    def test_larger_fleet_is_at_least_as_fast(self):
+        report = run_scalebench(_micro_config())
+        rates = [entry["checks_per_sec"] for entry in report["levels"]]
+        assert rates[-1] >= rates[0]
+
+    def test_smoke_scale_is_reduced_but_keeps_the_gate_endpoints(self):
+        smoke = ScaleBenchConfig.smoke_scale()
+        full = ScaleBenchConfig()
+        assert smoke.total_checks < full.total_checks
+        assert len(smoke.ipc_sites) < len(full.ipc_sites)
+        # the CI gate compares 8 servers against 1
+        assert smoke.server_counts[0] == 1
+        assert smoke.server_counts[-1] == 8
+
+
+class TestScaleBenchConfigFromDict:
+    def test_accepts_known_keys(self):
+        config = ScaleBenchConfig.from_dict(
+            {"server_counts": [1, 4], "total_checks": 16, "seed": 5}
+        )
+        assert config.server_counts == (1, 4)
+        assert config.total_checks == 16
+        assert config.seed == 5
+
+    def test_rejects_unknown_key(self):
+        with pytest.raises(InvalidConfig, match="unknown scalebench config"):
+            ScaleBenchConfig.from_dict({"bogus": 1})
+
+    def test_rejects_non_object(self):
+        with pytest.raises(InvalidConfig, match="JSON object"):
+            ScaleBenchConfig.from_dict([1, 2])
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            {"server_counts": []},
+            {"server_counts": [0, 1]},
+            {"server_counts": "8"},
+            {"server_counts": [True]},
+            {"users_levels": [1000, "1M"]},
+            {"total_checks": 0},
+            {"n_users": 0},
+            {"queue_depth": 0},
+        ],
+    )
+    def test_rejects_out_of_range(self, data):
+        with pytest.raises(InvalidConfig):
+            ScaleBenchConfig.from_dict(data)
