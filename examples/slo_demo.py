@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""SLO demo: promises, error budgets, and a burn-rate page.
+
+The paper pitches $heriff as a deployed watchdog *service*; a service
+makes promises.  This example declares them, watches them hold, then
+breaks one on purpose:
+
+1. run the seeded journey drill — three waves of price checks through
+   the queue tier, with `ms-1` taken down during each wave's admission
+   so imbalance steals provably fire — under armed SLO burn-rate
+   probes (`build_supervisor(..., slo_engine=...)`);
+2. print the compliance report: every objective met, every error
+   budget intact, no pages;
+3. rerun the identical drill with an injected latency fault — every
+   IPC vantage point becomes a chronically overloaded node (slowdown
+   3.9, just under the proxy-timeout budget), so fetches crawl but no
+   row is lost;
+4. watch `slo/check-latency` page with the probe's numeric snapshot on
+   the audit event, while the availability objective stays green and
+   the row counts match: the fault made the service slow, not broken;
+5. render the journey of a stolen job from the degraded run — the
+   critical path shows exactly which vantage point's fetch bounded the
+   latency.
+
+Run with:  python examples/slo_demo.py
+"""
+
+from repro.obs.trace import render_trace
+from repro.workloads.journey import JourneyConfig, run_slo_drill
+
+
+def print_report(report, alerts) -> None:
+    for row in report["slos"]:
+        print(
+            f"  {row['name']:<18} {row['kind']:<13} "
+            f"target {row['objective']:.0%}  "
+            f"compliance {row['compliance']:.1%}  "
+            f"budget burned {row['budget_consumed']:.1f}x  "
+            f"{'ok' if row['met'] else 'VIOLATED'}"
+        )
+    if alerts:
+        for event in alerts:
+            print(f"  PAGE {event.component}: {event.detail}")
+            print(f"       {event.values}")
+    else:
+        print("  no pages")
+
+
+def main() -> None:
+    print("=== clean run: the promises hold ===")
+    clean_run, clean_report, clean_alerts = run_slo_drill()
+    print(f"rows persisted: {clean_run.rows}, "
+          f"steals: {clean_run.steals}")
+    print_report(clean_report, clean_alerts)
+
+    print()
+    print("=== degraded run: every vantage point chronically slow ===")
+    slow_run, slow_report, slow_alerts = run_slo_drill(
+        JourneyConfig(latency_fault=True)
+    )
+    print(f"rows persisted: {slow_run.rows} "
+          f"(same {clean_run.rows} rows — slow, not broken)")
+    print_report(slow_report, slow_alerts)
+
+    print()
+    print("=== the journey of a stolen job, degraded run ===")
+    job_id = slow_run.stolen_job_ids[0]
+    spans = slow_run.telemetry.tracer.spans_for(job_id)
+    print(render_trace(spans, show_critical_path=True))
+
+
+if __name__ == "__main__":
+    main()

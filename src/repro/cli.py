@@ -19,10 +19,20 @@ Gives the library a tool-shaped front door:
   one shard vs many) and emit ``BENCH_storage.json``;
 * ``cryptobench`` — benchmark the secure k-means crypto (naive vs
   fastexp, 1 vs N workers) and emit ``BENCH_crypto.json``;
+* ``bench``       — run the whole benchmark suite (any subset of
+  throughput/storage/crypto/scale), merge the reports into
+  ``BENCH_all.json``, and evaluate every regression gate in one exit
+  code;
 * ``metrics``     — run a telemetry-on deployment and emit its
   Prometheus-style metrics exposition;
 * ``trace``       — same run, render one price check's span timeline
   on the simulated clock (and optionally export span JSONL);
+* ``journey``     — run the seeded forced-steal drill and reconstruct
+  one job's end-to-end causal tree (admission → queue → steal → fetch
+  → persist) with critical-path analysis and its flight-recorder log;
+* ``slo``         — same drill under armed SLO burn-rate probes;
+  reports objective compliance and any pages (add ``--latency-fault``
+  to watch the latency budget burn);
 * ``panel``       — the live operator view: pipeline health plus the
   Fig. 7 / Fig. 16 panels, all from a metrics snapshot.
 
@@ -239,6 +249,38 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "speedup (test group, 1 worker) exceeds X "
                                   "and the naive/fast lockstep check held")
 
+    bench = sub.add_parser(
+        "bench",
+        help="run the unified benchmark suite, gate every regression",
+    )
+    bench.add_argument("--scale", default="smoke",
+                       choices=("smoke", "default"),
+                       help="smoke = reduced CI instance")
+    bench.add_argument("--include", nargs="+", default=None,
+                       choices=("throughput", "storage", "crypto", "scale"),
+                       help="benchmarks to run (default: all four)")
+    bench.add_argument("--seed", type=int, default=None)
+    bench.add_argument("--out", default="BENCH_all.json",
+                       help="where to write the merged JSON report")
+    bench.add_argument("--require-throughput-speedup", type=float,
+                       default=1.0, metavar="X",
+                       help="pipelined must beat serial by more than X")
+    bench.add_argument("--max-telemetry-overhead", type=float, default=None,
+                       metavar="FRACTION",
+                       help="also measure the full telemetry plane's "
+                            "wall-clock cost and gate it at this fraction")
+    bench.add_argument("--require-index-speedup", type=float, default=5.0,
+                       metavar="X",
+                       help="every engine's index must beat the scan by "
+                            "more than X")
+    bench.add_argument("--require-crypto-speedup", type=float, default=3.0,
+                       metavar="X",
+                       help="fastexp must beat naive by more than X "
+                            "(lockstep must also hold)")
+    bench.add_argument("--require-scaling", type=float, default=3.0,
+                       metavar="X",
+                       help="top fleet must scale by at least X")
+
     def add_telemetry_run_args(p, requests=24, users=12):
         p.add_argument("--chaos", default="lossy", metavar="PROFILE",
                        help="chaos profile of the instrumented run "
@@ -267,6 +309,45 @@ def _build_parser() -> argparse.ArgumentParser:
                             "run's trace list; default: the last one)")
     trace.add_argument("--out", default=None, metavar="JSONL",
                        help="also export every span as JSON lines")
+
+    journey = sub.add_parser(
+        "journey",
+        help="reconstruct one job's end-to-end causal tree from the "
+             "seeded forced-steal drill",
+    )
+    journey.add_argument("job", nargs="?", default=None,
+                         help="job id to reconstruct (default: the first "
+                              "stolen job of the drill)")
+    journey.add_argument("--list", action="store_true",
+                         help="list the drill's job ids (stolen ones "
+                              "marked) and exit")
+    journey.add_argument("--seed", type=int, default=71,
+                         help="seed of the drill's world")
+    journey.add_argument("--latency-fault", action="store_true",
+                         help="run the drill under the injected latency "
+                              "fault (slow vantage points)")
+    journey.add_argument("--out", default=None, metavar="JSON",
+                         help="also export the journey record (spans, "
+                              "flight events, ticket) as JSON")
+
+    slo = sub.add_parser(
+        "slo",
+        help="run the drill under armed SLO burn-rate probes and report "
+             "objective compliance",
+    )
+    slo.add_argument("--seed", type=int, default=71,
+                     help="seed of the drill's world")
+    slo.add_argument("--latency-fault", action="store_true",
+                     help="inject the latency fault the burn-rate probe "
+                          "pages on")
+    slo.add_argument("--max-burn-rate", type=float, default=1.0,
+                     metavar="X",
+                     help="alerting multiple of the error-budget burn")
+    slo.add_argument("--out", default=None, metavar="JSON",
+                     help="write the SLO report as JSON")
+    slo.add_argument("--require-met", action="store_true",
+                     help="exit 1 unless every objective is met and no "
+                          "burn-rate alert fired")
 
     panel = sub.add_parser(
         "panel", help="live operator panels from a metrics snapshot"
@@ -859,6 +940,174 @@ def _cmd_cryptobench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workloads.benchsuite import BenchSuiteConfig, run_benchsuite
+
+    config = BenchSuiteConfig(
+        scale=args.scale,
+        include=(
+            tuple(args.include) if args.include is not None
+            else BenchSuiteConfig.include
+        ),
+        seed=args.seed,
+        throughput_speedup=args.require_throughput_speedup,
+        max_telemetry_overhead=args.max_telemetry_overhead,
+        index_speedup=args.require_index_speedup,
+        crypto_speedup=args.require_crypto_speedup,
+        scaling_speedup=args.require_scaling,
+    )
+    print(f"benchmark suite: scale={config.scale} "
+          f"include={','.join(config.include)}")
+    report = run_benchsuite(config)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    print(f"{'gate':>22} {'value':>10} {'bound':>8} {'verdict':>8}")
+    for gate in report["gates"]:
+        value = "n/a" if gate["value"] is None else f"{gate['value']:.2f}"
+        sign = {"gt": ">", "ge": ">=", "le": "<="}[gate["comparison"]]
+        verdict = "ok" if gate["passed"] else "FAIL"
+        print(f"{gate['gate']:>22} {value:>10} "
+              f"{sign}{gate['bound']:>7.2f} {verdict:>8}")
+    print(f"merged report written to {args.out}")
+    if not report["all_passed"]:
+        failed = [g["gate"] for g in report["gates"] if not g["passed"]]
+        print(f"FAIL: regression gate(s) tripped: {', '.join(failed)}")
+        return 1
+    print("OK: every regression gate passed")
+    return 0
+
+
+def _journey_record(run, job_id: str):
+    """The JSON-ready journey export for one job."""
+    journey = run.sheriff.jobs.journey(job_id)
+    return {
+        "job_id": job_id,
+        "stolen": job_id in run.stolen_job_ids,
+        "spans": [span.to_dict() for span in journey["spans"]],
+        "events": [event.to_dict() for event in journey["events"]],
+        "dead_letter": journey["dead_letter"],
+        "ticket": journey["ticket"],
+    }
+
+
+def _cmd_journey(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import render_trace
+    from repro.workloads.journey import JourneyConfig, run_journey
+
+    run = run_journey(JourneyConfig(
+        seed=args.seed, latency_fault=args.latency_fault,
+    ))
+    if args.list:
+        for job_id in run.job_ids:
+            marker = "  [stolen]" if job_id in run.stolen_job_ids else ""
+            print(f"{job_id}{marker}")
+        return 0
+    job_id = args.job
+    if job_id is None:
+        if not run.stolen_job_ids:
+            print("no job was stolen in this drill — pass a job id")
+            return 1
+        job_id = run.stolen_job_ids[0]
+    if job_id not in run.job_ids:
+        print(f"unknown job {job_id!r} (repro journey --list shows the "
+              f"drill's jobs)")
+        return 1
+
+    journey = run.sheriff.jobs.journey(job_id)
+    stolen = " [stolen]" if job_id in run.stolen_job_ids else ""
+    print(f"journey of {job_id}{stolen} "
+          f"(steals this run: {sum(run.steals.values())})")
+    print()
+    print(render_trace(journey["spans"], show_critical_path=True))
+    print()
+    print("flight recorder:")
+    for event in journey["events"]:
+        detail = " ".join(
+            f"{k}={v}" for k, v in sorted(event.detail.items())
+        )
+        print(f"  t={event.time:10.3f}  {event.kind:<12} {detail}")
+    ticket = journey["ticket"]
+    if ticket is not None:
+        state = (
+            "completed" if ticket["completed"]
+            else f"failed ({ticket['failure_reason']})" if ticket["failed"]
+            else "in flight"
+        )
+        print(f"ticket: server={ticket['server_name']} "
+              f"attempts={ticket['attempts']} {state}")
+    if journey["dead_letter"] is not None:
+        dead = journey["dead_letter"]
+        print(f"dead letter: reason={dead['reason']} "
+              f"last_event={dead['last_event']}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(_journey_record(run, job_id), fh, indent=2)
+            fh.write("\n")
+        print(f"journey record written to {args.out}")
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workloads.journey import JourneyConfig, run_slo_drill
+
+    run, report, alerts = run_slo_drill(
+        JourneyConfig(seed=args.seed, latency_fault=args.latency_fault),
+        max_burn_rate=args.max_burn_rate,
+    )
+    print(f"SLO drill: seed={args.seed} "
+          f"latency_fault={args.latency_fault} "
+          f"max_burn_rate={args.max_burn_rate:g}x")
+    print()
+    print(f"{'objective':>16} {'kind':>13} {'target':>7} {'compliance':>11} "
+          f"{'budget burn':>12} {'verdict':>8}")
+    for status in report["slos"]:
+        verdict = "ok" if status["met"] else "VIOLATED"
+        print(
+            f"{status['name']:>16} {status['kind']:>13} "
+            f"{status['objective']:>6.0%} {status['compliance']:>10.1%} "
+            f"{status['budget_consumed']:>11.2f}x {verdict:>8}"
+        )
+    print()
+    if alerts:
+        print("burn-rate pages:")
+        for event in alerts:
+            print(f"  t={event.time:10.1f}  {event.component}  "
+                  f"({event.detail})")
+    else:
+        print("burn-rate pages: none")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(
+                {
+                    **report,
+                    "alerts": [
+                        {
+                            "time": event.time,
+                            "component": event.component,
+                            "detail": event.detail,
+                            "values": event.values,
+                        }
+                        for event in alerts
+                    ],
+                },
+                fh, indent=2,
+            )
+            fh.write("\n")
+        print(f"SLO report written to {args.out}")
+    if args.require_met and (not report["all_met"] or alerts):
+        print("FAIL: an objective is unmet or a burn-rate alert fired")
+        return 1
+    return 0
+
+
 def _telemetry_drill(args: argparse.Namespace):
     """A small telemetry-on deployment for metrics/trace/panel."""
     from repro.workloads.deployment import DeploymentConfig, LiveDeployment
@@ -947,8 +1196,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "scalebench": _cmd_scalebench,
         "storagebench": _cmd_storagebench,
         "cryptobench": _cmd_cryptobench,
+        "bench": _cmd_bench,
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,
+        "journey": _cmd_journey,
+        "slo": _cmd_slo,
         "panel": _cmd_panel,
     }
     return handlers[args.command](args)

@@ -38,6 +38,7 @@ from repro.net.faults import ROLE_SERVER, BackoffPolicy, FaultPlan
 from repro.net.geo import GeoDatabase, Location
 from repro.net.p2p import PeerOverlay
 from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.trace import NULL_TRACER
 from repro.profiles.doppelganger import DoppelgangerManager
 from repro.web.internet import parse_url
 
@@ -128,11 +129,16 @@ class Coordinator:
         self.jobs_reassigned = 0
         #: total simulated seconds callers were told to back off
         self.backoff_seconds = 0.0
+        self.tracer = NULL_TRACER
+        #: job_id -> span_id of the job's latest Coordinator-side journey
+        #: stage (assign / retry); the queue tier roots its chain here
+        self.journey_spans: Dict[str, int] = {}
         self._bind_registry(metrics if metrics is not None else NULL_REGISTRY)
 
     def bind_telemetry(self, telemetry) -> None:
         """Attach the deployment's telemetry plane (unified convention)."""
         self._bind_registry(telemetry.registry)
+        self.tracer = getattr(telemetry, "tracer", NULL_TRACER)
 
     def _bind_registry(self, registry) -> None:
         #: telemetry: recovery counters + the per-server turnaround
@@ -206,6 +212,14 @@ class Coordinator:
             job_id=job_id, peer_id=peer_id, url=url, domain=domain,
             server_name=server.name, started_at=self.clock.now,
         )
+        if self.tracer.enabled:
+            # the journey's root: every later stage (queue admission,
+            # steal, dispatch, the fan-out) chains under this span
+            with self.tracer.span(
+                "assign", trace_id=job_id, server=server.name, url=url,
+            ) as span:
+                pass
+            self.journey_spans[job_id] = span.span_id
         ppcs = self.select_ppcs(peer_id, location)
         return (
             RequestTicket(
@@ -231,6 +245,7 @@ class Coordinator:
             return
         record.completed = True
         self.distributor.complete_job(job_id)
+        self.journey_spans.pop(job_id, None)
         self._m_turnaround.observe(
             self.clock.now - record.started_at, server=record.server_name
         )
@@ -319,6 +334,14 @@ class Coordinator:
         self.jobs_reassigned += 1
         self._m_recovery.inc(event="reassigned")
         self._m_retry_budget.inc()
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "retry", trace_id=job_id,
+                parent_id=self.journey_spans.get(job_id),
+                attempt=record.attempts, server=server.name,
+            ) as span:
+                pass
+            self.journey_spans[job_id] = span.span_id
         return RequestTicket(
             job_id=job_id,
             server_name=server.name,
@@ -365,6 +388,7 @@ class Coordinator:
         record.failed = True
         record.failure_reason = reason
         self.distributor.fail_job(job_id)
+        self.journey_spans.pop(job_id, None)
         self.jobs_failed += 1
         self._m_recovery.inc(event="job_failed")
 

@@ -161,12 +161,25 @@ class QueueSaturated(SheriffError, RuntimeError):
 
 class JobDeadLettered(SheriffError, RuntimeError):
     """The queued job exhausted its retries and moved to the dead-letter
-    store for operator inspection instead of being silently dropped."""
+    store for operator inspection instead of being silently dropped.
 
-    def __init__(self, job_id: str, reason: str) -> None:
+    Carries the job's journey context — its ``trace_id`` (the job id,
+    keying the span tree) and the last flight-recorder event before the
+    dead-lettering — so the post-mortem starts from the exception.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        reason: str,
+        trace_id: str = "",
+        last_event: str = "",
+    ) -> None:
         super().__init__(f"job {job_id!r} dead-lettered: {reason}")
         self.job_id = job_id
         self.reason = reason
+        self.trace_id = trace_id or job_id
+        self.last_event = last_event
 
 
 class InvalidConfig(SheriffError, ValueError):

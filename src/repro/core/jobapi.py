@@ -103,3 +103,47 @@ class SheriffJobs:
         """
         db = self._sheriff.db
         return {job_id: db.sp_responses_for_job(job_id) for job_id in job_ids}
+
+    def journey(self, job_id: str) -> Dict[str, Any]:
+        """Everything recorded about one job's end-to-end journey.
+
+        One lookup joins the three observability planes plus the
+        Coordinator's ticket: the job's span tree (admission → queue →
+        steal/retry → dispatch → fetch/parse/persist), its
+        flight-recorder event log, its dead-letter entry if it has one,
+        and the ticket's terminal state.  ``repro journey <job_id>``
+        renders this; post-mortems read it raw.
+        """
+        sheriff = self._sheriff
+        telemetry = sheriff.telemetry
+        spans = telemetry.tracer.spans_for(job_id)
+        events = telemetry.flights.events_for(job_id)
+        dead = None
+        if sheriff.job_queue is not None:
+            entry = sheriff.job_queue.dead_letters.for_job(job_id)
+            if entry is not None:
+                dead = {
+                    "reason": entry.reason,
+                    "server_name": entry.server_name,
+                    "at": entry.at,
+                    "trace_id": entry.trace_id,
+                    "last_event": entry.last_event,
+                }
+        ticket = None
+        record = sheriff.coordinator.jobs.get(job_id)
+        if record is not None:
+            ticket = {
+                "server_name": record.server_name,
+                "attempts": record.attempts,
+                "completed": record.completed,
+                "failed": record.failed,
+                "failure_reason": record.failure_reason,
+                "started_at": record.started_at,
+            }
+        return {
+            "job_id": job_id,
+            "spans": spans,
+            "events": events,
+            "dead_letter": dead,
+            "ticket": ticket,
+        }

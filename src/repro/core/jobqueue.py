@@ -37,11 +37,20 @@ the add-on's ``PendingCheck.server`` may be the tier itself — clients
 cannot tell queued dispatch from direct dispatch (except when told to
 back off).
 
-Queue traffic is observable twice over: ``sheriff_queue_*`` metrics
-(depth, enqueued, dispatched, steals by reason, shed, dead-lettered,
-wait-time histogram) and a clock-stamped
+Queue traffic is observable three times over: ``sheriff_queue_*``
+metrics (depth, enqueued, dispatched, steals by reason, shed,
+dead-lettered, wait-time histogram), a clock-stamped
 :class:`repro.net.events.EventLog` of
-``enqueue``/``dispatch``/``steal``/``shed``/``dead_letter`` events.
+``enqueue``/``dispatch``/``steal``/``shed``/``dead_letter`` events,
+and — with a full telemetry plane bound — the *job journey*: every
+lifecycle decision becomes a span in the job's trace (keyed by the job
+id) chained admission → queue_wait → steal/retry → dispatch, where the
+dispatch span parents the owning server's ``price_check`` fan-out, so
+one trace reconstructs the job end to end across servers.  A steal
+span carries a *link* to the journey stage it superseded, and the
+flight recorder mirrors every event per job for one-lookup
+post-mortems.  All of it is RNG-free and clock-neutral: journey
+tracing on or off, the rows are identical (property-tested).
 """
 
 from __future__ import annotations
@@ -63,7 +72,9 @@ from repro.core.errors import (
 )
 from repro.net.events import EventLog
 from repro.net.faults import BackoffPolicy
+from repro.obs.flightrecorder import NULL_FLIGHT_RECORDER
 from repro.obs.metrics import NULL_REGISTRY
+from repro.obs.trace import NULL_TRACER
 
 __all__ = [
     "DeadLetter",
@@ -145,13 +156,20 @@ class JobQueue:
 
 @dataclass(frozen=True)
 class DeadLetter:
-    """One job parked for operator inspection instead of silent loss."""
+    """One job parked for operator inspection instead of silent loss.
+
+    ``trace_id`` keys the job's span tree and ``last_event`` names the
+    final flight-recorder event before the dead-lettering, so
+    ``repro journey <job_id>`` works for failed jobs too.
+    """
 
     job_id: str
     url: str
     server_name: str
     reason: str
     at: float
+    trace_id: str = ""
+    last_event: str = ""
 
 
 class DeadLetterStore:
@@ -249,6 +267,11 @@ class QueuedMeasurementTier:
         self.shed_total = 0
         self.dispatched_total = 0
         self.steals: Dict[str, int] = {}
+        self.tracer = NULL_TRACER
+        self.flights = NULL_FLIGHT_RECORDER
+        #: job_id -> span_id of the job's latest journey stage, the
+        #: parent the next stage chains under
+        self._journey: Dict[str, int] = {}
         self._bind_registry(NULL_REGISTRY)
         if telemetry is not None:
             self.bind_telemetry(telemetry)
@@ -257,6 +280,8 @@ class QueuedMeasurementTier:
     def bind_telemetry(self, telemetry) -> None:
         """Attach the deployment's telemetry plane (unified convention)."""
         self._bind_registry(telemetry.registry)
+        self.tracer = getattr(telemetry, "tracer", NULL_TRACER)
+        self.flights = getattr(telemetry, "flights", NULL_FLIGHT_RECORDER)
 
     def _bind_registry(self, registry) -> None:
         self.metrics = registry
@@ -302,6 +327,34 @@ class QueuedMeasurementTier:
     def _log(self, kind: str, job_id: str, **detail: object) -> None:
         if self.events is not None:
             self.events.record(kind, job_id, **detail)
+        self.flights.record(job_id, kind, **detail)
+
+    def _journey_span(
+        self, name: str, job_id: str, links=None, start=None, **attrs: object
+    ) -> None:
+        """Record one zero-nesting journey stage and advance the chain.
+
+        Journey stages happen outside any ``with`` nesting (admission at
+        submit time, stealing at drain time), so each span names its
+        parent explicitly: the job's previous stage.  The chain makes
+        ``render_trace`` show the lifecycle as one descending path.
+        """
+        if not self.tracer.enabled:
+            return
+        with self.tracer.span(
+            name, trace_id=job_id, parent_id=self._journey_parent(job_id),
+            links=links, start=start, **attrs,
+        ) as span:
+            pass
+        self._journey[job_id] = span.span_id
+
+    def _journey_parent(self, job_id: str) -> Optional[int]:
+        """The job's latest journey stage; the Coordinator's ``assign``
+        span roots the chain when the tier has not recorded one yet."""
+        parent = self._journey.get(job_id)
+        if parent is None:
+            parent = getattr(self.coordinator, "journey_spans", {}).get(job_id)
+        return parent
 
     def _sync_depth(self) -> None:
         snapshot = self.queue.snapshot()
@@ -343,6 +396,11 @@ class QueuedMeasurementTier:
             self._m_shed.inc()
             self._log("shed", job.job_id, depth=self.queue.depth,
                       retry_after=retry_after)
+            self._journey_span(
+                "shed", job.job_id, depth=self.queue.depth,
+                retry_after=retry_after,
+            )
+            self._journey.pop(job.job_id, None)
             self.coordinator.fail_job(job.job_id, "shed: queue saturated")
             raise QueueSaturated(
                 job.job_id, self.queue.depth, self.max_depth, retry_after
@@ -353,6 +411,9 @@ class QueuedMeasurementTier:
         self._handles[job.job_id] = handle
         self._m_enqueued.inc(server=owner)
         self._log("enqueue", job.job_id, server=owner, depth=self.queue.depth)
+        self._journey_span(
+            "admission", job.job_id, server=owner, depth=self.queue.depth,
+        )
         self._sync_depth()
         return handle
 
@@ -396,19 +457,29 @@ class QueuedMeasurementTier:
         self._m_steals.inc(reason=reason)
 
     def _dead_letter(self, queued: QueuedJob, exc: Exception) -> None:
+        job_id = queued.job.job_id
         self.queue.pop(queued)
         reason = str(exc)
-        self.coordinator.fail_job(queued.job.job_id, reason)
+        self.coordinator.fail_job(job_id, reason)
+        # the last flight event *before* the dead-lettering is what the
+        # post-mortem wants: the decision that led here
+        last = self.flights.last_event(job_id)
+        last_event = last.kind if last is not None else ""
         self.dead_letters.add(DeadLetter(
-            job_id=queued.job.job_id, url=queued.job.url,
+            job_id=job_id, url=queued.job.url,
             server_name=queued.server_name, reason=reason, at=self._now(),
+            trace_id=job_id, last_event=last_event,
         ))
-        handle = self._handles.get(queued.job.job_id)
+        handle = self._handles.get(job_id)
         if handle is not None:
-            handle.error = JobDeadLettered(queued.job.job_id, reason)
+            handle.error = JobDeadLettered(
+                job_id, reason, trace_id=job_id, last_event=last_event,
+            )
             handle.state = "failed"
         self._m_dlq.inc()
-        self._log("dead_letter", queued.job.job_id, reason=reason)
+        self._log("dead_letter", job_id, reason=reason)
+        self._journey_span("dead_letter", job_id, reason=reason)
+        self._journey.pop(job_id, None)
         self._sync_depth()
 
     def _dispatch_head(self) -> bool:
@@ -416,40 +487,69 @@ class QueuedMeasurementTier:
         queued = self.queue.head()
         if queued is None:
             return False
+        job_id = queued.job.job_id
         owner = queued.server_name
+        # the outbox dwell, backdated to admission: recorded first so
+        # steals and the dispatch chain under it in journey order
+        self._journey_span(
+            "queue_wait", job_id, start=queued.enqueued_at, server=owner,
+        )
         record = self._server_record(owner)
         if record is None or not record.online:
             # dead-owner steal: a real failover, through the retry budget
+            prior = self._journey.get(job_id)
             try:
-                ticket = self.coordinator.reassign_job(queued.job.job_id)
+                ticket = self.coordinator.reassign_job(job_id)
             except (RetryExhausted, NoServerAvailable) as exc:
                 self._dead_letter(queued, exc)
                 return True
             self.queue.move(queued, ticket.server_name)
             self._count_steal("offline")
-            self._log("steal", queued.job.job_id, reason="offline",
+            self._log("steal", job_id, reason="offline",
                       src=owner, dst=ticket.server_name)
+            self._journey_span(
+                "steal", job_id,
+                links=[(job_id, prior)] if prior is not None else None,
+                reason="offline", src=owner, dst=ticket.server_name,
+            )
             owner = ticket.server_name
         else:
             target = self._steal_target(owner)
             if target is not None:
                 # load-balancing steal: owner healthy, budget untouched
-                self.coordinator.transfer_job(queued.job.job_id, target)
+                prior = self._journey.get(job_id)
+                self.coordinator.transfer_job(job_id, target)
                 self.queue.move(queued, target)
                 self._count_steal("imbalance")
-                self._log("steal", queued.job.job_id, reason="imbalance",
+                self._log("steal", job_id, reason="imbalance",
                           src=owner, dst=target)
+                self._journey_span(
+                    "steal", job_id,
+                    links=[(job_id, prior)] if prior is not None else None,
+                    reason="imbalance", src=owner, dst=target,
+                )
                 owner = target
         self.queue.pop(queued)
         server = self._server_lookup(owner)
-        inner = server.submit(queued.job)
-        handle = self._handles.get(queued.job.job_id)
+        if self.tracer.enabled:
+            # the dispatch span wraps the server's submit, so the whole
+            # price_check fan-out (fetch/parse/persist) nests under it
+            # via the shared tracer's stack — one tree across servers
+            with self.tracer.span(
+                "dispatch", trace_id=job_id,
+                parent_id=self._journey_parent(job_id), server=owner,
+            ):
+                inner = server.submit(queued.job)
+            self._journey.pop(job_id, None)
+        else:
+            inner = server.submit(queued.job)
+        handle = self._handles.get(job_id)
         if handle is not None:
             handle.bind(server, inner)
         self.dispatched_total += 1
         self._m_dispatched.inc(server=owner)
         self._m_wait.observe(max(0.0, self._now() - queued.enqueued_at))
-        self._log("dispatch", queued.job.job_id, server=owner)
+        self._log("dispatch", job_id, server=owner)
         self._sync_depth()
         return True
 

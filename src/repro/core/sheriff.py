@@ -207,6 +207,10 @@ class PriceSheriff:
             backoff=backoff,
             metrics=metrics,
         )
+        if metrics.enabled:
+            # full binding (tracer included) so job journeys root at the
+            # Coordinator's assign span
+            self.coordinator.bind_telemetry(self.telemetry)
         self.crypto_group = crypto_group if crypto_group is not None else TEST_GROUP
         self.aggregator = Aggregator(group=self.crypto_group, rng=world.rng)
         # doppelganger state requests are onion-routed (Sect. 3.7)

@@ -7,21 +7,33 @@ Three layers:
   through the hot paths of the engine, dispatch, fault injection, the
   peer overlay, and the database;
 * :mod:`repro.obs.trace` — span tracing on the simulated clock, so a
-  single price check's fan-out timeline is inspectable end to end;
+  single job's journey (admission → queue → steal/retry → fetch →
+  persist) is inspectable end to end, across servers;
+* :mod:`repro.obs.flightrecorder` — a bounded per-job structured event
+  log (the queue tier's lifecycle decisions), one lookup per job;
+* :mod:`repro.obs.slo` — declared latency/availability objectives with
+  error-budget accounting on the sim clock;
 * the live operator panels of :mod:`repro.core.monitoring`, which
   render from metrics snapshots.
 
-The :class:`Telemetry` facade bundles one registry + one tracer and is
-what deployments inject (``PriceSheriff(world, telemetry=Telemetry())``).
-The default everywhere is :data:`NULL_TELEMETRY` — disabled, zero-cost,
-and guaranteed not to perturb determinism (which holds with telemetry
-on, too; instrumentation never consumes RNG or advances clocks).
+The :class:`Telemetry` facade bundles one registry + one tracer + one
+flight recorder and is what deployments inject
+(``PriceSheriff(world, telemetry=Telemetry())``).  The default
+everywhere is :data:`NULL_TELEMETRY` — disabled, zero-cost, and
+guaranteed not to perturb determinism (which holds with telemetry on,
+too; instrumentation never consumes RNG or advances clocks).
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.flightrecorder import (
+    FlightEvent,
+    FlightRecorder,
+    NULL_FLIGHT_RECORDER,
+    NullFlightRecorder,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -33,27 +45,38 @@ from repro.obs.metrics import (
     get_default_registry,
     set_default_registry,
 )
+from repro.obs.slo import SLO, SLOEngine, SLOStatus, build_default_slos
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
     Span,
     Tracer,
+    critical_path,
     render_trace,
 )
 
 __all__ = [
     "Counter",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricError",
     "MetricsRegistry",
+    "NULL_FLIGHT_RECORDER",
     "NULL_REGISTRY",
     "NULL_TELEMETRY",
+    "NullFlightRecorder",
     "NullRegistry",
     "NullTracer",
+    "SLO",
+    "SLOEngine",
+    "SLOStatus",
     "Span",
     "Telemetry",
     "Tracer",
+    "build_default_slos",
+    "critical_path",
     "get_default_registry",
     "render_trace",
     "set_default_registry",
@@ -61,13 +84,15 @@ __all__ = [
 
 
 class Telemetry:
-    """One deployment's registry + tracer, with a disabled twin.
+    """One deployment's registry + tracer + flight recorder, with a
+    disabled twin.
 
-    ``Telemetry()`` is enabled with a fresh registry; the tracer is
-    created lazily by :meth:`bind_clock` because spans are stamped with
-    the deployment's simulated clock, which the sheriff owns.  Pass
-    ``metrics_only=True`` to keep the registry but skip span recording
-    (benchmarks want counters without the span log).
+    ``Telemetry()`` is enabled with a fresh registry; the tracer and
+    flight recorder are created lazily by :meth:`bind_clock` because
+    both stamp events with the deployment's simulated clock, which the
+    sheriff owns.  Pass ``metrics_only=True`` to keep the registry but
+    skip span and flight recording (benchmarks want counters without
+    the journey log).
     """
 
     def __init__(
@@ -79,6 +104,7 @@ class Telemetry:
     ) -> None:
         self.enabled = enabled
         self.metrics_only = metrics_only
+        self.flights = NULL_FLIGHT_RECORDER
         if not enabled:
             self.registry = NULL_REGISTRY
             self.tracer = NULL_TRACER
@@ -87,9 +113,13 @@ class Telemetry:
             self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def bind_clock(self, clock) -> "Telemetry":
-        """Attach the sim clock; creates the tracer if one is wanted."""
-        if self.enabled and not self.metrics_only and self.tracer is NULL_TRACER:
-            self.tracer = Tracer(clock)
+        """Attach the sim clock; creates the tracer and flight recorder
+        if they are wanted."""
+        if self.enabled and not self.metrics_only:
+            if self.tracer is NULL_TRACER:
+                self.tracer = Tracer(clock)
+            if self.flights is NULL_FLIGHT_RECORDER:
+                self.flights = FlightRecorder(clock)
         return self
 
     @classmethod

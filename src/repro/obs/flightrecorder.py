@@ -1,0 +1,172 @@
+"""Per-job flight recorder: a bounded structured event log.
+
+Spans answer *where the simulated seconds went*; the flight recorder
+answers *what happened to this job* — every lifecycle decision the
+queue tier took (enqueue, shed, steal, retry, dispatch, dead-letter)
+as one append-only record per job, keyed by job id.  When a job
+dead-letters, its dead-letter entry carries the last flight event so a
+post-mortem is a single ``repro journey <job_id>`` lookup, not a log
+spelunk.
+
+Bounds, mirrored from :class:`repro.obs.trace.Tracer`:
+
+* at most ``max_jobs`` jobs are retained; admitting a new job past the
+  cap evicts the *oldest job wholesale* (first-recorded order), never
+  a partial log;
+* each job's log is a ring of ``max_events_per_job`` events — overflow
+  drops the oldest event and bumps the job's ``dropped`` counter so
+  truncation is visible, not silent;
+* sequence numbers come from a per-recorder counter and times from the
+  injected sim clock, so recorded runs replay byte-identically.
+
+The disabled twin (:data:`NULL_FLIGHT_RECORDER`) makes ``record(…)`` a
+single no-op call, the same zero-cost contract as the null tracer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TextIO
+
+__all__ = [
+    "FlightEvent",
+    "FlightRecorder",
+    "NULL_FLIGHT_RECORDER",
+    "NullFlightRecorder",
+]
+
+
+@dataclass(frozen=True)
+class FlightEvent:
+    """One lifecycle decision about one job."""
+
+    seq: int
+    time: float
+    job_id: str
+    kind: str
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seq": self.seq,
+            "time": round(self.time, 6),
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "detail": self.detail,
+        }
+
+
+class FlightRecorder:
+    """Bounded per-job event log on the simulated clock."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock,
+        max_jobs: int = 4096,
+        max_events_per_job: int = 64,
+    ) -> None:
+        self.clock = clock
+        self.max_jobs = max_jobs
+        self.max_events_per_job = max_events_per_job
+        #: job_id -> event ring, insertion (first-recorded) order
+        self._logs: Dict[str, List[FlightEvent]] = {}
+        #: per-job count of events the ring overwrote
+        self.dropped: Dict[str, int] = {}
+        self._seq = itertools.count(1)
+
+    def record(self, job_id: str, kind: str, **detail: object) -> FlightEvent:
+        """Append one event to ``job_id``'s log; returns the event."""
+        log = self._logs.get(job_id)
+        if log is None:
+            if len(self._logs) >= self.max_jobs:
+                oldest = next(iter(self._logs))
+                del self._logs[oldest]
+                self.dropped.pop(oldest, None)
+            log = self._logs[job_id] = []
+        event = FlightEvent(
+            seq=next(self._seq),
+            time=self.clock.now,
+            job_id=job_id,
+            kind=kind,
+            detail=dict(detail),
+        )
+        log.append(event)
+        if len(log) > self.max_events_per_job:
+            del log[0]
+            self.dropped[job_id] = self.dropped.get(job_id, 0) + 1
+        return event
+
+    # -- reading back ------------------------------------------------------
+    def events_for(self, job_id: str) -> List[FlightEvent]:
+        return list(self._logs.get(job_id, ()))
+
+    def last_event(self, job_id: str) -> Optional[FlightEvent]:
+        log = self._logs.get(job_id)
+        return log[-1] if log else None
+
+    def jobs(self) -> List[str]:
+        """Recorded job ids in first-recorded order."""
+        return list(self._logs)
+
+    def __len__(self) -> int:
+        return sum(len(log) for log in self._logs.values())
+
+    def clear(self) -> None:
+        self._logs.clear()
+        self.dropped.clear()
+
+    # -- export ------------------------------------------------------------
+    def to_jsonl(self, job_id: Optional[str] = None) -> str:
+        if job_id is not None:
+            events = self.events_for(job_id)
+        else:
+            events = [e for log in self._logs.values() for e in log]
+            events.sort(key=lambda e: e.seq)
+        return "".join(
+            json.dumps(e.to_dict(), sort_keys=True) + "\n" for e in events
+        )
+
+    def export_jsonl(self, fh: TextIO, job_id: Optional[str] = None) -> int:
+        """Write events as JSON Lines; returns the number written."""
+        text = self.to_jsonl(job_id)
+        fh.write(text)
+        return text.count("\n")
+
+
+class NullFlightRecorder:
+    """The disabled twin: ``record(…)`` costs one call, keeps nothing."""
+
+    enabled = False
+
+    _NULL_EVENT = FlightEvent(seq=0, time=0.0, job_id="", kind="")
+
+    def record(self, job_id: str, kind: str, **detail: object) -> FlightEvent:
+        return self._NULL_EVENT
+
+    def events_for(self, job_id: str) -> List[FlightEvent]:
+        return []
+
+    def last_event(self, job_id: str) -> Optional[FlightEvent]:
+        return None
+
+    def jobs(self) -> List[str]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+    def to_jsonl(self, job_id: Optional[str] = None) -> str:
+        return ""
+
+    def export_jsonl(self, fh: TextIO, job_id: Optional[str] = None) -> int:
+        return 0
+
+
+NULL_FLIGHT_RECORDER = NullFlightRecorder()

@@ -29,7 +29,7 @@ so two sheriffs in one process never share series.
 from __future__ import annotations
 
 import math
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -293,6 +293,21 @@ class Histogram(_Instrument):
     def total_count(self) -> int:
         return sum(s.count for s in self._children.values())
 
+    def count_le(self, bound: float, **labels: object) -> int:
+        """Observations known to be ≤ ``bound``: the cumulative count of
+        every bucket whose upper bound is ≤ ``bound``.
+
+        Conservative by construction — observations in the bucket
+        straddling ``bound`` (and in the ``+Inf`` overflow) are *not*
+        counted, so an SLO computed from this never over-reports
+        compliance.  Merges every series when labels are omitted.
+        """
+        state = self._merged(labels if labels else None)
+        if state is None or state.count == 0:
+            return 0
+        k = bisect_right(self.buckets, bound)
+        return sum(state.bucket_counts[:k])
+
     def total_sum(self) -> float:
         return sum(s.sum for s in self._children.values())
 
@@ -451,6 +466,9 @@ class _NullInstrument:
 
     def total_sum(self) -> float:
         return 0.0
+
+    def count_le(self, bound: float, **labels: object) -> int:
+        return 0
 
     def quantile(self, q: float, **labels: object) -> Optional[float]:
         return None

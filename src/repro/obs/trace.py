@@ -21,8 +21,17 @@ Design constraints, mirrored from :mod:`repro.obs.metrics`:
 * the disabled twin (:data:`NULL_TRACER`) makes every ``span(…)`` a
   single no-op call.
 
+Journey tracing (the queue tier) extends the tree across servers: a
+job's trace starts at admission, a retroactive ``queue_wait`` span
+covers the outbox dwell (``span(..., start=enqueued_at)``), and a
+steal/transfer span carries a *link* — a ``(trace_id, span_id)``
+reference to the prior owner's attempt — so the causal chain survives
+the job changing hands.  Links are references, not parentage: the tree
+stays single-rooted per job while cross-server hops stay navigable.
+
 Export is JSONL (one span per line, ready for any trace viewer) and a
-terminal renderer (:func:`render_trace`) draws the flame view.
+terminal renderer (:func:`render_trace`) draws the flame view;
+:func:`critical_path` walks the longest-pole chain through the tree.
 """
 
 from __future__ import annotations
@@ -31,9 +40,16 @@ import itertools
 import json
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, TextIO
+from typing import Dict, Iterator, List, Optional, Sequence, TextIO, Tuple
 
-__all__ = ["NULL_TRACER", "NullTracer", "Span", "Tracer", "render_trace"]
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "critical_path",
+    "render_trace",
+]
 
 
 @dataclass
@@ -47,6 +63,9 @@ class Span:
     start: float
     end: float
     attrs: Dict[str, object] = field(default_factory=dict)
+    #: causal references to other spans — ``(trace_id, span_id)`` pairs.
+    #: A steal links to the prior owner's attempt without reparenting.
+    links: List[Tuple[str, int]] = field(default_factory=list)
 
     @property
     def duration(self) -> float:
@@ -62,6 +81,7 @@ class Span:
             "end": round(self.end, 6),
             "duration": round(self.duration, 6),
             "attrs": self.attrs,
+            "links": [list(link) for link in self.links],
         }
 
 
@@ -86,6 +106,9 @@ class Tracer:
         name: str,
         trace_id: Optional[str] = None,
         duration: Optional[float] = None,
+        start: Optional[float] = None,
+        parent_id: Optional[int] = None,
+        links: Optional[Sequence[Tuple[str, int]]] = None,
         **attrs: object,
     ) -> Iterator[Span]:
         """Open one span; nesting follows the ``with`` structure.
@@ -95,20 +118,30 @@ class Tracer:
         explicit simulated duration for work whose cost is *scheduled*
         rather than lived through (the eager fan-out executes while the
         world clock is frozen); without it the span ends at whatever
-        the clock reads on exit.
+        the clock reads on exit.  ``start`` backdates the span for work
+        that already happened (the queue tier stamps ``queue_wait``
+        with the admission time at dispatch); ``parent_id`` overrides
+        the stack parent to chain journey stages recorded outside any
+        ``with`` nesting; ``links`` attaches causal references to spans
+        in other parts of the tree (a steal links the prior attempt).
         """
         parent = self._stack[-1] if self._stack else None
         if trace_id is None:
             trace_id = parent.trace_id if parent is not None else ""
-        start = self.clock.now
+        opened = self.clock.now
         span = Span(
             trace_id=trace_id or f"trace-{next(self._ids)}",
             span_id=next(self._ids),
-            parent_id=parent.span_id if parent is not None else None,
+            parent_id=(
+                parent_id
+                if parent_id is not None
+                else (parent.span_id if parent is not None else None)
+            ),
             name=name,
-            start=start,
-            end=start,
+            start=opened if start is None else start,
+            end=opened,
             attrs=dict(attrs),
+            links=list(links) if links else [],
         )
         self._stack.append(span)
         try:
@@ -116,18 +149,58 @@ class Tracer:
         finally:
             self._stack.pop()
             if duration is not None:
-                span.end = start + duration
+                span.end = span.start + duration
             else:
                 # keep the stretch children already applied: a parent
                 # must never end before its scheduled children do
                 span.end = max(span.end, self.clock.now)
-            if parent is not None:
+            if parent is not None and parent_id is None:
                 # a parent covers its children on the timeline
                 parent.end = max(parent.end, span.end)
                 parent.start = min(parent.start, span.start)
             self.finished.append(span)
             if len(self.finished) > self.max_spans:
-                del self.finished[: len(self.finished) - self.max_spans]
+                self._evict()
+
+    def _evict(self) -> None:
+        """Shed the oldest *complete* traces first.
+
+        Evicting span-by-span would leave decapitated traces (a root
+        gone, its children lingering); instead whole traces go, least
+        recently completed first, skipping any trace still open on the
+        stack (its story is still being written) and never dooming the
+        final remaining trace wholesale.  If dooming whole traces
+        cannot relieve the pressure — one oversized trace is all there
+        is — fall back to dropping its oldest spans so the cap always
+        holds.
+        """
+        excess = len(self.finished) - self.max_spans
+        if excess <= 0:
+            return
+        open_traces = {s.trace_id for s in self._stack}
+        last_done: Dict[str, int] = {}
+        counts: Dict[str, int] = {}
+        for index, span in enumerate(self.finished):
+            last_done[span.trace_id] = index
+            counts[span.trace_id] = counts.get(span.trace_id, 0) + 1
+        doomed: set = set()
+        freed = 0
+        for trace_id in sorted(last_done, key=last_done.__getitem__):
+            if freed >= excess:
+                break
+            if trace_id in open_traces:
+                continue
+            if len(doomed) + 1 == len(counts):
+                break  # would empty the log wholesale; trim spans instead
+            doomed.add(trace_id)
+            freed += counts[trace_id]
+        if doomed:
+            self.finished = [
+                s for s in self.finished if s.trace_id not in doomed
+            ]
+        excess = len(self.finished) - self.max_spans
+        if excess > 0:
+            del self.finished[:excess]
 
     # -- reading back ------------------------------------------------------
     def trace_ids(self) -> List[str]:
@@ -170,7 +243,8 @@ class NullTracer:
     )
 
     @contextmanager
-    def span(self, name: str, trace_id=None, duration=None, **attrs):
+    def span(self, name: str, trace_id=None, duration=None, start=None,
+             parent_id=None, links=None, **attrs):
         yield self._NULL_SPAN
 
     def trace_ids(self) -> List[str]:
@@ -192,10 +266,44 @@ class NullTracer:
 NULL_TRACER = NullTracer()
 
 
+# -- critical path ------------------------------------------------------------
+
+
+def critical_path(spans: Sequence[Span]) -> List[Span]:
+    """The longest-pole chain through one trace's span tree.
+
+    Starting from the root that finishes last, repeatedly descend into
+    the child whose end is latest — the child that gated the parent's
+    completion.  The returned chain (root first) is the sequence of
+    stages an operator must speed up to move the job's end-to-end
+    latency; everything off it overlapped with something slower.
+    """
+    if not spans:
+        return []
+    by_id = {s.span_id: s for s in spans}
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+    roots = children.get(None, [])
+    if not roots:
+        return []
+    path: List[Span] = []
+    current = max(roots, key=lambda s: (s.end, s.span_id))
+    while current is not None:
+        path.append(current)
+        kids = children.get(current.span_id, [])
+        current = max(kids, key=lambda s: (s.end, s.span_id)) if kids else None
+    return path
+
+
 # -- terminal rendering -------------------------------------------------------
 
 #: attrs promoted into a span's label on the flame view, in this order
-_LABEL_ATTRS = ("vantage", "proxy_id", "server", "rows", "ok", "cache_hit")
+_LABEL_ATTRS = (
+    "vantage", "proxy_id", "server", "rows", "ok", "cache_hit",
+    "reason", "src", "dst", "attempt",
+)
 
 
 def _span_label(span: Span) -> str:
@@ -206,15 +314,25 @@ def _span_label(span: Span) -> str:
             parts.append(
                 f"{key}={value}" if not isinstance(value, str) else value
             )
+    if span.links:
+        parts.append(
+            "↩" + ",".join(f"#{span_id}" for _, span_id in span.links)
+        )
     return " ".join(parts)
 
 
-def render_trace(spans: Sequence[Span], width: int = 40) -> str:
+def render_trace(
+    spans: Sequence[Span], width: int = 40, show_critical_path: bool = False
+) -> str:
     """Draw one trace as an indented flame view plus a stage summary.
 
     Each line is one span: tree indentation, its label, a bar placed on
     the trace's ``[t0, t_end]`` window scaled to ``width`` characters,
-    and the simulated duration.
+    and the simulated duration.  Journey traces that cross servers
+    render as one tree — steal spans carry ``src``/``dst`` and a ``↩``
+    link back to the prior owner's attempt.  With
+    ``show_critical_path=True`` a final section walks the longest-pole
+    chain with each stage's share of the end-to-end window.
     """
     if not spans:
         return "(no spans recorded)"
@@ -267,6 +385,17 @@ def render_trace(spans: Sequence[Span], width: int = 40) -> str:
             f"{name:<14}{len(durations):>7}"
             f"{sum(durations):>10.3f}{max(durations):>10.3f}"
         )
+
+    if show_critical_path:
+        path = critical_path(spans)
+        lines.append("")
+        lines.append("critical path (longest pole, root → leaf):")
+        for span in path:
+            share = span.duration / window
+            lines.append(
+                f"  {_span_label(span):<{max(label_width, 1)}}"
+                f" {span.duration:8.3f}s  {share:6.1%} of window"
+            )
     return "\n".join(lines)
 
 

@@ -18,7 +18,7 @@ cannot drift from the log the tests compare.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Dict, IO, List, Optional, Tuple
 
 __all__ = ["AuditTrail", "OpsEvent"]
@@ -26,7 +26,13 @@ __all__ = ["AuditTrail", "OpsEvent"]
 
 @dataclass(frozen=True)
 class OpsEvent:
-    """One supervisor/kill-switch action, exactly once in the trail."""
+    """One supervisor/kill-switch action, exactly once in the trail.
+
+    ``values`` carries the triggering probe's metric snapshot (queue
+    depth, error delta, burn rate …) so each alert line in the JSONL is
+    self-explanatory — the operator sees the numbers that fired it, not
+    just the prose.
+    """
 
     seq: int
     time: float
@@ -34,6 +40,7 @@ class OpsEvent:
                      # "restart_budget_exhausted", "killswitch_tripped"
     component: str
     detail: str = ""
+    values: Dict[str, float] = field(default_factory=dict)
 
     def describe(self) -> str:
         text = f"t={self.time:10.1f}  {self.kind:<26} {self.component}"
@@ -65,10 +72,17 @@ class AuditTrail:
             self._m_events.inc(kind=event.kind)
 
     # -- recording ---------------------------------------------------------
-    def record(self, kind: str, component: str, detail: str = "") -> OpsEvent:
+    def record(
+        self,
+        kind: str,
+        component: str,
+        detail: str = "",
+        values: Optional[Dict[str, float]] = None,
+    ) -> OpsEvent:
         event = OpsEvent(
             seq=len(self._events), time=self._clock.now,
             kind=kind, component=component, detail=detail,
+            values=dict(values) if values else {},
         )
         self._events.append(event)
         if self._m_events is not None:

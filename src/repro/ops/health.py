@@ -17,8 +17,8 @@ which gives flap rules a fresh random draw on every call.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
 
 __all__ = [
     "CallableProbe",
@@ -29,17 +29,24 @@ __all__ = [
     "PollutionBudgetProbe",
     "ProbeResult",
     "QueueDepthProbe",
+    "SLOBurnRateProbe",
     "ShardStalenessProbe",
 ]
 
 
 @dataclass(frozen=True)
 class ProbeResult:
-    """One probe verdict: healthy or not, with the observed value."""
+    """One probe verdict: healthy or not, with the observed value.
+
+    ``metrics`` is the probe's snapshot of the numbers behind the
+    verdict (queue depth, error delta, burn rate …) — the audit trail
+    copies it onto the alert event so the JSONL is self-explanatory.
+    """
 
     healthy: bool
     reason: str = ""
     value: float = 0.0
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     def __bool__(self) -> bool:
         return self.healthy
@@ -65,10 +72,17 @@ class HeartbeatProbe:
 
     def check(self, now: float) -> ProbeResult:
         record = self.distributor.server(self.name)
+        age = now - record.last_seen
         if not record.online:
-            return ProbeResult(False, "heartbeat expired", 0.0)
+            return ProbeResult(
+                False, "heartbeat expired", 0.0,
+                metrics={"heartbeat_age_s": age},
+            )
         if self.faults is not None and self.name in self.faults.flapping_hosts(now):
-            return ProbeResult(False, "host flapping", 0.0)
+            return ProbeResult(
+                False, "host flapping", 0.0,
+                metrics={"heartbeat_age_s": age},
+            )
         return OK
 
 
@@ -87,11 +101,14 @@ class QueueDepthProbe:
 
     def check(self, now: float) -> ProbeResult:
         depth = self.engine.pool_for(self.server_name).queued
+        snapshot = {"queue_depth": float(depth),
+                    "max_queued": float(self.max_queued)}
         if depth > self.max_queued:
             return ProbeResult(
-                False, f"queue depth {depth} > {self.max_queued}", float(depth)
+                False, f"queue depth {depth} > {self.max_queued}",
+                float(depth), metrics=snapshot,
             )
-        return ProbeResult(True, value=float(depth))
+        return ProbeResult(True, value=float(depth), metrics=snapshot)
 
 
 class ErrorRateProbe:
@@ -118,13 +135,15 @@ class ErrorRateProbe:
         if previous is None:
             return ProbeResult(True, value=0.0)
         delta = current - previous
+        snapshot = {"delta": delta, "cumulative": current,
+                    "max_delta": self.max_delta}
         if delta > self.max_delta:
             return ProbeResult(
                 False,
                 f"{self.name} rate spike: +{delta:g} > {self.max_delta:g} per tick",
-                delta,
+                delta, metrics=snapshot,
             )
-        return ProbeResult(True, value=delta)
+        return ProbeResult(True, value=delta, metrics=snapshot)
 
 
 class ShardStalenessProbe:
@@ -146,11 +165,13 @@ class ShardStalenessProbe:
         if last is None:
             return OK
         age = now - last
+        snapshot = {"staleness_s": age, "max_age_s": self.max_age}
         if age > self.max_age:
             return ProbeResult(
-                False, f"no write for {age:g}s > {self.max_age:g}s", age
+                False, f"no write for {age:g}s > {self.max_age:g}s", age,
+                metrics=snapshot,
             )
-        return ProbeResult(True, value=age)
+        return ProbeResult(True, value=age, metrics=snapshot)
 
 
 class PollutionBudgetProbe:
@@ -172,14 +193,16 @@ class PollutionBudgetProbe:
             return OK
         saturated = sum(1 for d in dopps if d.needs_regeneration())
         fraction = saturated / len(dopps)
+        snapshot = {"saturated": float(saturated), "fleet": float(len(dopps)),
+                    "fraction": fraction, "max_fraction": self.max_fraction}
         if fraction > self.max_fraction:
             return ProbeResult(
                 False,
                 f"{saturated}/{len(dopps)} doppelgangers saturated "
                 f"(> {self.max_fraction:.0%})",
-                fraction,
+                fraction, metrics=snapshot,
             )
-        return ProbeResult(True, value=fraction)
+        return ProbeResult(True, value=fraction, metrics=snapshot)
 
 
 class JobQueueBacklogProbe:
@@ -200,13 +223,15 @@ class JobQueueBacklogProbe:
         depth = self.tier.queue.depth
         limit = self.tier.max_depth
         fraction = depth / limit if limit else 0.0
+        snapshot = {"backlog": float(depth), "max_depth": float(limit),
+                    "fraction": fraction}
         if fraction > self.max_fraction:
             return ProbeResult(
                 False,
                 f"queue backlog {depth}/{limit} (> {self.max_fraction:.0%})",
-                fraction,
+                fraction, metrics=snapshot,
             )
-        return ProbeResult(True, value=fraction)
+        return ProbeResult(True, value=fraction, metrics=snapshot)
 
 
 class DeadLetterProbe:
@@ -230,13 +255,69 @@ class DeadLetterProbe:
         if previous is None:
             return ProbeResult(True, value=0.0)
         delta = current - previous
+        snapshot = {"new_dead_letters": float(delta),
+                    "total_dead_letters": float(current)}
         if delta > self.max_delta:
             return ProbeResult(
                 False,
                 f"{delta} new dead-lettered job(s) this tick",
-                float(delta),
+                float(delta), metrics=snapshot,
             )
-        return ProbeResult(True, value=float(delta))
+        return ProbeResult(True, value=float(delta), metrics=snapshot)
+
+
+class SLOBurnRateProbe:
+    """Is an SLO's error budget burning faster than tolerated?
+
+    Windowed like :class:`ErrorRateProbe`: each check reads the SLO's
+    cumulative ``(good, total)`` event counts from a
+    :class:`repro.obs.slo.SLOEngine` and computes the *burn rate* over
+    the delta since the previous check —
+
+        ``burn = (bad_delta / total_delta) / error_budget``
+
+    — so 1.0 means bad events arrived exactly at the rate that would
+    exhaust the budget over the compliance window, and ``max_burn_rate``
+    is the alerting multiple (Google's SRE workbook pages at 1–14×
+    depending on window).  The first check only establishes the
+    baseline; a tick with no new events is healthy (no traffic burns no
+    budget).  Read-only and RNG-free like every probe: alert-only
+    components wear it, nothing restarts over a latency promise.
+    """
+
+    def __init__(self, engine, slo_name: str, max_burn_rate: float = 1.0) -> None:
+        self.engine = engine
+        self.slo_name = slo_name
+        self.max_burn_rate = max_burn_rate
+        self._last: Optional[tuple] = None
+
+    def check(self, now: float) -> ProbeResult:
+        good, total = self.engine.counts(self.slo_name)
+        previous, self._last = self._last, (good, total)
+        if previous is None:
+            return ProbeResult(True, value=0.0)
+        good_delta = good - previous[0]
+        total_delta = total - previous[1]
+        if total_delta <= 0:
+            return ProbeResult(True, value=0.0)
+        slo = self.engine.get(self.slo_name)
+        bad_delta = total_delta - good_delta
+        burn = (bad_delta / total_delta) / slo.error_budget
+        snapshot = {
+            "burn_rate": burn,
+            "bad_delta": bad_delta,
+            "total_delta": total_delta,
+            "error_budget": slo.error_budget,
+            "max_burn_rate": self.max_burn_rate,
+        }
+        if burn > self.max_burn_rate:
+            return ProbeResult(
+                False,
+                f"SLO {self.slo_name!r} burn rate {burn:.2f}x "
+                f"> {self.max_burn_rate:g}x budget",
+                burn, metrics=snapshot,
+            )
+        return ProbeResult(True, value=burn, metrics=snapshot)
 
 
 class CallableProbe:

@@ -171,6 +171,8 @@ class Supervisor:
         self.components: Dict[str, Component] = {}
         self._detectors: List[_AnomalyDetector] = []
         self.ticks = 0
+        #: the SLO engine behind any slo/* components (wiring sets it)
+        self.slo_engine = None
         self._m_up = None
         self._m_restarts = None
         self._halt_logged = False
@@ -316,7 +318,8 @@ class Supervisor:
     ) -> None:
         component.consecutive_failures += 1
         self._notify(self.audit.record(
-            "component_down", component.name, verdict.reason
+            "component_down", component.name, verdict.reason,
+            values=verdict.metrics,
         ))
         if component.restart is None:
             component.state = DOWN
@@ -382,7 +385,10 @@ class Supervisor:
         if detector.fired:
             return  # one audit entry per continuous anomaly episode
         detector.fired = True
-        event = self.audit.record("anomaly_detected", detector.name, verdict.reason)
+        event = self.audit.record(
+            "anomaly_detected", detector.name, verdict.reason,
+            values=verdict.metrics,
+        )
         self._notify(event)
         if detector.action == "kill":
             self.killswitch.trip(

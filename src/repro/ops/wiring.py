@@ -16,6 +16,11 @@ actions that fit it:
 * **Coordinator** — error-rate probe over its terminal job failures.
 * **IPC fleet / PPC overlay** — fleet-wide error-rate probes
   (alert-only; individual volunteers cannot be restarted by us).
+* **SLOs** — when the deployment carries an enabled telemetry plane,
+  one alert-only burn-rate component per declared objective
+  (``slo/<name>``): a latency or availability promise burning its
+  error budget faster than ``slo_max_burn_rate`` pages, nothing
+  restarts.
 
 Plus the deployment-wide anomaly detectors: a fleet error-rate spike
 and a pollution-budget blowout trip the kill-switch; stale shards
@@ -26,6 +31,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.obs.slo import SLOEngine, build_default_slos
 from repro.ops.audit import AuditTrail
 from repro.ops.health import (
     CallableProbe,
@@ -35,6 +41,7 @@ from repro.ops.health import (
     JobQueueBacklogProbe,
     PollutionBudgetProbe,
     QueueDepthProbe,
+    SLOBurnRateProbe,
     ShardStalenessProbe,
 )
 from repro.ops.notifiers import Notifier
@@ -54,8 +61,17 @@ def build_supervisor(
     shard_staleness: float = 24 * 3600.0,
     pollution_max_fraction: float = 0.5,
     queue_backlog_fraction: float = 0.9,
+    slo_engine: Optional[SLOEngine] = None,
+    slo_max_burn_rate: float = 1.0,
 ) -> Supervisor:
-    """Stand up the self-healing layer over a live deployment."""
+    """Stand up the self-healing layer over a live deployment.
+
+    ``slo_engine`` overrides the stock objectives
+    (:func:`repro.obs.slo.build_default_slos`); pass an engine with your
+    own declarations to alert on them instead.  SLO components only
+    exist when the sheriff's telemetry registry is enabled — burn rates
+    are computed from metrics, and a disabled registry has none.
+    """
     clock = sheriff.world.clock
     audit = AuditTrail(clock, path=audit_path)
     supervisor = Supervisor(clock, audit=audit, notifiers=notifiers)
@@ -146,6 +162,24 @@ def build_supervisor(
             ),
         ),
     )
+
+    # SLO burn-rate watch: one alert-only component per objective.
+    # Gated on the registry — burn rates read metrics snapshots, and
+    # with telemetry off there is nothing to read (and the component
+    # set of untelemetered deployments stays exactly as before).
+    if sheriff.telemetry.registry.enabled:
+        if slo_engine is None:
+            slo_engine = build_default_slos(
+                SLOEngine(sheriff.telemetry.registry, clock)
+            )
+        supervisor.slo_engine = slo_engine
+        for slo in slo_engine.slos():
+            supervisor.register(
+                f"slo/{slo.name}",
+                probes=(
+                    SLOBurnRateProbe(slo_engine, slo.name, slo_max_burn_rate),
+                ),
+            )
 
     # Deployment-wide anomaly detectors.
     supervisor.add_anomaly_detector(

@@ -16,7 +16,13 @@
 * :mod:`repro.workloads.perfmodel` — the Table 1 queueing model of the
   old and new back-end architectures;
 * :mod:`repro.workloads.cryptobench` — the Fig. 8(c) crypto benchmark:
-  naive vs fastexp arithmetic, 1 vs N workers, per protocol phase.
+  naive vs fastexp arithmetic, 1 vs N workers, per protocol phase;
+* :mod:`repro.workloads.journey` — the seeded forced-steal drill behind
+  ``repro journey`` / ``repro slo``: one run whose jobs are provably
+  admitted, queued, stolen, and persisted under full telemetry;
+* :mod:`repro.workloads.benchsuite` — the unified benchmark suite
+  behind ``repro bench``: every benchmark, one merged report, every
+  regression gate in one exit code.
 """
 
 from repro.workloads.alexa import ContentWeb, build_alexa_ecommerce

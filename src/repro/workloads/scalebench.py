@@ -205,10 +205,43 @@ def _run_level(config: ScaleBenchConfig, n_servers: int) -> Dict[str, object]:
         "elapsed_s": round(elapsed, 3),
         "checks_per_sec": round(completed / elapsed, 4),
         "queue": queue,
+        "latency_breakdown": _latency_breakdown(sheriff),
         "peak_workers": max(
             (p.peak_busy for p in sheriff.engine._pools.values()), default=0
         ),
     }
+
+
+def _latency_breakdown(sheriff) -> Dict[str, object]:
+    """Queue-wait vs service-time percentiles from the run's metrics.
+
+    Splits where each check's wall time went: ``queue_wait_s`` is the
+    admission-to-dispatch wait in the queued tier
+    (``sheriff_queue_wait_seconds``), ``service_time_s`` is the
+    measurement itself (``sheriff_check_latency_seconds``).  At small
+    fleets the wait dominates; the sweep shows it collapsing as servers
+    are added while service time stays flat — the queueing-theory
+    signature Table 1 predicts.
+    """
+    registry = sheriff.telemetry.registry
+    breakdown: Dict[str, object] = {}
+    for key, metric_name in (
+        ("queue_wait_s", "sheriff_queue_wait_seconds"),
+        ("service_time_s", "sheriff_check_latency_seconds"),
+    ):
+        histogram = registry.get(metric_name)
+        if histogram is None or histogram.total_count() == 0:
+            breakdown[key] = None
+            continue
+        pcts = histogram.percentiles((50.0, 90.0, 99.0))
+        breakdown[key] = {
+            "count": histogram.total_count(),
+            **{
+                name: (None if value is None else round(value, 4))
+                for name, value in pcts.items()
+            },
+        }
+    return breakdown
 
 
 def _simulate_population(

@@ -229,12 +229,14 @@ def traced_run(
 def measure_telemetry_overhead(
     config: Optional[ThroughputConfig] = None, repeats: int = 3
 ) -> Dict[str, float]:
-    """Wall-clock cost of the metrics plane on the pipelined hot path.
+    """Wall-clock cost of the full telemetry plane on the hot path.
 
     The simulated timeline is identical with telemetry on or off by
     construction, so the honest cost measure is host wall-clock time:
     best-of-``repeats`` for one pipelined run at the top concurrency
-    level, telemetry off vs metrics-only.  The CI perf-smoke gates on
+    level, telemetry off vs fully on — metrics, span tracing (the
+    per-job journey chain included), and the flight recorder, the same
+    plane ``repro journey`` reads.  The CI perf-smoke gates on
     ``overhead_fraction`` staying under 10%.
     """
     config = config if config is not None else ThroughputConfig()
@@ -250,7 +252,7 @@ def measure_telemetry_overhead(
         return best
 
     off = best_wall(lambda: None)
-    on = best_wall(lambda: Telemetry(metrics_only=True))
+    on = best_wall(lambda: Telemetry())
     return {
         "telemetry_off_wall_s": round(off, 4),
         "telemetry_on_wall_s": round(on, 4),

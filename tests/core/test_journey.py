@@ -1,0 +1,145 @@
+"""Acceptance: one trace id reconstructs a stolen job end to end.
+
+The journey drill (:mod:`repro.workloads.journey`) stages the forced
+steal from the queue-equivalence property test under full telemetry.
+These tests pin the tentpole promises: the span tree of a stolen job is
+a complete causal chain (admission → queue wait → steal → dispatch →
+fan-out → persist) across two Measurement servers; the journey plane is
+deterministic run to run; and turning it on or off never changes a
+persisted row, on either storage backend.
+"""
+
+import pytest
+
+from repro.workloads.journey import JourneyConfig, run_journey
+
+BACKENDS = ("memory", "sqlite")
+
+#: the measurement-tier spans: the part of the tree that must be
+#: identical whether the job reached the server via the queue or not
+MEASUREMENT_SPANS = ("price_check", "fetch", "parse", "persist")
+
+
+def _rows(sheriff):
+    return [
+        tuple(sorted((k, v) for k, v in row.items() if k != "_id"))
+        for row in sheriff.db.sp_all_responses()
+    ]
+
+
+def _span_index(spans):
+    return {s.span_id: s for s in spans}
+
+
+class TestStolenJobCausalTree:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_journey()
+
+    def test_drill_steals_and_lands_rows(self, run):
+        assert run.steals.get("imbalance", 0) >= 1
+        assert run.stolen_job_ids
+        assert run.rows > 0
+
+    def test_causal_chain_is_complete(self, run):
+        job_id = run.stolen_job_ids[0]
+        journey = run.sheriff.jobs.journey(job_id)
+        spans = journey["spans"]
+        assert spans and all(s.trace_id == job_id for s in spans)
+        by_id = _span_index(spans)
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span.name, []).append(span)
+
+        (assign,) = by_name["assign"]
+        assert assign.parent_id is None
+        (admission,) = by_name["admission"]
+        assert admission.parent_id == assign.span_id
+        # the head-of-queue dwell chains under admission; the steal
+        # chains under it and *links* back to the prior owner's attempt
+        (queue_wait,) = by_name["queue_wait"]
+        assert queue_wait.parent_id == admission.span_id
+        (steal,) = by_name["steal"]
+        assert steal.parent_id == queue_wait.span_id
+        assert steal.attrs["reason"] == "imbalance"
+        assert steal.attrs["src"] != steal.attrs["dst"]
+        assert steal.links
+        link_trace, link_span = steal.links[0]
+        assert link_trace == job_id and link_span in by_id
+
+        (dispatch,) = by_name["dispatch"]
+        assert dispatch.parent_id == steal.span_id
+        assert dispatch.attrs["server"] == steal.attrs["dst"]
+        (price_check,) = by_name["price_check"]
+        assert price_check.parent_id == dispatch.span_id
+        fetches = by_name["fetch"]
+        assert fetches
+        assert all(f.parent_id == price_check.span_id for f in fetches)
+        for stage in ("parse", "persist"):
+            (span,) = by_name[stage]
+            assert span.parent_id == price_check.span_id
+
+    def test_flight_log_and_ticket_agree(self, run):
+        job_id = run.stolen_job_ids[0]
+        journey = run.sheriff.jobs.journey(job_id)
+        kinds = [e.kind for e in journey["events"]]
+        assert kinds.index("enqueue") < kinds.index("steal") < kinds.index(
+            "dispatch"
+        )
+        steal = next(e for e in journey["events"] if e.kind == "steal")
+        assert steal.detail["reason"] == "imbalance"
+        assert journey["dead_letter"] is None
+        assert journey["ticket"]["completed"] is True
+        # the ticket's terminal owner is the steal's destination
+        assert journey["ticket"]["server_name"] == steal.detail["dst"]
+
+
+class TestDeterminism:
+    def test_journey_spans_identical_across_runs(self):
+        first = run_journey()
+        second = run_journey()
+        assert first.job_ids == second.job_ids
+        assert first.stolen_job_ids == second.stolen_job_ids
+        for job_id in first.job_ids:
+            a = [s.to_dict() for s in first.telemetry.tracer.spans_for(job_id)]
+            b = [
+                s.to_dict()
+                for s in second.telemetry.tracer.spans_for(job_id)
+            ]
+            assert a == b and a
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_tracing_on_off_row_identical(self, backend):
+        on = run_journey(JourneyConfig(db_backend=backend))
+        off = run_journey(
+            JourneyConfig(db_backend=backend, telemetry_enabled=False)
+        )
+        assert not off.telemetry.enabled
+        assert off.telemetry.tracer.spans_for(on.job_ids[0]) == []
+        assert on.rows == off.rows > 0
+        assert _rows(on.sheriff) == _rows(off.sheriff)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_measurement_spans_identical_queued_vs_direct(self, backend):
+        """The fan-out's spans (price_check → fetch/parse/persist) are
+        byte-identical whether the job arrived through the queue tier
+        or went straight to its server: queueing reschedules, it never
+        reshapes the work."""
+        queued = run_journey(
+            JourneyConfig(
+                db_backend=backend, disrupt=False, queue_steal_threshold=16
+            )
+        )
+        direct = run_journey(
+            JourneyConfig(db_backend=backend, disrupt=False, use_queue=False)
+        )
+        assert queued.job_ids == direct.job_ids
+        for job_id in queued.job_ids:
+            def fanout(run):
+                return [
+                    (s.name, s.start, s.end, s.attrs)
+                    for s in run.telemetry.tracer.spans_for(job_id)
+                    if s.name in MEASUREMENT_SPANS
+                ]
+            assert fanout(queued) == fanout(direct)
+            assert fanout(queued)

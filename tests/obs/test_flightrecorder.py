@@ -1,0 +1,130 @@
+"""Flight recorder bounds, export, and the null twin."""
+
+import io
+import json
+
+from repro.net.events import Clock
+from repro.obs.flightrecorder import (
+    NULL_FLIGHT_RECORDER,
+    FlightRecorder,
+    NullFlightRecorder,
+)
+
+
+class TestRecording:
+    def test_events_carry_seq_time_and_detail(self):
+        clock = Clock()
+        rec = FlightRecorder(clock)
+        rec.record("job-1", "enqueue", queue_depth=3)
+        clock.advance(2.5)
+        rec.record("job-1", "dispatch", server="ms-0")
+        events = rec.events_for("job-1")
+        assert [e.kind for e in events] == ["enqueue", "dispatch"]
+        assert [e.seq for e in events] == [1, 2]
+        assert events[1].time == 2.5
+        assert events[0].detail == {"queue_depth": 3}
+        assert rec.last_event("job-1").kind == "dispatch"
+
+    def test_unknown_job_is_empty(self):
+        rec = FlightRecorder(Clock())
+        assert rec.events_for("nope") == []
+        assert rec.last_event("nope") is None
+
+    def test_len_counts_all_events(self):
+        rec = FlightRecorder(Clock())
+        rec.record("a", "enqueue")
+        rec.record("b", "enqueue")
+        rec.record("b", "dispatch")
+        assert len(rec) == 3
+        rec.clear()
+        assert len(rec) == 0
+        assert rec.jobs() == []
+
+
+class TestBounds:
+    def test_per_job_ring_drops_oldest_and_counts(self):
+        rec = FlightRecorder(Clock(), max_events_per_job=3)
+        for i in range(5):
+            rec.record("job-1", f"e{i}")
+        events = rec.events_for("job-1")
+        assert [e.kind for e in events] == ["e2", "e3", "e4"]
+        assert rec.dropped["job-1"] == 2
+
+    def test_truncation_is_per_job(self):
+        rec = FlightRecorder(Clock(), max_events_per_job=2)
+        rec.record("a", "e0")
+        rec.record("a", "e1")
+        rec.record("a", "e2")
+        rec.record("b", "e0")
+        assert rec.dropped == {"a": 1}
+        assert len(rec.events_for("b")) == 1
+
+    def test_oldest_job_evicted_wholesale(self):
+        rec = FlightRecorder(Clock(), max_jobs=2)
+        rec.record("a", "enqueue")
+        rec.record("a", "dispatch")
+        rec.record("b", "enqueue")
+        rec.record("c", "enqueue")  # past the cap: all of "a" goes
+        assert rec.jobs() == ["b", "c"]
+        assert rec.events_for("a") == []
+
+    def test_eviction_clears_dropped_counter(self):
+        rec = FlightRecorder(Clock(), max_jobs=1, max_events_per_job=1)
+        rec.record("a", "e0")
+        rec.record("a", "e1")
+        assert rec.dropped == {"a": 1}
+        rec.record("b", "e0")
+        assert rec.dropped == {}
+
+
+class TestExport:
+    def test_jsonl_is_seq_ordered_and_parseable(self):
+        clock = Clock()
+        rec = FlightRecorder(clock)
+        rec.record("a", "enqueue")
+        rec.record("b", "enqueue")
+        clock.advance(1.0)
+        rec.record("a", "dispatch", server="ms-1")
+        lines = rec.to_jsonl().splitlines()
+        rows = [json.loads(line) for line in lines]
+        assert [r["seq"] for r in rows] == [1, 2, 3]
+        assert rows[2] == {
+            "seq": 3,
+            "time": 1.0,
+            "job_id": "a",
+            "kind": "dispatch",
+            "detail": {"server": "ms-1"},
+        }
+
+    def test_jsonl_single_job_filter(self):
+        rec = FlightRecorder(Clock())
+        rec.record("a", "enqueue")
+        rec.record("b", "enqueue")
+        rows = [json.loads(line) for line in rec.to_jsonl("b").splitlines()]
+        assert [r["job_id"] for r in rows] == ["b"]
+
+    def test_export_jsonl_reports_count(self):
+        rec = FlightRecorder(Clock())
+        rec.record("a", "enqueue")
+        rec.record("a", "dispatch")
+        fh = io.StringIO()
+        assert rec.export_jsonl(fh) == 2
+        assert len(fh.getvalue().splitlines()) == 2
+
+
+class TestNullTwin:
+    def test_null_recorder_keeps_nothing(self):
+        rec = NullFlightRecorder()
+        event = rec.record("a", "enqueue", queue_depth=9)
+        assert event.seq == 0
+        assert rec.events_for("a") == []
+        assert rec.last_event("a") is None
+        assert rec.jobs() == []
+        assert len(rec) == 0
+        assert rec.to_jsonl() == ""
+        assert rec.export_jsonl(io.StringIO()) == 0
+        rec.clear()
+
+    def test_enabled_flags(self):
+        assert FlightRecorder(Clock()).enabled is True
+        assert NULL_FLIGHT_RECORDER.enabled is False

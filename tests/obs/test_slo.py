@@ -1,0 +1,176 @@
+"""SLO declarations, compliance arithmetic, and the stock objectives."""
+
+import pytest
+
+from repro.net.events import Clock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLO, SLOEngine, build_default_slos
+
+
+def make_engine():
+    return SLOEngine(MetricsRegistry(), Clock())
+
+
+class TestDeclaration:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown SLO kind"):
+            SLO(name="x", kind="throughput", objective=0.9, metric="m")
+
+    @pytest.mark.parametrize("objective", [0.0, 1.0, -0.1, 1.5])
+    def test_objective_must_be_open_unit_interval(self, objective):
+        with pytest.raises(ValueError, match="objective"):
+            SLO(
+                name="x", kind="latency", objective=objective,
+                metric="m", threshold=1.0,
+            )
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            SLO(name="x", kind="latency", objective=0.9, metric="m")
+
+    def test_availability_needs_bad_metric(self):
+        with pytest.raises(ValueError, match="bad_metric"):
+            SLO(name="x", kind="availability", objective=0.9, metric="m")
+
+    def test_duplicate_name_rejected(self):
+        engine = make_engine()
+        engine.declare_latency("lat", metric="m", threshold=1.0, objective=0.9)
+        with pytest.raises(ValueError, match="already declared"):
+            engine.declare_latency(
+                "lat", metric="m", threshold=2.0, objective=0.5
+            )
+
+    def test_error_budget(self):
+        slo = SLO(
+            name="x", kind="latency", objective=0.95,
+            metric="m", threshold=1.0,
+        )
+        assert slo.error_budget == pytest.approx(0.05)
+
+
+class TestLatencyCounts:
+    def test_good_events_counted_conservatively(self):
+        """Observations in the bucket straddling the threshold are not
+        credited: compliance can under-report but never over-report."""
+        engine = make_engine()
+        hist = engine.registry.histogram(
+            "lat_seconds", buckets=(1.0, 2.0, 4.0)
+        )
+        for v in (0.5, 0.9, 1.5, 3.0, 9.0):
+            hist.observe(v)
+        engine.declare_latency(
+            "lat", metric="lat_seconds", threshold=2.0, objective=0.5
+        )
+        good, total = engine.counts("lat")
+        assert (good, total) == (3.0, 5.0)
+        # 1.7 is between the 1.0 and 2.0 bounds: count_le(1.7) may only
+        # credit the <=1.0 bucket
+        engine.declare_latency(
+            "strict", metric="lat_seconds", threshold=1.7, objective=0.5
+        )
+        assert engine.counts("strict") == (2.0, 5.0)
+
+    def test_missing_metric_is_vacuously_compliant(self):
+        engine = make_engine()
+        engine.declare_latency(
+            "lat", metric="never_emitted", threshold=1.0, objective=0.9
+        )
+        status = engine.status("lat")
+        assert (status.good, status.total) == (0.0, 0.0)
+        assert status.compliance == 1.0
+        assert status.met
+
+
+class TestAvailabilityCounts:
+    def test_counter_good_and_bad(self):
+        engine = make_engine()
+        good = engine.registry.counter("done_total")
+        bad = engine.registry.counter("failed_total")
+        good.inc(9)
+        bad.inc(1)
+        engine.declare_availability(
+            "avail", good_metric="done_total", bad_metric="failed_total",
+            objective=0.95,
+        )
+        status = engine.status("avail")
+        assert (status.good, status.total) == (9.0, 10.0)
+        assert status.compliance == pytest.approx(0.9)
+        assert not status.met
+        assert status.budget_consumed == pytest.approx(2.0)
+
+    def test_bad_labels_filter(self):
+        engine = make_engine()
+        engine.registry.histogram("turnaround_seconds").observe(1.0)
+        recovery = engine.registry.counter(
+            "recovery_total", labelnames=("event",)
+        )
+        recovery.inc(5, event="failover")
+        recovery.inc(1, event="job_failed")
+        engine.declare_availability(
+            "avail", good_metric="turnaround_seconds",
+            bad_metric="recovery_total",
+            bad_labels=(("event", "job_failed"),),
+            objective=0.5,
+        )
+        # only the job_failed series counts against the budget
+        assert engine.counts("avail") == (1.0, 2.0)
+
+    def test_histogram_as_good_metric_uses_observation_count(self):
+        engine = make_engine()
+        hist = engine.registry.histogram("turnaround_seconds")
+        hist.observe(1.0)
+        hist.observe(2.0)
+        engine.registry.counter("failed_total")
+        engine.declare_availability(
+            "avail", good_metric="turnaround_seconds",
+            bad_metric="failed_total", objective=0.5,
+        )
+        assert engine.counts("avail") == (2.0, 2.0)
+
+
+class TestReport:
+    def test_report_shape_and_all_met(self):
+        engine = make_engine()
+        engine.clock.advance(7.0)
+        hist = engine.registry.histogram("lat_seconds", buckets=(1.0, 4.0))
+        hist.observe(0.5)
+        hist.observe(2.0)
+        engine.declare_latency(
+            "lat", metric="lat_seconds", threshold=4.0, objective=0.9
+        )
+        report = engine.report()
+        assert report["time"] == 7.0
+        assert report["all_met"] is True
+        (row,) = report["slos"]
+        assert row["name"] == "lat"
+        assert row["compliance"] == 1.0
+        assert row["met"] is True
+        hist.observe(100.0)
+        assert engine.report()["all_met"] is False
+
+    def test_evaluate_preserves_declaration_order(self):
+        engine = make_engine()
+        engine.declare_latency("b", metric="m", threshold=1.0, objective=0.9)
+        engine.declare_latency("a", metric="m", threshold=1.0, objective=0.9)
+        assert [s.name for s in engine.evaluate()] == ["b", "a"]
+
+
+class TestDefaultSLOs:
+    def test_stock_objectives_cover_queue_tier(self):
+        engine = build_default_slos(make_engine())
+        names = [slo.name for slo in engine.slos()]
+        assert names == ["check-latency", "queue-wait", "job-availability"]
+        check = engine.get("check-latency")
+        assert check.kind == "latency"
+        assert check.metric == "sheriff_check_latency_seconds"
+        avail = engine.get("job-availability")
+        assert avail.bad_labels == (("event", "job_failed"),)
+
+    def test_threshold_overrides(self):
+        engine = build_default_slos(
+            make_engine(), check_latency_threshold=2.5,
+            check_latency_objective=0.8,
+        )
+        check = engine.get("check-latency")
+        assert check.threshold == 2.5
+        assert check.objective == 0.8

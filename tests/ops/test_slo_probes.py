@@ -1,0 +1,132 @@
+"""SLO burn-rate probes: windowed arithmetic, wiring, and the drill.
+
+The acceptance property lives in :class:`TestSLODrill`: the same
+seeded journey run is silent with healthy vantage points and pages
+``slo/check-latency`` when every IPC site is injected with a chronic
+slowdown — while persisting exactly the same number of rows, proving
+the fault made the service slow, not broken.
+"""
+
+import pytest
+
+from repro.net.events import Clock
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOEngine
+from repro.ops.health import SLOBurnRateProbe
+from repro.workloads.journey import JourneyConfig, run_slo_drill
+
+
+def make_engine():
+    engine = SLOEngine(MetricsRegistry(), Clock())
+    engine.registry.histogram("lat_seconds", buckets=(1.0, 4.0))
+    engine.declare_latency(
+        "lat", metric="lat_seconds", threshold=1.0, objective=0.9
+    )
+    return engine
+
+
+class TestBurnRateProbe:
+    def test_first_check_is_baseline_only(self):
+        engine = make_engine()
+        engine.registry.get("lat_seconds").observe(100.0)
+        probe = SLOBurnRateProbe(engine, "lat")
+        verdict = probe.check(0.0)
+        assert verdict.healthy and verdict.value == 0.0
+
+    def test_no_traffic_is_healthy(self):
+        engine = make_engine()
+        probe = SLOBurnRateProbe(engine, "lat")
+        probe.check(0.0)
+        verdict = probe.check(1.0)
+        assert verdict.healthy and verdict.value == 0.0
+
+    def test_burn_over_budget_fires_with_snapshot(self):
+        engine = make_engine()
+        probe = SLOBurnRateProbe(engine, "lat", max_burn_rate=1.0)
+        probe.check(0.0)
+        hist = engine.registry.get("lat_seconds")
+        hist.observe(0.5)  # good
+        hist.observe(100.0)  # bad: half the window, budget is 10%
+        verdict = probe.check(1.0)
+        assert not verdict.healthy
+        assert verdict.value == pytest.approx(5.0)
+        assert verdict.metrics == {
+            "burn_rate": pytest.approx(5.0),
+            "bad_delta": 1.0,
+            "total_delta": 2.0,
+            "error_budget": pytest.approx(0.1),
+            "max_burn_rate": 1.0,
+        }
+        assert "burn rate 5.00x" in verdict.reason
+
+    def test_window_is_delta_not_cumulative(self):
+        """Old badness does not page forever: a window of pure good
+        events is healthy even with historic violations on the books."""
+        engine = make_engine()
+        probe = SLOBurnRateProbe(engine, "lat", max_burn_rate=1.0)
+        hist = engine.registry.get("lat_seconds")
+        hist.observe(100.0)
+        probe.check(0.0)  # baseline includes the violation
+        hist.observe(0.5)
+        hist.observe(0.6)
+        verdict = probe.check(1.0)
+        assert verdict.healthy
+        assert verdict.value == 0.0
+
+    def test_tolerated_burn_stays_quiet(self):
+        engine = make_engine()
+        probe = SLOBurnRateProbe(engine, "lat", max_burn_rate=6.0)
+        probe.check(0.0)
+        hist = engine.registry.get("lat_seconds")
+        hist.observe(0.5)
+        hist.observe(100.0)
+        verdict = probe.check(1.0)  # burn 5x, tolerated up to 6x
+        assert verdict.healthy
+        assert verdict.value == pytest.approx(5.0)
+
+
+class TestSLODrill:
+    @pytest.fixture(scope="class")
+    def clean(self):
+        return run_slo_drill()
+
+    @pytest.fixture(scope="class")
+    def degraded(self):
+        return run_slo_drill(JourneyConfig(latency_fault=True))
+
+    def test_clean_run_is_silent(self, clean):
+        run, report, alerts = clean
+        assert report["all_met"] is True
+        assert alerts == []
+
+    def test_latency_fault_pages_check_latency(self, degraded):
+        run, report, alerts = degraded
+        assert alerts, "injected latency fault must page"
+        assert {a.component for a in alerts} == {"slo/check-latency"}
+        check = next(
+            s for s in report["slos"] if s["name"] == "check-latency"
+        )
+        assert check["met"] is False
+
+    def test_alert_carries_probe_snapshot(self, degraded):
+        _, _, alerts = degraded
+        values = alerts[0].values
+        assert values["burn_rate"] > values["max_burn_rate"]
+        assert values["bad_delta"] > 0
+        assert values["total_delta"] >= values["bad_delta"]
+        assert values["error_budget"] == pytest.approx(0.1)
+
+    def test_fault_is_slow_not_broken(self, clean, degraded):
+        """Same jobs, same steals, same row count: only latency moved."""
+        clean_run, _, _ = clean
+        degraded_run, _, _ = degraded
+        assert degraded_run.rows == clean_run.rows > 0
+        assert degraded_run.job_ids == clean_run.job_ids
+        assert degraded_run.steals == clean_run.steals
+
+    def test_supervisor_wears_slo_components(self, clean):
+        run, _, _ = clean
+        names = list(run.supervisor.components)
+        assert "slo/check-latency" in names
+        assert "slo/queue-wait" in names
+        assert "slo/job-availability" in names

@@ -86,6 +86,80 @@ class TestSupervise:
             main(["supervise", "--chaos", "mayhem"])
 
 
+class TestJourney:
+    def test_list_marks_stolen_jobs(self, capsys):
+        assert main(["journey", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "[stolen]" in out
+
+    def test_default_renders_a_stolen_job_journey(self, capsys, tmp_path):
+        out_file = tmp_path / "journey.json"
+        assert main(["journey", "--out", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        # the causal chain, the critical path, the flight log, the ticket
+        for needle in ("assign", "admission", "queue_wait", "steal",
+                       "dispatch", "price_check", "critical path",
+                       "enqueue", "completed"):
+            assert needle in out
+        import json
+
+        journey = json.loads(out_file.read_text())
+        assert journey["stolen"] is True
+        names = [s["name"] for s in journey["spans"]]
+        assert "steal" in names and "persist" in names
+
+    def test_unknown_job_rejected(self, capsys):
+        assert main(["journey", "job-999"]) == 1
+        assert "unknown job" in capsys.readouterr().out
+
+
+class TestSLO:
+    def test_clean_run_meets_objectives(self, capsys, tmp_path):
+        out_file = tmp_path / "slo.json"
+        assert main([
+            "slo", "--require-met", "--out", str(out_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "check-latency" in out
+        assert "VIOLATED" not in out
+        import json
+
+        report = json.loads(out_file.read_text())
+        assert report["all_met"] is True
+        assert report["alerts"] == []
+
+    def test_latency_fault_trips_require_met(self, capsys):
+        assert main(["slo", "--latency-fault", "--require-met"]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+        assert "slo/check-latency" in out
+
+
+class TestBench:
+    def test_single_benchmark_merged_report(self, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_all.json"
+        assert main([
+            "bench", "--include", "storage", "--out", str(out_file),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "index_speedup" in printed
+        import json
+
+        report = json.loads(out_file.read_text())
+        assert report["included"] == ["storage"]
+        assert report["all_passed"] is True
+        assert report["benchmarks"]["storage"]["min_index_speedup"] > 5.0
+
+    def test_gate_failure_exits_nonzero(self, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_all.json"
+        assert main([
+            "bench", "--include", "storage",
+            "--require-index-speedup", "1000000",
+            "--out", str(out_file),
+        ]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
 class TestCryptobench:
     def test_smoke_run_writes_report(self, capsys, tmp_path):
         out = tmp_path / "BENCH_crypto.json"
