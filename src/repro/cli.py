@@ -14,7 +14,12 @@ Gives the library a tool-shaped front door:
   the healing verdict: the ops panel, the heal report, and the audit
   trail; exits non-zero if the deployment did not converge;
 * ``throughput``  — benchmark serial vs pipelined price-check
-  execution and emit ``BENCH_throughput.json``;
+  execution and emit ``BENCH_throughput.json`` (add ``--mesh`` to also
+  run the engine across real worker processes and record wall-clock
+  checks/sec next to the sim numbers);
+* ``mesh``        — launch a real-process deployment: N measurement
+  worker processes behind the socket transport, handshake + heartbeat
+  + a farmed workload + graceful drain;
 * ``storagebench`` — benchmark the storage engines (scan vs index,
   one shard vs many) and emit ``BENCH_storage.json``;
 * ``cryptobench`` — benchmark the secure k-means crypto (naive vs
@@ -36,8 +41,9 @@ Gives the library a tool-shaped front door:
 * ``panel``       — the live operator view: pipeline health plus the
   Fig. 7 / Fig. 16 panels, all from a metrics snapshot.
 
-Everything runs against the simulated world; the CLI exists so the
-reproduction can be driven without writing Python.
+Everything except ``mesh`` (and ``throughput --mesh``) runs against the
+simulated world; the CLI exists so the reproduction can be driven
+without writing Python.
 """
 
 from __future__ import annotations
@@ -162,6 +168,38 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="measure telemetry-on vs telemetry-off "
                                  "wall time; exit 1 if the overhead "
                                  "fraction exceeds this bound")
+    throughput.add_argument("--mesh", action="store_true",
+                            help="also run the pipelined engine across "
+                                 "real worker processes and record "
+                                 "wall-clock checks/sec in the report")
+    throughput.add_argument("--mesh-workers", type=int, default=2,
+                            metavar="N",
+                            help="worker processes for the --mesh run")
+    throughput.add_argument("--require-mesh-rate", type=float, default=None,
+                            metavar="X",
+                            help="exit 1 unless the --mesh run completes "
+                                 "every check at >= X checks/sec wall")
+
+    mesh = sub.add_parser(
+        "mesh",
+        help="launch a real-process deployment: worker processes behind "
+             "the socket transport",
+    )
+    mesh.add_argument("--servers", type=int, default=2, metavar="N",
+                      help="worker processes to launch")
+    mesh.add_argument("--checks", type=int, default=8,
+                      help="price checks to farm across the fleet")
+    mesh.add_argument("--concurrency", type=int, default=None,
+                      help="concurrent in-flight calls (default: 4/worker)")
+    mesh.add_argument("--seed", type=int, default=2017)
+    mesh.add_argument("--stores", type=int, default=2,
+                      help="stores per worker's world")
+    mesh.add_argument("--ipcs", type=int, default=6,
+                      help="IPC fleet size per worker (max 30)")
+    mesh.add_argument("--users", type=int, default=4,
+                      help="browser addons per worker")
+    mesh.add_argument("--out", default=None, metavar="JSON",
+                      help="also write the mesh report as JSON")
 
     scalebench = sub.add_parser(
         "scalebench",
@@ -257,8 +295,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=("smoke", "default"),
                        help="smoke = reduced CI instance")
     bench.add_argument("--include", nargs="+", default=None,
-                       choices=("throughput", "storage", "crypto", "scale"),
-                       help="benchmarks to run (default: all four)")
+                       choices=("throughput", "storage", "crypto", "scale",
+                                "mesh"),
+                       help="benchmarks to run (default: the four sim "
+                            "benchmarks; 'mesh' spawns real processes)")
     bench.add_argument("--seed", type=int, default=None)
     bench.add_argument("--out", default="BENCH_all.json",
                        help="where to write the merged JSON report")
@@ -670,6 +710,12 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
     report = run_throughput(config)
     if args.max_telemetry_overhead is not None:
         report["telemetry_overhead"] = measure_telemetry_overhead(config)
+    if args.mesh:
+        from repro.workloads.throughput import run_mesh_throughput
+
+        report["mesh"] = run_mesh_throughput(
+            config, n_workers=args.mesh_workers
+        )
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
@@ -688,6 +734,13 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
             f"{k}={v:.3f}s" for k, v in top_pcts.items() if v is not None
         )
         print(f"check latency at top level: {rendered}")
+    if args.mesh:
+        mesh = report["mesh"]
+        print(
+            f"mesh: {mesh['workers']} workers, "
+            f"{mesh['checks_completed']}/{mesh['checks_requested']} checks, "
+            f"{mesh['checks_per_sec_wall']:.2f} checks/s wall"
+        )
     print(f"report written to {args.out}")
 
     if args.trace_out or args.metrics_out:
@@ -722,6 +775,74 @@ def _cmd_throughput(args: argparse.Namespace) -> int:
             f"OK: telemetry overhead {overhead:.1%} <= "
             f"{args.max_telemetry_overhead:.1%}"
         )
+    if args.require_mesh_rate is not None:
+        if not args.mesh:
+            print("FAIL: --require-mesh-rate needs --mesh")
+            return 1
+        mesh = report["mesh"]
+        incomplete = mesh["checks_completed"] < mesh["checks_requested"]
+        if incomplete or mesh["checks_per_sec_wall"] < args.require_mesh_rate:
+            print(
+                f"FAIL: mesh run "
+                f"{mesh['checks_completed']}/{mesh['checks_requested']} "
+                f"checks at {mesh['checks_per_sec_wall']:.2f} checks/s "
+                f"(need all checks at >= {args.require_mesh_rate:.2f})"
+            )
+            return 1
+        print(
+            f"OK: mesh sustained {mesh['checks_per_sec_wall']:.2f} "
+            f"checks/s wall >= {args.require_mesh_rate:.2f}"
+        )
+    return 0
+
+
+def _cmd_mesh(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.mesh import MeshLauncher, WorkerSpec
+
+    print(f"mesh: launching {args.servers} worker process(es)")
+    launcher = MeshLauncher(
+        n_workers=args.servers,
+        spec=WorkerSpec(
+            seed=args.seed, n_stores=args.stores,
+            n_ipcs=args.ipcs, n_users=args.users,
+        ),
+    )
+    try:
+        hellos = launcher.start()
+        for hello in hellos:
+            print(f"  ready: {hello['name']} pid={hello['pid']} "
+                  f"protocol={hello['protocol']}")
+        launcher.heartbeat()
+        report = launcher.run_checks(
+            total=args.checks, concurrency=args.concurrency
+        )
+    finally:
+        exit_codes = launcher.shutdown()
+    entry = report.to_dict()
+    entry["exit_codes"] = exit_codes
+    print(f"checks: {entry['checks_completed']}/{entry['checks_requested']} "
+          f"({entry['rows']} rows) in {entry['wall_s']:.2f}s wall "
+          f"-> {entry['checks_per_sec_wall']:.2f} checks/s")
+    for stats in entry["per_worker"]:
+        print(f"  {stats.get('worker', '?')}: "
+              f"checks={stats.get('checks', '?')} "
+              f"rows={stats.get('rows', '?')}")
+    print(f"exit codes: {exit_codes}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(entry, fh, indent=2)
+            fh.write("\n")
+        print(f"mesh report written to {args.out}")
+    failed = (
+        entry["checks_completed"] < entry["checks_requested"]
+        or any(code != 0 for code in exit_codes.values())
+    )
+    if failed:
+        print("FAIL: lost checks or a worker exited non-zero")
+        return 1
+    print("OK: fleet served every check and drained cleanly")
     return 0
 
 
@@ -1193,6 +1314,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "supervise": _cmd_supervise,
         "throughput": _cmd_throughput,
+        "mesh": _cmd_mesh,
         "scalebench": _cmd_scalebench,
         "storagebench": _cmd_storagebench,
         "cryptobench": _cmd_cryptobench,

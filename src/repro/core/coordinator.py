@@ -102,8 +102,13 @@ class Coordinator:
         retry_budget: int = 3,
         backoff: Optional[BackoffPolicy] = None,
         metrics=None,
+        transport_label: str = "sim",
     ) -> None:
         self.whitelist = whitelist
+        #: which messaging backend the deployment runs over ("sim",
+        #: "socket", "direct"); stamped on journey spans so a trace
+        #: reads the same in sim and mesh runs
+        self.transport_label = transport_label
         self.distributor = distributor
         self.overlay = overlay
         self.geodb = geodb
@@ -217,6 +222,7 @@ class Coordinator:
             # steal, dispatch, the fan-out) chains under this span
             with self.tracer.span(
                 "assign", trace_id=job_id, server=server.name, url=url,
+                transport=self.transport_label,
             ) as span:
                 pass
             self.journey_spans[job_id] = span.span_id

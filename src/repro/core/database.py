@@ -22,6 +22,7 @@ routes jobs by domain across N of these servers behind the same
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
@@ -31,9 +32,11 @@ from repro.storage.backend import TABLES, StorageBackend, make_backend
 
 __all__ = [
     "ConnectionPoolExhausted",
+    "DatabaseClient",
     "DatabaseServer",
     "TABLES",
     "UnknownTable",
+    "database_rpc_handler",
 ]
 
 
@@ -224,3 +227,128 @@ class DatabaseServer:
 
     def sp_all_responses(self) -> List[Dict[str, Any]]:
         return self.scan("responses")
+
+
+# -- transport surface -------------------------------------------------------
+#
+# The stored procedures a remote caller may invoke over
+# ``Transport.call(src, "db", method, payload)``.  Deliberately the
+# *write/read* subset the Measurement tier uses — generic ``scan`` with a
+# Python predicate cannot cross a process boundary and stays local.
+DB_RPC_METHODS = (
+    "ping",
+    "sp_record_request",
+    "sp_record_response",
+    "sp_record_responses",
+    "sp_responses_for_job",
+    "count",
+    "shard_last_writes",
+)
+
+
+def database_rpc_handler(db) -> Callable[[str, Any], Any]:
+    """Expose a database (single server or sharded router) as a
+    :class:`~repro.net.transport.Transport` endpoint handler.
+
+    Every call acquires a pool connection, mirroring what a remote
+    client's round trip would cost the real MySQL node.  Unknown
+    methods raise ``UnknownTable``-style ``KeyError`` which the
+    transport maps to a ``RemoteCallError``.
+
+    Calls are serialized by a lock: the socket transport services
+    requests from a worker-thread pool, and the storage engines (like
+    the real single-writer MySQL node they model) expect one statement
+    at a time.
+    """
+    serial = threading.Lock()
+
+    def handle(method: str, payload: Any) -> Any:
+        if method == "ping":
+            return "pong"
+        if method not in DB_RPC_METHODS:
+            raise KeyError(f"unknown database method {method!r}")
+        kwargs = dict(payload or {})
+        with serial, db.connection() as conn:
+            if method == "sp_record_request":
+                return conn.sp_record_request(**kwargs)
+            if method == "sp_record_response":
+                return conn.sp_record_response(**kwargs)
+            if method == "sp_record_responses":
+                return conn.sp_record_responses(
+                    kwargs["job_id"], kwargs["rows"]
+                )
+            if method == "sp_responses_for_job":
+                return conn.sp_responses_for_job(kwargs["job_id"])
+            if method == "count":
+                return conn.count(kwargs["table"])
+            if method == "shard_last_writes":
+                return conn.shard_last_writes()
+        raise KeyError(f"unhandled database method {method!r}")  # pragma: no cover
+
+    return handle
+
+
+class DatabaseClient:
+    """Transport-backed stand-in for a :class:`DatabaseServer` handle.
+
+    Speaks the same ``sp_*`` stored-procedure surface, but every call is
+    a :meth:`Transport.call` round trip to the ``db`` endpoint instead
+    of a direct method call — the same component code persists rows
+    whether the database lives in-process (sim) or across a socket
+    (mesh).  ``connection()`` yields ``self``: pool accounting belongs
+    to the server side, where the real pool lives.
+    """
+
+    def __init__(
+        self,
+        transport,
+        src: str,
+        dst: str = "db",
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.transport = transport
+        self.src = src
+        self.dst = dst
+        self.timeout = timeout
+
+    def _call(self, method: str, payload: Optional[Dict[str, Any]] = None) -> Any:
+        return self.transport.call(
+            self.src, self.dst, method, payload, timeout=self.timeout
+        )
+
+    @contextmanager
+    def connection(self) -> Iterator["DatabaseClient"]:
+        yield self
+
+    def ping(self) -> str:
+        return self._call("ping")
+
+    def sp_record_request(
+        self, job_id: str, user_id: str, url: str, domain: str, time: float
+    ) -> int:
+        return self._call(
+            "sp_record_request",
+            {"job_id": job_id, "user_id": user_id, "url": url,
+             "domain": domain, "time": time},
+        )
+
+    def sp_record_response(self, job_id: str, **fields: Any) -> int:
+        payload = {"job_id": job_id}
+        payload.update(fields)
+        return self._call("sp_record_response", payload)
+
+    def sp_record_responses(
+        self, job_id: str, rows: List[Dict[str, Any]]
+    ) -> List[int]:
+        return self._call(
+            "sp_record_responses", {"job_id": job_id, "rows": list(rows)}
+        )
+
+    def sp_responses_for_job(self, job_id: str) -> List[Dict[str, Any]]:
+        return self._call("sp_responses_for_job", {"job_id": job_id})
+
+    def count(self, table: str) -> int:
+        return self._call("count", {"table": table})
+
+    def shard_last_writes(self) -> Dict[str, Optional[float]]:
+        return self._call("shard_last_writes")

@@ -54,6 +54,10 @@ class ServerRecord:
     jobs: int = 0
     timestamp: Optional[float] = None
     registered_at: float = 0.0
+    #: which Transport backend serves this endpoint ("sim", "socket",
+    #: "direct") — the server list is transport-aware so a mesh panel
+    #: can tell real processes from simulated hosts at a glance
+    transport: str = "sim"
 
     @property
     def last_seen(self) -> float:
@@ -67,6 +71,7 @@ class ServerRecord:
             "Port": self.port,
             "Status": "online" if self.online else "offline",
             "Jobs": self.jobs,
+            "Transport": self.transport,
         }
 
 
@@ -130,11 +135,15 @@ class RequestDistributor:
 
     # -- registry ------------------------------------------------------------
     def register_server(
-        self, name: str, url: str, port: int = 80, now: float = 0.0
+        self, name: str, url: str, port: int = 80, now: float = 0.0,
+        transport: str = "sim",
     ) -> ServerRecord:
         if name in self._servers:
             raise DuplicateServer(f"server {name!r} already registered")
-        record = ServerRecord(name=name, url=url, port=port, registered_at=now)
+        record = ServerRecord(
+            name=name, url=url, port=port, registered_at=now,
+            transport=transport,
+        )
         self._servers[name] = record
         self._sync_gauges(record)
         return record

@@ -241,12 +241,15 @@ class QueuedMeasurementTier:
         steal_threshold: Optional[int] = 16,
         backoff: Optional[BackoffPolicy] = None,
         telemetry: Any = None,
+        transport_label: str = "sim",
         event_log: Optional[EventLog] = None,
     ) -> None:
         if max_depth < 1:
             raise ValueError(f"queue depth must be >= 1, got {max_depth}")
         self.coordinator = coordinator
         self._server_lookup = server_lookup
+        #: stamped on every journey span (transport parity with mesh runs)
+        self.transport_label = transport_label
         self.db = db
         self.engine = engine
         self.clock = clock
@@ -341,6 +344,7 @@ class QueuedMeasurementTier:
         """
         if not self.tracer.enabled:
             return
+        attrs.setdefault("transport", self.transport_label)
         with self.tracer.span(
             name, trace_id=job_id, parent_id=self._journey_parent(job_id),
             links=links, start=start, **attrs,
@@ -538,6 +542,7 @@ class QueuedMeasurementTier:
             with self.tracer.span(
                 "dispatch", trace_id=job_id,
                 parent_id=self._journey_parent(job_id), server=owner,
+                transport=self.transport_label,
             ):
                 inner = server.submit(queued.job)
             self._journey.pop(job_id, None)

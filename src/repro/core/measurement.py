@@ -127,8 +127,12 @@ class MeasurementServer:
         pipelined: bool = True,
         latency_model: Optional[LatencyModel] = None,
         telemetry=None,
+        transport_label: str = "sim",
     ) -> None:
         self.name = name
+        #: which messaging backend carried this server's traffic;
+        #: stamped on the price_check root span for sim/mesh trace parity
+        self.transport_label = transport_label
         self.coordinator = coordinator
         self.db = db
         self.rates = rates
@@ -510,7 +514,7 @@ class MeasurementServer:
         tr = self.telemetry.tracer
         with tr.span(
             "price_check", trace_id=job.job_id, job_id=job.job_id,
-            url=job.url, server=self.name,
+            url=job.url, server=self.name, transport=self.transport_label,
         ):
             return self._execute_fanout(job, tr)
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.browser.browser import Browser
 from repro.browser.fingerprint import UserAgent
@@ -28,7 +28,7 @@ from repro.clients.ipc import DEFAULT_IPC_SITES, build_default_ipcs
 from repro.core.addon import SheriffAddon
 from repro.core.aggregator import Aggregator
 from repro.core.coordinator import Coordinator
-from repro.core.database import DatabaseServer
+from repro.core.database import DatabaseClient, DatabaseServer, database_rpc_handler
 from repro.core.diffstorage import DiffStorage
 from repro.core.dispatch import RequestDistributor
 from repro.core.engine import PageCache, PriceCheckEngine
@@ -46,6 +46,7 @@ from repro.net.events import Clock
 from repro.net.faults import BackoffPolicy, FaultPlan, chaos_plan
 from repro.net.geo import GeoDatabase
 from repro.net.p2p import PeerOverlay, make_peer_id
+from repro.net.transport import SimTransport, Transport
 from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.profiles.doppelganger import Doppelganger, DoppelgangerManager
 from repro.storage import ShardedDatabase
@@ -138,6 +139,7 @@ class PriceSheriff:
         job_queue: bool = False,
         queue_depth: int = 256,
         queue_steal_threshold: Optional[int] = 16,
+        transport: Union[Transport, str, None] = None,
     ) -> None:
         self.world = world
         #: the observability plane: a metrics registry threaded through
@@ -175,6 +177,21 @@ class PriceSheriff:
             self.db = ShardedDatabase(n_shards=db_shards, backend=db_backend)
         else:
             self.db = DatabaseServer(backend=db_backend)
+        #: the messaging plane every component speaks (the Transport
+        #: redesign): ``"sim"`` (default — deterministic, in-process),
+        #: ``"socket"`` (real asyncio TCP, mesh-shaped), ``"direct"``
+        #: (legacy direct method calls, no envelopes), or a prebuilt
+        #: :class:`~repro.net.transport.Transport` instance.  The sim
+        #: transport owns a private latency RNG stream and carries no
+        #: fault plan, so enabling it never perturbs chaos RNG draws.
+        self.transport = self._make_transport(transport)
+        self.transport_label = (
+            self.transport.label if self.transport is not None else "direct"
+        )
+        if self.transport is not None:
+            if metrics.enabled:
+                self.transport.bind_telemetry(self.telemetry)
+            self.transport.bind("db", database_rpc_handler(self.db))
         self.diffstore = DiffStorage()
         # A crawling back-end can share the PPC network of the live
         # deployment by passing the live overlay (Sect. 7.1).
@@ -206,6 +223,7 @@ class PriceSheriff:
             retry_budget=retry_budget,
             backoff=backoff,
             metrics=metrics,
+            transport_label=self.transport_label,
         )
         if metrics.enabled:
             # full binding (tracer included) so job journeys root at the
@@ -242,9 +260,60 @@ class PriceSheriff:
                 steal_threshold=queue_steal_threshold,
                 backoff=self.coordinator.backoff,
                 telemetry=self.telemetry if metrics.enabled else None,
+                transport_label=self.transport_label,
             )
         self._jobs_facade: Optional[SheriffJobs] = None
         self.addons: List[SheriffAddon] = []
+
+    # -- transport plumbing --------------------------------------------------
+    def _make_transport(
+        self, transport: Union[Transport, str, None]
+    ) -> Optional[Transport]:
+        if isinstance(transport, Transport):
+            return transport
+        if transport is None or transport == "sim":
+            return SimTransport(clock=self.world.clock)
+        if transport == "socket":
+            from repro.net.socket_transport import SocketTransport
+
+            return SocketTransport()
+        if transport == "direct":
+            return None
+        raise ValueError(f"unknown transport {transport!r}")
+
+    def _server_rpc(self, name: str):
+        """RPC surface of one Measurement server endpoint.
+
+        Looks the server up at call time so a supervised restart (which
+        replaces the object) needs no re-bind.
+        """
+
+        def handle(method: str, payload):
+            server = self.measurement_servers[name]
+            if method == "ping":
+                return "pong"
+            if method == "stats":
+                stats = server.stats
+                return {
+                    "name": name,
+                    "degraded_jobs": stats.degraded_jobs,
+                    "quorum_failures": stats.quorum_failures,
+                }
+            raise KeyError(f"unknown measurement method {method!r}")
+
+        return handle
+
+    def _db_handle_for(self, client_name: str):
+        """What a component holds as "the database": the real server in
+        direct mode, a transport-backed client otherwise."""
+        if self.transport is None:
+            return self.db
+        return DatabaseClient(self.transport, src=client_name, dst="db")
+
+    def shutdown(self) -> None:
+        """Release transport resources (socket servers, loop threads)."""
+        if self.transport is not None:
+            self.transport.close()
 
     @property
     def jobs(self) -> SheriffJobs:
@@ -262,10 +331,12 @@ class PriceSheriff:
 
     # -- elasticity: attach/detach Measurement servers ----------------------
     def add_measurement_server(self, name: str) -> MeasurementServer:
+        if self.transport is not None:
+            self.transport.bind(name, self._server_rpc(name))
         server = MeasurementServer(
             name=name,
             coordinator=self.coordinator,
-            db=self.db,
+            db=self._db_handle_for(name),
             rates=self.world.rates,
             ipcs=self.ipcs,
             overlay=self.overlay,
@@ -275,17 +346,20 @@ class PriceSheriff:
             engine=self.engine,
             pipelined=self.pipelined,
             telemetry=self.telemetry,
+            transport_label=self.transport_label,
         )
         self.measurement_servers[name] = server
         self.distributor.register_server(
             name, url=f"10.250.0.{len(self.measurement_servers)}", port=80,
-            now=self.world.clock.now,
+            now=self.world.clock.now, transport=self.transport_label,
         )
         return server
 
     def remove_measurement_server(self, name: str) -> None:
         self.distributor.remove_server(name)  # refuses while jobs pending
         self.measurement_servers.pop(name, None)
+        if self.transport is not None:
+            self.transport.unbind(name)
 
     def restart_measurement_server(self, name: str) -> MeasurementServer:
         """Replace a Measurement server with a fresh process (self-healing).
@@ -308,7 +382,7 @@ class PriceSheriff:
         fresh = MeasurementServer(
             name=name,
             coordinator=self.coordinator,
-            db=self.db,
+            db=self._db_handle_for(name),
             rates=self.world.rates,
             ipcs=self.ipcs,
             overlay=self.overlay,
@@ -318,8 +392,11 @@ class PriceSheriff:
             engine=self.engine,
             pipelined=self.pipelined,
             telemetry=self.telemetry,
+            transport_label=self.transport_label,
         )
         self.measurement_servers[name] = fresh
+        if self.transport is not None:
+            self.transport.restart_endpoint(name)
         if self.faults is not None:
             self.faults.end_flap(name)
         self.distributor.heartbeat(name, self.world.clock.now)

@@ -1,0 +1,25 @@
+"""Real-process service mesh: run sheriff components as OS processes.
+
+The sim runs every component in one process on the discrete-event
+clock; this package is the deployment-shaped alternative the paper
+actually operated — separate processes speaking the wire protocol of
+:mod:`repro.net.protocol` over :class:`~repro.net.socket_transport.SocketTransport`.
+
+* :mod:`repro.mesh.service` — the service-side skeleton every mesh
+  component shares: bootstrap handshake (protocol-version checked),
+  heartbeats, graceful drain on SIGTERM.
+* :mod:`repro.mesh.worker` — a measurement worker process: builds its
+  own seeded world + sheriff and serves ``check_price`` over the wire.
+* :mod:`repro.mesh.launch` — the parent-side launcher: spawns N worker
+  processes from a :class:`~repro.workloads.deployment.DeploymentConfig`-style
+  spec, handshakes, farms out checks, and shuts the fleet down.
+
+``repro mesh --servers N`` (CLI) and ``repro throughput --mesh`` are
+the entry points; the latter emits wall-clock checks/sec next to the
+sim numbers in BENCH_throughput.json.
+"""
+
+from repro.mesh.launch import MeshLauncher, MeshReport, WorkerSpec
+from repro.mesh.service import MeshService
+
+__all__ = ["MeshLauncher", "MeshReport", "MeshService", "WorkerSpec"]

@@ -1,17 +1,37 @@
-"""Network substrate: discrete-event clock, synthetic geography, message passing.
+"""Network substrate: discrete-event clock, synthetic geography, transports.
 
 The real Price $heriff runs over the public internet (WebRTC data
-channels between peers, HTTPS between components).  This package provides
-the simulated equivalent: a :class:`~repro.net.events.EventLoop` discrete
-event clock, a :class:`~repro.net.geo.GeoDatabase` that geolocates
-synthetic IP addresses, a :class:`~repro.net.sim.SimNetwork` carrying
-latency-delayed messages between named hosts, and a peerjs-style overlay
-in :mod:`repro.net.p2p`.
+channels between peers, HTTPS between components).  This package
+provides both halves of the reproduction's messaging story: a
+:class:`~repro.net.events.EventLoop` discrete event clock, a
+:class:`~repro.net.geo.GeoDatabase` that geolocates synthetic IP
+addresses, a peerjs-style overlay in :mod:`repro.net.p2p`, and — since
+the transport redesign — one :class:`~repro.net.transport.Transport`
+interface with two backends: the deterministic
+:class:`~repro.net.transport.SimTransport` (Tier-1 default) and the
+real-socket :class:`~repro.net.socket_transport.SocketTransport`.
+
+``SimNetwork`` and ``Host`` are implementation details of the sim
+backend and are deliberately *not* re-exported here any more; code
+outside ``repro.net`` speaks :class:`Transport` only
+(``tests/core/test_deprecations.py`` pins this).
 """
 
 from repro.net.events import Clock, EventLoop
 from repro.net.geo import Country, GeoDatabase, Location
-from repro.net.sim import Host, LatencyModel, SimNetwork
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameTooLarge,
+    ProtocolError,
+    Request,
+    Response,
+    from_wire,
+    to_wire,
+)
+from repro.net.sim import LatencyModel, NetworkError, NetworkTimeout
+from repro.net.socket_transport import SocketTransport
+from repro.net.transport import RemoteCallError, SimTransport, Transport
 from repro.net.p2p import PeerChannel, PeerOverlay
 
 __all__ = [
@@ -20,9 +40,21 @@ __all__ = [
     "Country",
     "GeoDatabase",
     "Location",
-    "Host",
     "LatencyModel",
-    "SimNetwork",
+    "NetworkError",
+    "NetworkTimeout",
+    "RemoteCallError",
+    "FrameTooLarge",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "from_wire",
+    "to_wire",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "Transport",
+    "SimTransport",
+    "SocketTransport",
     "PeerChannel",
     "PeerOverlay",
 ]

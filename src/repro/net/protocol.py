@@ -1,0 +1,227 @@
+"""Typed request/response envelopes and the shared wire codec.
+
+Every message between $heriff components travels as one of two
+envelopes — :class:`Request` or :class:`Response` — serialised by the
+*same* JSON codec regardless of transport.  The sim transport carries
+the encoded text through :class:`~repro.net.sim.SimNetwork`; the socket
+transport frames the same bytes with a 4-byte big-endian length prefix
+on a TCP stream.  Routing both paths through one codec is what makes
+the row-identity property cheap to guarantee: any payload that survives
+``encode`` → ``decode`` is normalised identically (tuples become lists,
+dict keys become strings) no matter which transport delivered it.
+
+Wire format (socket mode)::
+
+    +----------------+----------------------------------+
+    | length (4B BE) | UTF-8 JSON of to_wire(envelope)  |
+    +----------------+----------------------------------+
+
+The length counts the JSON body only.  Frames above
+:data:`MAX_FRAME_BYTES` are refused on *both* sides — the sender raises
+:class:`FrameTooLarge` before writing, the receiver drops the
+connection — so an oversized payload fails identically through either
+transport.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple, Union
+
+__all__ = [
+    "FrameTooLarge",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "decode",
+    "encode",
+    "from_wire",
+    "pack_frame",
+    "split_frame",
+    "to_wire",
+]
+
+#: bumped whenever the envelope schema changes; the mesh handshake
+#: refuses to pair components speaking different versions.
+PROTOCOL_VERSION = 1
+
+#: refuse frames above 4 MiB — far beyond any legitimate price-check
+#: batch, small enough to bound a misbehaving peer's memory cost.
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(ValueError):
+    """A frame or envelope that does not parse as the wire protocol."""
+
+
+class FrameTooLarge(ProtocolError):
+    """An envelope whose encoded size exceeds the frame limit."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One method call from ``src`` to ``dst``.
+
+    ``call_id`` pairs the eventual :class:`Response` with its caller on
+    a multiplexed connection; ``payload`` must be JSON-representable
+    (the codec is the compatibility contract between transports).
+    """
+
+    call_id: int
+    src: str
+    dst: str
+    method: str
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class Response:
+    """The outcome of one :class:`Request`.
+
+    ``ok`` responses carry ``result``; failures carry ``error_kind`` —
+    ``"network"``, ``"timeout"`` or ``"remote"`` — which the client
+    transport maps back onto the typed exception hierarchy
+    (:class:`~repro.net.sim.NetworkError` / ``NetworkTimeout`` /
+    :class:`~repro.net.transport.RemoteCallError`).
+    """
+
+    call_id: int
+    ok: bool
+    result: Any = None
+    error_kind: Optional[str] = None
+    error_message: str = field(default="")
+
+
+Envelope = Union[Request, Response]
+
+
+def to_wire(msg: Envelope) -> dict:
+    """Render an envelope as a plain JSON-ready dict."""
+    if isinstance(msg, Request):
+        return {
+            "v": PROTOCOL_VERSION,
+            "type": "request",
+            "id": msg.call_id,
+            "src": msg.src,
+            "dst": msg.dst,
+            "method": msg.method,
+            "payload": msg.payload,
+        }
+    if isinstance(msg, Response):
+        wire: dict = {
+            "v": PROTOCOL_VERSION,
+            "type": "response",
+            "id": msg.call_id,
+            "ok": msg.ok,
+        }
+        if msg.ok:
+            wire["result"] = msg.result
+        else:
+            wire["error_kind"] = msg.error_kind or "remote"
+            wire["error_message"] = msg.error_message
+        return wire
+    raise ProtocolError(f"not an envelope: {type(msg).__name__}")
+
+
+def from_wire(obj: Any) -> Envelope:
+    """Parse a decoded JSON object back into a typed envelope."""
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"envelope must be an object, got {type(obj).__name__}")
+    version = obj.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"protocol version {version!r} != {PROTOCOL_VERSION}")
+    kind = obj.get("type")
+    try:
+        if kind == "request":
+            return Request(
+                call_id=int(obj["id"]),
+                src=str(obj["src"]),
+                dst=str(obj["dst"]),
+                method=str(obj["method"]),
+                payload=obj.get("payload"),
+            )
+        if kind == "response":
+            ok = bool(obj["ok"])
+            return Response(
+                call_id=int(obj["id"]),
+                ok=ok,
+                result=obj.get("result"),
+                error_kind=None if ok else str(obj.get("error_kind") or "remote"),
+                error_message="" if ok else str(obj.get("error_message") or ""),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed {kind} envelope: {exc}") from exc
+    raise ProtocolError(f"unknown envelope type {kind!r}")
+
+
+def encode(msg: Envelope) -> bytes:
+    """Serialise an envelope to canonical UTF-8 JSON bytes.
+
+    ``sort_keys`` makes the encoding deterministic so byte counts (and
+    the frame-size check) agree between the sender and any re-encoder.
+    """
+    try:
+        return json.dumps(
+            to_wire(msg), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"payload is not JSON-representable: {exc}") from exc
+
+
+def decode(data: Union[bytes, str]) -> Envelope:
+    """Parse codec output (or a corrupted imitation of it)."""
+    try:
+        if isinstance(data, bytes):
+            data = data.decode("utf-8")
+        return from_wire(json.loads(data))
+    except ProtocolError:
+        raise
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+
+
+def pack_frame(msg: Envelope, max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Encode an envelope and prepend the 4-byte length header."""
+    body = encode(msg)
+    if len(body) > max_frame_bytes:
+        raise FrameTooLarge(
+            f"frame of {len(body)} bytes exceeds limit {max_frame_bytes}"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def split_frame(header: bytes, max_frame_bytes: int = MAX_FRAME_BYTES) -> int:
+    """Validate a frame header and return the body length it announces."""
+    if len(header) != _HEADER.size:
+        raise ProtocolError(f"truncated frame header ({len(header)} bytes)")
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame_bytes:
+        raise FrameTooLarge(
+            f"peer announced a {length}-byte frame, limit {max_frame_bytes}"
+        )
+    return length
+
+
+async def read_frame(reader, max_frame_bytes: int = MAX_FRAME_BYTES) -> Envelope:
+    """Read one length-prefixed envelope from an asyncio stream reader.
+
+    Raises :class:`ProtocolError` subclasses on malformed input and
+    lets ``IncompleteReadError``/``ConnectionError`` propagate so the
+    transport can map them onto ``NetworkError``.
+    """
+    header = await reader.readexactly(_HEADER.size)
+    length = split_frame(header, max_frame_bytes)
+    body = await reader.readexactly(length)
+    return decode(body)
+
+
+def frame_sizes(msg: Envelope) -> Tuple[int, int]:
+    """(header+body, body) byte sizes of an envelope — for telemetry."""
+    body = len(encode(msg))
+    return _HEADER.size + body, body

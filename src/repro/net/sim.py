@@ -122,9 +122,14 @@ class SimNetwork:
         self,
         latency: Optional[LatencyModel] = None,
         faults: Optional[FaultPlan] = None,
+        clock=None,
     ) -> None:
         self.latency_model = latency if latency is not None else LatencyModel()
         self.faults = faults
+        #: optional sim clock; when present together with a fault plan,
+        #: delivery honors flap windows (``FaultPlan.host_down``), which
+        #: clock-less legacy constructions never consulted.
+        self.clock = clock
         self._hosts: Dict[str, Host] = {}
         self.transfers: List[_Transfer] = []
 
@@ -152,17 +157,30 @@ class SimNetwork:
         return list(self._hosts.values())
 
     def restart_host(self, name: str) -> Host:
-        """Bring a host back online (the ops layer's restart action).
+        """Replace a host with a fresh online one (the ops restart action).
 
-        Flips the host's ``online`` flag and closes any flap window the
-        fault plan holds open for it — a replaced process answers its
-        next heartbeat.  RNG-free, like every supervised action.
+        Models a process replacement: a *new* host object inherits the
+        old one's location, handler and chronic slowdown, and any flap
+        window the fault plan holds open is closed — a replaced process
+        answers its next heartbeat.  Carrying the handler (and keeping
+        ``self.faults`` installed network-side, where delivery faults
+        actually live) is what guarantees a restarted host still honors
+        the active chaos profile; an earlier version merely flipped the
+        ``online`` flag, which left any per-host hook on the stale
+        object.  RNG-free, like every supervised action.
         """
-        host = self.host(name)
-        host.online = True
+        old = self.host(name)
+        fresh = Host(
+            name=old.name,
+            location=old.location,
+            handler=old.handler,
+            online=True,
+            slowdown=old.slowdown,
+        )
+        self._hosts[name] = fresh
         if self.faults is not None:
             self.faults.end_flap(name)
-        return host
+        return fresh
 
     # -- traffic -------------------------------------------------------------
     def rtt(self, src: str, dst: str) -> float:
@@ -181,6 +199,12 @@ class SimNetwork:
         self.host(src)  # validate the source exists too
         if not target.online:
             raise NetworkError(f"host {dst!r} is offline")
+        if (
+            self.faults is not None
+            and self.clock is not None
+            and self.faults.host_down(dst, self.clock.now, role="host")
+        ):
+            raise NetworkError(f"host {dst!r} is flapping (chaos window open)")
         rtt = self.rtt(src, dst)
         decision = (
             self.faults.decide(src, dst, role="host")

@@ -81,7 +81,10 @@ class SqliteBackend(StorageBackend):
     def __init__(self, path: str = ":memory:") -> None:
         super().__init__()
         self.path = path
-        self._conn = sqlite3.connect(path)
+        # cross-thread access only happens through the transport's RPC
+        # handler, which serializes calls; sqlite's own affinity check
+        # would otherwise reject the handler pool's worker threads
+        self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._ids = itertools.count(1)

@@ -21,7 +21,10 @@ disagree about a regression:
 * ``crypto`` — the fastexp path must beat naive arithmetic by more
   than ``crypto_speedup`` *and* the naive/fast lockstep must hold;
 * ``scale`` — checks/sec at the largest fleet must be at least
-  ``scaling_speedup`` times the single-server baseline.
+  ``scaling_speedup`` times the single-server baseline;
+* ``mesh`` — the multi-process wall-clock run must complete every check
+  and sustain at least ``mesh_min_checks_per_sec`` checks/sec.  Opt-in
+  (not in the default ``include``): it spawns real worker processes.
 
 Set a gate to ``None`` to run that benchmark ungated.
 """
@@ -34,7 +37,13 @@ from typing import Any, Dict, List, Optional, Tuple
 __all__ = ["BenchSuiteConfig", "run_benchsuite"]
 
 #: every benchmark the suite knows, in run order
-ALL_BENCHMARKS: Tuple[str, ...] = ("throughput", "storage", "crypto", "scale")
+ALL_BENCHMARKS: Tuple[str, ...] = (
+    "throughput", "storage", "crypto", "scale", "mesh",
+)
+
+#: what a bare suite run includes — "mesh" is opt-in because it spawns
+#: real OS processes (CI runs it in the dedicated mesh-smoke job)
+DEFAULT_BENCHMARKS: Tuple[str, ...] = ("throughput", "storage", "crypto", "scale")
 
 
 @dataclass
@@ -42,7 +51,7 @@ class BenchSuiteConfig:
     """One suite run: which benchmarks, at what scale, gated how."""
 
     scale: str = "smoke"
-    include: Tuple[str, ...] = ALL_BENCHMARKS
+    include: Tuple[str, ...] = DEFAULT_BENCHMARKS
     seed: Optional[int] = None
     #: gates (None = run the benchmark but don't gate on it)
     throughput_speedup: Optional[float] = 1.0
@@ -50,6 +59,10 @@ class BenchSuiteConfig:
     index_speedup: Optional[float] = 5.0
     crypto_speedup: Optional[float] = 3.0
     scaling_speedup: Optional[float] = 3.0
+    #: mesh run shape + gate (wall-clock floor; generous on purpose —
+    #: the gate catches hangs and lost checks, not scheduler noise)
+    mesh_workers: int = 2
+    mesh_min_checks_per_sec: Optional[float] = 1.0
 
     def __post_init__(self) -> None:
         unknown = sorted(set(self.include) - set(ALL_BENCHMARKS))
@@ -193,11 +206,39 @@ def _run_scale(config: BenchSuiteConfig, gates: List[Dict[str, Any]]):
     return report
 
 
+def _run_mesh(config: BenchSuiteConfig, gates: List[Dict[str, Any]]):
+    from repro.workloads.throughput import ThroughputConfig, run_mesh_throughput
+
+    bench_config = (
+        ThroughputConfig.smoke_scale()
+        if config.scale == "smoke"
+        else ThroughputConfig()
+    )
+    if config.seed is not None:
+        bench_config.seed = config.seed
+    report = run_mesh_throughput(bench_config, n_workers=config.mesh_workers)
+    if config.mesh_min_checks_per_sec is not None:
+        gates.append(_gate(
+            "mesh_completed",
+            report["completed_fraction"],
+            1.0, "ge",
+            "every farmed check came back from the worker fleet",
+        ))
+        gates.append(_gate(
+            "mesh_checks_per_sec",
+            report["checks_per_sec_wall"],
+            config.mesh_min_checks_per_sec, "ge",
+            "wall-clock checks/sec across the worker processes",
+        ))
+    return report
+
+
 _RUNNERS = {
     "throughput": _run_throughput,
     "storage": _run_storage,
     "crypto": _run_crypto,
     "scale": _run_scale,
+    "mesh": _run_mesh,
 }
 
 

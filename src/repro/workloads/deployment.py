@@ -102,6 +102,11 @@ class DeploymentConfig:
     #: backlog imbalance (in jobs) that triggers a work steal between
     #: Measurement servers; None disables stealing entirely
     queue_steal_threshold: Optional[int] = 16
+    #: messaging backend between components: "sim" (deterministic,
+    #: in-process — the Tier-1 default), "socket" (real asyncio TCP on
+    #: the loopback; the row-identity property holds, tested), or
+    #: "direct" (legacy direct method calls, no envelopes)
+    transport: str = "sim"
 
     @classmethod
     def paper_scale(cls) -> "DeploymentConfig":
@@ -228,6 +233,11 @@ class DeploymentConfig:
                 f"chaos_profile must be one of "
                 f"{sorted(CHAOS_PROFILES)} or null, got "
                 f"{self.chaos_profile!r}"
+            )
+        if self.transport not in ("sim", "socket", "direct"):
+            raise InvalidConfig(
+                f"transport must be 'sim', 'socket', or 'direct', got "
+                f"{self.transport!r}"
             )
         if self.db_backend not in (None, "memory", "sqlite"):
             raise InvalidConfig(
@@ -439,6 +449,7 @@ class LiveDeployment:
             job_queue=cfg.job_queue,
             queue_depth=cfg.queue_depth,
             queue_steal_threshold=cfg.queue_steal_threshold,
+            transport=cfg.transport,
         )
         self.population = Population(
             self.sheriff, self.content_web,

@@ -206,6 +206,48 @@ def run_throughput(config: Optional[ThroughputConfig] = None) -> Dict[str, objec
     }
 
 
+def run_mesh_throughput(
+    config: Optional[ThroughputConfig] = None,
+    n_workers: int = 2,
+    concurrency: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run the pipelined engine across ``n_workers`` OS processes.
+
+    Unlike the sim sweep above, this measures **wall-clock** checks/sec:
+    each worker process builds its own seeded world and serves
+    ``check_price`` over the socket transport, so the number reflects
+    real process scheduling and real serialization cost.  The report
+    lands in BENCH_throughput.json under ``"mesh"`` next to the sim
+    numbers — the sim answers "does pipelining help", the mesh answers
+    "what does this box actually sustain".
+    """
+    # imported lazily: sim-only runs shouldn't pull in subprocess machinery
+    from repro.mesh.launch import MeshLauncher, WorkerSpec
+
+    config = config if config is not None else ThroughputConfig()
+    spec = WorkerSpec(
+        seed=config.seed,
+        n_stores=config.n_stores,
+        n_servers=config.n_servers,
+        n_ipcs=len(config.ipc_sites),
+        n_users=max(config.levels),
+        max_fetch_workers=config.max_fetch_workers,
+        page_cache_ttl=config.page_cache_ttl,
+    )
+    launcher = MeshLauncher(n_workers=n_workers, spec=spec)
+    try:
+        hellos = launcher.start()
+        report = launcher.run_checks(
+            total=config.total_checks, concurrency=concurrency
+        )
+    finally:
+        exit_codes = launcher.shutdown()
+    entry = report.to_dict()
+    entry["protocol"] = hellos[0]["protocol"] if hellos else None
+    entry["exit_codes"] = exit_codes
+    return entry
+
+
 def traced_run(
     config: Optional[ThroughputConfig] = None, n_users: Optional[int] = None
 ) -> Telemetry:

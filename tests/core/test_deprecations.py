@@ -56,3 +56,42 @@ def test_deprecated_names_absent_from_source():
             if pattern.search(line):
                 offenders.append(f"{path.name}:{i}: {line.strip()}")
     assert offenders == []
+
+
+class TestSimNetworkSurfaceRetired:
+    """PR 9 made Transport the only messaging surface: ``SimNetwork``
+    and ``Host`` are net-internal carriers now, not exports."""
+
+    def test_simnetwork_not_exported(self):
+        import repro.net
+
+        assert not hasattr(repro.net, "SimNetwork")
+        assert not hasattr(repro.net, "Host")
+        assert "SimNetwork" not in repro.net.__all__
+        assert "Host" not in repro.net.__all__
+
+    def test_transport_surface_exported_instead(self):
+        from repro.net import SimTransport, SocketTransport, Transport
+
+        assert issubclass(SimTransport, Transport)
+        assert issubclass(SocketTransport, Transport)
+
+
+def test_no_simnetwork_import_outside_net_layer():
+    """No component imports SimNetwork/Host except the transport layer
+    itself — the Transport seam is the only way to send a message."""
+    import pathlib
+    import re
+
+    root = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+    offenders = []
+    pattern = re.compile(r"\b(SimNetwork|(?<!_)Host)\b")
+    for path in root.rglob("*.py"):
+        if path.parent.name == "net":
+            continue
+        for i, line in enumerate(path.read_text().splitlines(), 1):
+            if line.lstrip().startswith("#"):
+                continue
+            if "import" in line and pattern.search(line):
+                offenders.append(f"{path.name}:{i}: {line.strip()}")
+    assert offenders == []

@@ -1,0 +1,128 @@
+"""Mesh tests: service skeleton semantics and a real-process smoke run."""
+
+import pytest
+
+from repro.mesh.launch import MeshLauncher, MeshReport, WorkerSpec
+from repro.mesh.service import MeshService
+from repro.net.protocol import PROTOCOL_VERSION
+from repro.net.sim import NetworkError
+
+
+class TestMeshService:
+    def make(self):
+        calls = []
+        return MeshService(
+            "w0", methods={"work": lambda p: calls.append(p) or {"ok": True}}
+        ), calls
+
+    def test_hello_reports_identity(self):
+        service, _ = self.make()
+        hello = service.handle("mesh.hello", {"protocol": PROTOCOL_VERSION})
+        assert hello["name"] == "w0"
+        assert hello["protocol"] == PROTOCOL_VERSION
+        assert hello["methods"] == ["work"]
+
+    def test_hello_rejects_version_mismatch(self):
+        service, _ = self.make()
+        with pytest.raises(NetworkError):
+            service.handle("mesh.hello", {"protocol": PROTOCOL_VERSION + 1})
+
+    def test_ping_counts_heartbeats(self):
+        service, _ = self.make()
+        assert service.handle("mesh.ping", {})["pong"] == 1
+        assert service.handle("mesh.ping", {})["pong"] == 2
+
+    def test_component_methods_routed(self):
+        service, calls = self.make()
+        assert service.handle("work", {"x": 1}) == {"ok": True}
+        assert calls == [{"x": 1}]
+
+    def test_unknown_method_raises(self):
+        service, _ = self.make()
+        with pytest.raises(KeyError):
+            service.handle("mystery", {})
+
+    def test_drain_refuses_component_work_but_answers_control(self):
+        service, _ = self.make()
+        service.handle("mesh.drain", {})
+        assert service.draining
+        with pytest.raises(NetworkError):
+            service.handle("work", {})
+        # heartbeats and hello still answer while draining
+        assert service.handle("mesh.ping", {})["pong"] == 1
+
+    def test_shutdown_sets_stop(self):
+        service, _ = self.make()
+        service.handle("mesh.shutdown", {})
+        assert service.wait(timeout=0.1)
+
+
+class TestWorkerSpec:
+    def test_argv_round_trips_the_shape(self):
+        spec = WorkerSpec(seed=5, n_stores=3, n_ipcs=7)
+        argv = spec.argv("w9")
+        assert "-m" in argv and "repro.mesh.worker" in argv
+        assert argv[argv.index("--name") + 1] == "w9"
+        assert argv[argv.index("--seed") + 1] == "5"
+        assert argv[argv.index("--stores") + 1] == "3"
+        assert argv[argv.index("--ipcs") + 1] == "7"
+
+
+class TestMeshReport:
+    def test_to_dict_shape(self):
+        report = MeshReport(
+            workers=2, checks_requested=4, checks_completed=4,
+            rows=28, wall_s=0.5, checks_per_sec_wall=8.0,
+        )
+        entry = report.to_dict()
+        assert entry["mode"] == "mesh"
+        assert entry["completed_fraction"] == 1.0
+        assert entry["checks_per_sec_wall"] == 8.0
+
+
+class TestMeshSmoke:
+    """End to end: real worker processes, real sockets, graceful drain."""
+
+    def test_two_process_fleet(self):
+        launcher = MeshLauncher(
+            n_workers=2,
+            spec=WorkerSpec(n_stores=2, n_servers=2, n_ipcs=6, n_users=4),
+        )
+        try:
+            hellos = launcher.start()
+            assert [h["name"] for h in hellos] == ["w0", "w1"]
+            assert all(h["protocol"] == PROTOCOL_VERSION for h in hellos)
+            beats = launcher.heartbeat()
+            assert set(beats) == {"w0", "w1"}
+            report = launcher.run_checks(total=4, concurrency=2)
+        finally:
+            codes = launcher.shutdown()
+        assert report.checks_completed == 4
+        assert report.failures == 0
+        assert report.rows > 0
+        assert report.checks_per_sec_wall > 0
+        # both workers shared the load and exited 0 on SIGTERM drain
+        assert {s["worker"] for s in report.per_worker} == {"w0", "w1"}
+        assert all(s["checks"] > 0 for s in report.per_worker)
+        assert codes == {"w0": 0, "w1": 0}
+
+    def test_identical_seeds_give_identical_digests(self):
+        """Two workers with the same seed build the same world — the
+        same check index returns the same row digest from either, the
+        multi-process echo of the row-identity guarantee."""
+        launcher = MeshLauncher(
+            n_workers=2,
+            spec=WorkerSpec(n_stores=2, n_servers=2, n_ipcs=6, n_users=4),
+        )
+        try:
+            launcher.start()
+            a = launcher.transport.call(
+                MeshLauncher.CLIENT, "w0", "check_price", {"index": 0}
+            )
+            b = launcher.transport.call(
+                MeshLauncher.CLIENT, "w1", "check_price", {"index": 0}
+            )
+        finally:
+            launcher.shutdown()
+        assert a["digest"] == b["digest"]
+        assert a["url"] == b["url"]

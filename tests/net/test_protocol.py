@@ -1,0 +1,131 @@
+"""Tests for the wire protocol: envelopes, codec, framing."""
+
+import json
+
+import pytest
+
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameTooLarge,
+    ProtocolError,
+    Request,
+    Response,
+    decode,
+    encode,
+    frame_sizes,
+    from_wire,
+    pack_frame,
+    split_frame,
+    to_wire,
+)
+
+
+def make_request(**overrides):
+    fields = dict(
+        call_id=1, src="addon-0", dst="db",
+        method="sp_record_request", payload={"job_id": "j1", "n": 3},
+    )
+    fields.update(overrides)
+    return Request(**fields)
+
+
+class TestEnvelopes:
+    def test_request_round_trip(self):
+        req = make_request()
+        assert from_wire(to_wire(req)) == req
+
+    def test_response_round_trip(self):
+        resp = Response(call_id=1, ok=True, result={"rows": 4})
+        assert from_wire(to_wire(resp)) == resp
+
+    def test_error_response_round_trip(self):
+        resp = Response(
+            call_id=2, ok=False, result=None,
+            error_kind="timeout", error_message="deadline exceeded",
+        )
+        back = from_wire(to_wire(resp))
+        assert back.error_kind == "timeout"
+        assert back.error_message == "deadline exceeded"
+
+    def test_wire_dict_carries_version(self):
+        assert to_wire(make_request())["v"] == PROTOCOL_VERSION
+
+    def test_version_mismatch_rejected(self):
+        wire = to_wire(make_request())
+        wire["v"] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError):
+            from_wire(wire)
+
+    def test_unknown_type_rejected(self):
+        wire = to_wire(make_request())
+        wire["type"] = "gossip"
+        with pytest.raises(ProtocolError):
+            from_wire(wire)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ProtocolError):
+            from_wire([1, 2, 3])
+
+
+class TestCodec:
+    def test_encode_is_canonical(self):
+        """Key order in the payload never changes the bytes — the
+        row-identity guarantee starts here."""
+        a = make_request(payload={"b": 1, "a": 2})
+        b = make_request(payload={"a": 2, "b": 1})
+        assert encode(a) == encode(b)
+
+    def test_encode_is_valid_compact_json(self):
+        raw = encode(make_request())
+        assert b", " not in raw and b": " not in raw
+        json.loads(raw)
+
+    def test_decode_round_trip(self):
+        req = make_request()
+        assert decode(encode(req)) == req
+
+    def test_tuples_normalize_to_lists(self):
+        """Both transports normalize identically: anything surviving
+        encode→decode has tuples flattened to lists."""
+        req = make_request(payload={"rows": ({"x": (1, 2)},)})
+        assert decode(encode(req)).payload == {"rows": [{"x": [1, 2]}]}
+
+    def test_unserializable_payload_raises(self):
+        with pytest.raises(ProtocolError):
+            encode(make_request(payload={"f": object()}))
+
+    def test_decode_garbage_raises(self):
+        with pytest.raises(ProtocolError):
+            decode(b"\xff\xfenot json")
+
+
+class TestFraming:
+    def test_pack_split_round_trip(self):
+        req = make_request()
+        frame = pack_frame(req)
+        length = split_frame(frame[:4])
+        assert length == len(frame) - 4
+        assert decode(frame[4:]) == req
+
+    def test_oversized_frame_rejected_at_sender(self):
+        req = make_request(payload={"blob": "x" * (MAX_FRAME_BYTES + 1)})
+        with pytest.raises(FrameTooLarge):
+            pack_frame(req)
+
+    def test_oversized_header_rejected_at_receiver(self):
+        import struct
+
+        header = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(FrameTooLarge):
+            split_frame(header)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(ProtocolError):
+            split_frame(b"\x00\x01")
+
+    def test_frame_sizes_accounts_header(self):
+        req = make_request()
+        total, body = frame_sizes(req)
+        assert total == len(pack_frame(req))
+        assert total == body + 4

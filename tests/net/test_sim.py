@@ -87,3 +87,84 @@ class TestSimNetwork:
         net.add_host(Host("mute", geodb.make_location("ES", "Madrid")))
         with pytest.raises(NetworkError):
             net.request("a", "mute", 1)
+
+
+class _StubClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+def make_faulty_net(geodb, faults, clock=None):
+    net = SimNetwork(LatencyModel(jitter=0.0), faults=faults, clock=clock)
+    a = Host("a", geodb.make_location("ES", "Madrid"), handler=lambda p: p)
+    b = Host("b", geodb.make_location("ES", "Madrid"), handler=lambda p: p * 2)
+    for host in (a, b):
+        net.add_host(host)
+    return net
+
+
+class TestRestartHostUnderChaos:
+    """The restart_host regression: a restarted host must still honor
+    the active chaos profile, and flap windows must actually bite."""
+
+    def _flap_plan(self):
+        from repro.net.faults import FaultPlan, FaultRule
+
+        return FaultPlan(
+            [FaultRule(kind="flap", probability=1.0, dst="b",
+                       flap_duration=90.0)],
+            seed=1,
+        )
+
+    def test_flap_window_blocks_delivery(self, geodb):
+        """With a clock attached, an open flap window fails requests —
+        the behaviour clock-less constructions silently lacked."""
+        clock = _StubClock(now=10.0)
+        net = make_faulty_net(geodb, self._flap_plan(), clock=clock)
+        with pytest.raises(NetworkError):
+            net.request("a", "b", 1)
+
+    def test_clockless_network_ignores_flaps(self, geodb):
+        """Backward compatibility: no clock, no flap enforcement (and no
+        extra RNG draws), exactly as legacy constructions behaved."""
+        net = make_faulty_net(geodb, self._flap_plan(), clock=None)
+        assert net.request("a", "b", 2)[0] == 4
+
+    def test_restart_closes_flap_window(self, geodb):
+        clock = _StubClock(now=10.0)
+        plan = self._flap_plan()
+        net = make_faulty_net(geodb, plan, clock=clock)
+        with pytest.raises(NetworkError):
+            net.request("a", "b", 1)
+        assert plan.flapping_hosts(clock.now) == ["b"]
+        net.restart_host("b")
+        assert plan.flapping_hosts(clock.now) == []
+
+    def test_restart_replaces_host_preserving_identity(self, geodb):
+        net = make_faulty_net(geodb, faults=None)
+        old = net.host("b")
+        old.online = False
+        old.slowdown = 3.0
+        fresh = net.restart_host("b")
+        assert fresh is not old
+        assert fresh is net.host("b")
+        assert fresh.online
+        assert fresh.slowdown == 3.0
+        assert fresh.handler is old.handler
+        assert fresh.location is old.location
+        assert net.request("a", "b", 5)[0] == 10
+
+    def test_restarted_host_still_honors_drop_rules(self, geodb):
+        """Delivery faults live network-side, so they survive the host
+        replacement — the bug was losing them with the old object."""
+        from repro.net.faults import FaultPlan, FaultRule
+
+        plan = FaultPlan(
+            [FaultRule(kind="drop", probability=1.0, dst="b")], seed=1
+        )
+        net = make_faulty_net(geodb, plan)
+        with pytest.raises(NetworkError):
+            net.request("a", "b", 1)
+        net.restart_host("b")
+        with pytest.raises(NetworkError):
+            net.request("a", "b", 1)
