@@ -11,10 +11,11 @@ bookkeeping for any pair of (prior report, current results).
 from __future__ import annotations
 
 import enum
+from bisect import insort
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
-from repro.analysis.pricediff import domain_diff_stats
+from repro.analysis.pricediff import _quantile
 from repro.core.pricecheck import PriceCheckResult
 
 
@@ -76,6 +77,78 @@ class StudyComparison:
                 if c.status is DomainStatus.STILL_DISCRIMINATING]
 
 
+class PriorStudyTracker:
+    """Update-on-write bookkeeping for the Sect. 7.2 comparison.
+
+    The batch :func:`compare_with_prior_study` re-derived every
+    domain's spread distribution from the full result list on each
+    read.  This tracker folds results in as they arrive — one
+    ``bisect.insort`` into the domain's sorted spread list when a check
+    shows a difference — so :meth:`comparison` only walks the prior
+    reports and reads each median at an index.  Classifications and
+    ratios are identical to the batch computation over the same
+    results.
+    """
+
+    __slots__ = ("_prior", "_live", "_tolerance", "_spreads", "_checked")
+
+    def __init__(
+        self,
+        prior: Sequence[PriorReport],
+        live_domains: Iterable[str],
+        tolerance: float = 0.005,
+    ) -> None:
+        self._prior = tuple(prior)
+        self._live = set(live_domains)
+        self._tolerance = tolerance
+        self._spreads: Dict[str, List[float]] = {}
+        self._checked: Set[str] = set()
+
+    def add(self, result: PriceCheckResult) -> None:
+        """Fold one price check into the running comparison."""
+        self._checked.add(result.domain)
+        spread = result.normalized_spread()
+        if spread is not None and spread > self._tolerance:
+            values = self._spreads.get(result.domain)
+            if values is None:
+                values = self._spreads[result.domain] = []
+            insort(values, spread)
+
+    def add_results(self, results: Iterable[PriceCheckResult]) -> None:
+        for result in results:
+            self.add(result)
+
+    def comparison(self) -> StudyComparison:
+        """The Sect. 7.2 verdict over everything streamed so far."""
+        comparisons: List[DomainComparison] = []
+        for report in self._prior:
+            if report.domain not in self._live:
+                comparisons.append(DomainComparison(
+                    domain=report.domain, status=DomainStatus.NO_LONGER_VALID,
+                    prior_ratio=report.median_ratio,
+                ))
+            elif report.domain in self._spreads:
+                comparisons.append(DomainComparison(
+                    domain=report.domain,
+                    status=DomainStatus.STILL_DISCRIMINATING,
+                    prior_ratio=report.median_ratio,
+                    current_ratio=1.0
+                    + _quantile(self._spreads[report.domain], 0.5),
+                ))
+            elif report.domain in self._checked:
+                comparisons.append(DomainComparison(
+                    domain=report.domain,
+                    status=DomainStatus.STOPPED_DISCRIMINATING,
+                    prior_ratio=report.median_ratio,
+                ))
+            else:
+                comparisons.append(DomainComparison(
+                    domain=report.domain, status=DomainStatus.NOT_CHECKED,
+                    prior_ratio=report.median_ratio,
+                ))
+        return StudyComparison(comparisons=comparisons)
+
+
 def compare_with_prior_study(
     results: Sequence[PriceCheckResult],
     prior: Sequence[PriorReport],
@@ -89,39 +162,9 @@ def compare_with_prior_study(
     current checks are classified by whether any difference persists,
     and the median max/min ratio is compared when it does.
     """
-    live = set(live_domains)
-    checked: Dict[str, float] = {}
-    for stats in domain_diff_stats(results, tolerance=tolerance,
-                                   min_diff_requests=1):
-        checked[stats.domain] = 1.0 + stats.spread_stats.median
-    checked_domains = {r.domain for r in results}
-
-    comparisons: List[DomainComparison] = []
-    for report in prior:
-        if report.domain not in live:
-            comparisons.append(DomainComparison(
-                domain=report.domain, status=DomainStatus.NO_LONGER_VALID,
-                prior_ratio=report.median_ratio,
-            ))
-        elif report.domain in checked:
-            comparisons.append(DomainComparison(
-                domain=report.domain,
-                status=DomainStatus.STILL_DISCRIMINATING,
-                prior_ratio=report.median_ratio,
-                current_ratio=checked[report.domain],
-            ))
-        elif report.domain in checked_domains:
-            comparisons.append(DomainComparison(
-                domain=report.domain,
-                status=DomainStatus.STOPPED_DISCRIMINATING,
-                prior_ratio=report.median_ratio,
-            ))
-        else:
-            comparisons.append(DomainComparison(
-                domain=report.domain, status=DomainStatus.NOT_CHECKED,
-                prior_ratio=report.median_ratio,
-            ))
-    return StudyComparison(comparisons=comparisons)
+    tracker = PriorStudyTracker(prior, live_domains, tolerance=tolerance)
+    tracker.add_results(results)
+    return tracker.comparison()
 
 
 #: the [24] values the paper quotes in Sect. 7.2 for domains still

@@ -17,6 +17,7 @@ observations; this module handles the per-check structural part.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -77,45 +78,105 @@ def gap_matches_vat(
     return any(rate > 0 and abs(gap - rate) <= epsilon for rate in rates)
 
 
+class VariationAccumulator:
+    """Streaming per-country order statistics for cross-vantage reports.
+
+    The aggregator used to rebuild every per-country list, re-sort for
+    each median, and rescan for min/max on every read.  This accumulator
+    is update-on-write instead: ``add`` maintains one sorted value list
+    per country (``bisect.insort``), so :meth:`report` reads min/max off
+    the list ends and the median at an index — O(countries) per report,
+    however many rows have streamed in.  Countries keep first-seen
+    order, matching the dict the batch code built, so
+    :func:`analyze_rows` on top of it is report-identical to the legacy
+    recompute (pinned by the equivalence tests).
+    """
+
+    __slots__ = ("_by_country", "_n_points")
+
+    def __init__(self) -> None:
+        self._by_country: Dict[str, List[float]] = {}
+        self._n_points = 0
+
+    @property
+    def n_points(self) -> int:
+        return self._n_points
+
+    def add(self, row: ResultRow) -> bool:
+        """Fold one measurement row in; returns True if it counted."""
+        if not (row.ok and row.amount_eur is not None):
+            return False
+        values = self._by_country.get(row.country)
+        if values is None:
+            values = self._by_country[row.country] = []
+        insort(values, row.amount_eur)
+        self._n_points += 1
+        return True
+
+    def add_rows(self, rows: Iterable[ResultRow]) -> int:
+        """Fold a batch of rows in; returns how many counted."""
+        return sum(1 for row in rows if self.add(row))
+
+    def _country_spread(self, values: List[float]) -> float:
+        if len(values) < 2 or values[0] <= 0:
+            return 0.0
+        return (values[-1] - values[0]) / values[0]
+
+    def _country_median(self, values: List[float]) -> float:
+        n = len(values)
+        mid = n // 2
+        if n % 2:
+            return values[mid]
+        return (values[mid - 1] + values[mid]) / 2
+
+    def report(
+        self, geodb: GeoDatabase, tolerance: float = DEFAULT_TOLERANCE
+    ) -> PriceVariationReport:
+        """Current structural verdict over everything streamed so far."""
+        lists = self._by_country.values()
+        overall = 0.0
+        if self._n_points >= 2:
+            low = min(v[0] for v in lists)
+            if low > 0:
+                overall = (max(v[-1] for v in lists) - low) / low
+        medians = [self._country_median(v) for v in lists]
+        cross = _spread(medians) if len(medians) >= 2 else 0.0
+
+        within: Dict[str, float] = {}
+        vat_explained: Dict[str, bool] = {}
+        for country, values in self._by_country.items():
+            spread = self._country_spread(values)
+            if spread > tolerance:
+                within[country] = spread
+                vat_explained[country] = gap_matches_vat(spread, country, geodb)
+
+        if within:
+            classification = "within-country"
+        elif cross > tolerance:
+            classification = "location"
+        elif overall > tolerance:
+            # differences exist but only between single-point countries —
+            # still a location effect.
+            classification = "location"
+        else:
+            classification = "none"
+
+        return PriceVariationReport(
+            n_points=self._n_points,
+            overall_spread=overall,
+            cross_country_spread=cross,
+            within_country_spread=within,
+            vat_explained=vat_explained,
+            classification=classification,
+        )
+
+
 def analyze_rows(
     rows: Iterable[ResultRow],
     geodb: GeoDatabase,
     tolerance: float = DEFAULT_TOLERANCE,
 ) -> PriceVariationReport:
     """Classify the price variation across a set of measurement points."""
-    valid = [r for r in rows if r.ok and r.amount_eur is not None]
-    by_country: Dict[str, List[float]] = {}
-    for row in valid:
-        by_country.setdefault(row.country, []).append(row.amount_eur)
-
-    overall = _spread([r.amount_eur for r in valid])
-    country_medians = [_median(v) for v in by_country.values() if v]
-    cross = _spread(country_medians) if len(country_medians) >= 2 else 0.0
-
-    within: Dict[str, float] = {}
-    vat_explained: Dict[str, bool] = {}
-    for country, values in by_country.items():
-        spread = _spread(values)
-        if spread > tolerance:
-            within[country] = spread
-            vat_explained[country] = gap_matches_vat(spread, country, geodb)
-
-    if within:
-        classification = "within-country"
-    elif cross > tolerance:
-        classification = "location"
-    elif overall > tolerance:
-        # differences exist but only between single-point countries —
-        # still a location effect.
-        classification = "location"
-    else:
-        classification = "none"
-
-    return PriceVariationReport(
-        n_points=len(valid),
-        overall_spread=overall,
-        cross_country_spread=cross,
-        within_country_spread=within,
-        vat_explained=vat_explained,
-        classification=classification,
-    )
+    accumulator = VariationAccumulator()
+    accumulator.add_rows(rows)
+    return accumulator.report(geodb, tolerance)

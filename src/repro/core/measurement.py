@@ -128,6 +128,7 @@ class MeasurementServer:
         latency_model: Optional[LatencyModel] = None,
         telemetry=None,
         transport_label: str = "sim",
+        use_fast_extract: bool = True,
     ) -> None:
         self.name = name
         #: which messaging backend carried this server's traffic;
@@ -166,6 +167,10 @@ class MeasurementServer:
         #: and never consume any RNG stream, so serial and pipelined
         #: runs stay byte-identical with tracing on or off
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: escape hatch mirroring the crypto fast path: False falls back
+        #: to the legacy per-candidate Tags-Path walk (the executable
+        #: reference the equivalence tests compare against)
+        self.use_fast_extract = use_fast_extract
         self.jobs_processed = 0
         self.stats = MeasurementStats()
         #: live job handles of the unified submit/poll/result API
@@ -194,7 +199,9 @@ class MeasurementServer:
             city=city, ua_os=ua[0], ua_browser=ua[1],
             used_doppelganger=used_doppelganger,
         )
-        text = extract_price_text(html, job.tags_path)
+        text = extract_price_text(
+            html, job.tags_path, use_fast_extract=self.use_fast_extract
+        )
         if text is None:
             return ResultRow(
                 original_text=None, detected_amount=None, detected_currency=None,

@@ -36,6 +36,7 @@ from repro.core.jobapi import SheriffJobs
 from repro.core.jobqueue import QueuedMeasurementTier
 from repro.core.measurement import MeasurementServer
 from repro.core.pricecheck import PriceCheckResult
+from repro.core.tagspath import bind_extraction_telemetry
 from repro.core.whitelist import Whitelist
 from repro.core.measurement import MeasurementStats
 from repro.crypto.group import SchnorrGroup, TEST_GROUP
@@ -140,6 +141,7 @@ class PriceSheriff:
         queue_depth: int = 256,
         queue_steal_threshold: Optional[int] = 16,
         transport: Union[Transport, str, None] = None,
+        use_fast_extract: bool = True,
     ) -> None:
         self.world = world
         #: the observability plane: a metrics registry threaded through
@@ -160,6 +162,11 @@ class PriceSheriff:
             cache=PageCache(ttl=page_cache_ttl),
         )
         self.engine.bind_telemetry(self.telemetry)
+        #: single-pass Tags-Path extraction (False = legacy per-candidate
+        #: re-walk; the escape hatch every Measurement server inherits)
+        self.use_fast_extract = use_fast_extract
+        if metrics.enabled:
+            bind_extraction_telemetry(self.telemetry)
         if faults is None and chaos_profile is not None:
             faults = chaos_plan(chaos_profile, seed=chaos_seed)
         #: the chaos schedule every layer below consults (None = clean)
@@ -347,6 +354,7 @@ class PriceSheriff:
             pipelined=self.pipelined,
             telemetry=self.telemetry,
             transport_label=self.transport_label,
+            use_fast_extract=self.use_fast_extract,
         )
         self.measurement_servers[name] = server
         self.distributor.register_server(
@@ -393,6 +401,7 @@ class PriceSheriff:
             pipelined=self.pipelined,
             telemetry=self.telemetry,
             transport_label=self.transport_label,
+            use_fast_extract=self.use_fast_extract,
         )
         self.measurement_servers[name] = fresh
         if self.transport is not None:

@@ -15,20 +15,46 @@ one, and picks the best match.  This captures the paper's remark that
 the simplified example "does not capture the complexity involved in
 extracting a product price when the HTML code includes multiple product
 prices and when the result varies between remote page requests".
+
+Two result-identical implementations coexist:
+
+* the **legacy** path (``use_fast_extract=False``) re-flattens the
+  document per candidate and runs the full LCS DP — the executable
+  reference the property tests compare against;
+* the **fast** path builds an :class:`ExtractionIndex` in the same
+  single pass as the parse (signature → candidates plus a closing-event
+  position index, so each candidate's bottom-up path is a slice), prunes
+  candidates whose shared suffix already cannot win, strips the common
+  prefix/suffix before any DP, and memoizes whole
+  ``(html, path) → text`` extractions so identical pages fetched from
+  different vantages parse and match once.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.web.html import Element, HTMLParseError, VOID_TAGS, iter_elements, parse
+from repro.web.html import (
+    Element,
+    HTMLParseError,
+    ParseObserver,
+    VOID_TAGS,
+    iter_elements,
+    parse,
+)
 
-#: cap on recorded path length; pages deeper than this are truncated at
-#: the bottom end (the entries nearest the target are the discriminative
-#: ones, but the paper's algorithm records from the bottom, so we keep
-#: the bottom-most entries and drop the middle).
+#: cap on recorded path length; pages deeper than this keep both ends —
+#: the bottom-of-document entries the paper's algorithm starts from AND
+#: the entries nearest the target (the discriminative suffix) — and drop
+#: the middle.
 MAX_PATH_ENTRIES = 400
+_PATH_HEAD = MAX_PATH_ENTRIES // 2
+_PATH_TAIL = MAX_PATH_ENTRIES - _PATH_HEAD
+
+#: bound on the (page, path) → text extraction memo
+EXTRACTION_MEMO_MAX = 256
 
 
 class TagsPathError(ValueError):
@@ -44,6 +70,89 @@ class TagsPath:
 
     def __len__(self) -> int:
         return len(self.entries)
+
+
+# ---------------------------------------------------------------------------
+# instrumentation
+
+
+class ExtractionStats:
+    """Process-local counters for the fast extraction path.
+
+    Always maintained (plain int adds); :func:`bind_extraction_telemetry`
+    additionally mirrors each increment into ``sheriff_extract_*``
+    registry counters.  When unbound the mirror is a single ``None``
+    check per site, preserving the telemetry plane's
+    zero-cost-when-disabled property.
+    """
+
+    __slots__ = ("pages_parsed", "memo_hits", "candidates_pruned", "lcs_cells")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.pages_parsed = 0
+        self.memo_hits = 0
+        self.candidates_pruned = 0
+        self.lcs_cells = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "pages_parsed": self.pages_parsed,
+            "memo_hits": self.memo_hits,
+            "candidates_pruned": self.candidates_pruned,
+            "lcs_cells": self.lcs_cells,
+        }
+
+
+#: module-wide stats for the fast path (the extractor is a pure function
+#: shared by every measurement server in the process)
+EXTRACTION_STATS = ExtractionStats()
+
+_m_pages = None
+_m_memo_hits = None
+_m_pruned = None
+_m_lcs_cells = None
+
+
+def bind_extraction_telemetry(telemetry) -> None:
+    """Register the ``sheriff_extract_*`` counters on a telemetry bundle."""
+    global _m_pages, _m_memo_hits, _m_pruned, _m_lcs_cells
+    registry = telemetry.registry
+    _m_pages = registry.counter(
+        "sheriff_extract_pages_parsed_total",
+        "Pages parsed (memo misses) by the fast extraction path",
+    )
+    _m_memo_hits = registry.counter(
+        "sheriff_extract_memo_hits_total",
+        "Whole-extraction memo hits (identical page+path seen before)",
+    )
+    _m_pruned = registry.counter(
+        "sheriff_extract_candidates_pruned_total",
+        "Candidates skipped because their shared suffix cannot win",
+    )
+    _m_lcs_cells = registry.counter(
+        "sheriff_extract_lcs_cells_total",
+        "LCS DP cells evaluated after prefix/suffix stripping",
+    )
+
+
+def unbind_extraction_telemetry() -> None:
+    """Drop the registry mirrors (used when a sheriff shuts down)."""
+    global _m_pages, _m_memo_hits, _m_pruned, _m_lcs_cells
+    _m_pages = _m_memo_hits = _m_pruned = _m_lcs_cells = None
+
+
+# ---------------------------------------------------------------------------
+# path construction (shared by both implementations)
+
+
+def _truncate(closings: List[str]) -> List[str]:
+    """Apply the MAX_PATH_ENTRIES cap: keep both ends, drop the middle."""
+    if len(closings) > MAX_PATH_ENTRIES:
+        return closings[:_PATH_HEAD] + closings[len(closings) - _PATH_TAIL:]
+    return closings
 
 
 def _event_stream(root: Element) -> List[Tuple[str, Element]]:
@@ -78,14 +187,16 @@ def _path_for(root: Element, target: Element) -> Tuple[str, ...]:
         if kind == "close" and element is not target
     ]
     closings.reverse()  # bottom of the document first, like the paper
-    if len(closings) > MAX_PATH_ENTRIES:
-        closings = closings[:MAX_PATH_ENTRIES]
-    return tuple(closings)
+    return tuple(_truncate(closings))
 
 
 def build_tags_path(root: Element, target: Element) -> TagsPath:
     """Record the Tags Path for a user-selected element."""
     return TagsPath(entries=_path_for(root, target), target=target.signature())
+
+
+# ---------------------------------------------------------------------------
+# similarity scoring
 
 
 def _lcs_length(a: Tuple[str, ...], b: Tuple[str, ...]) -> int:
@@ -133,8 +244,162 @@ def _similarity(recorded: Tuple[str, ...], candidate: Tuple[str, ...]) -> float:
     return suffix + lcs
 
 
-def extract_price_element(root: Element, path: TagsPath) -> Optional[Element]:
-    """Locate the element the Tags Path points at in a (variant) page."""
+def _lcs_length_stripped(
+    a: Tuple[str, ...], b: Tuple[str, ...], suffix: int
+) -> int:
+    """LCS length, skipping the already-known common suffix and prefix.
+
+    If the last entries of ``a`` and ``b`` are equal, every maximal
+    common subsequence may take them, so
+    ``LCS(a, b) = 1 + LCS(a[:-1], b[:-1])`` — applied ``suffix`` times
+    (the maximal shared tail), then dually for the shared head of the
+    remainders.  Only the middles, where the paths actually differ, pay
+    the quadratic DP; their cell count feeds the
+    ``sheriff_extract_lcs_cells`` counter.
+    """
+    a = a[: len(a) - suffix]
+    b = b[: len(b) - suffix]
+    prefix = 0
+    bound = min(len(a), len(b))
+    while prefix < bound and a[prefix] == b[prefix]:
+        prefix += 1
+    mid_a = a[prefix:]
+    mid_b = b[prefix:]
+    if not mid_a or not mid_b:
+        return prefix + suffix
+    EXTRACTION_STATS.lcs_cells += len(mid_a) * len(mid_b)
+    if _m_lcs_cells is not None:
+        _m_lcs_cells.inc(len(mid_a) * len(mid_b))
+    return prefix + suffix + _lcs_length(mid_a, mid_b)
+
+
+# ---------------------------------------------------------------------------
+# the single-pass extraction index
+
+
+class ExtractionIndex(ParseObserver):
+    """Per-document index built in one DOM walk (or during the parse).
+
+    Records, in document order, the signature of every closing event
+    (``close_sigs``) and, per element, the closing-event position span
+    ``(start, own)`` — ``start`` is how many closes preceded its open
+    tag, ``own`` the position of its own close (``None`` for void
+    tags).  A candidate's bottom-up Tags Path is then two list slices
+    (the closes after its own, then the closes between its open and its
+    own, both reversed) — O(path length) instead of the legacy
+    O(document) re-flatten per candidate.  ``by_signature`` maps each
+    signature to its elements in document (pre-)order, preserving the
+    legacy first-best tie-break.
+    """
+
+    __slots__ = ("close_sigs", "by_signature", "_spans")
+
+    def __init__(self) -> None:
+        self.close_sigs: List[str] = []
+        self.by_signature: Dict[str, List[Element]] = {}
+        self._spans: Dict[int, Tuple[int, Optional[int]]] = {}
+
+    # -- construction (ParseObserver protocol) --------------------------
+    def enter(self, element: Element) -> None:
+        self.by_signature.setdefault(element.signature(), []).append(element)
+        self._spans[id(element)] = (len(self.close_sigs), None)
+
+    def exit(self, element: Element) -> None:
+        key = id(element)
+        self._spans[key] = (self._spans[key][0], len(self.close_sigs))
+        self.close_sigs.append(element.signature())
+
+    @classmethod
+    def from_root(cls, root: Element) -> "ExtractionIndex":
+        """Build the index from an already-parsed tree in one walk."""
+        index = cls()
+        stack: List[Tuple[Element, bool]] = [(root, False)]
+        while stack:
+            element, closing = stack.pop()
+            if closing:
+                index.exit(element)
+                continue
+            index.enter(element)
+            if element.tag not in VOID_TAGS:
+                stack.append((element, True))
+            for child in reversed(element.children):
+                if isinstance(child, Element):
+                    stack.append((child, False))
+        return index
+
+    # -- queries ---------------------------------------------------------
+    def path_for(self, element: Element) -> Tuple[str, ...]:
+        """The element's bottom-up closing-tag path, as two slices."""
+        span = self._spans.get(id(element))
+        if span is None:
+            raise TagsPathError("selected element is not part of the document")
+        start, own = span
+        sigs = self.close_sigs
+        if own is None:
+            closings = sigs[start:]
+            closings.reverse()
+        else:
+            closings = sigs[own + 1:]
+            closings.reverse()
+            between = sigs[start:own]
+            between.reverse()
+            closings.extend(between)
+        return tuple(_truncate(closings))
+
+    def extract(self, path: TagsPath) -> Optional[Element]:
+        """Best-scoring candidate for the path (document-order ties win)."""
+        candidates = self.by_signature.get(path.target)
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        recorded = path.entries
+        best: Optional[Element] = None
+        best_score = -1.0
+        for candidate in candidates:
+            candidate_path = self.path_for(candidate)
+            suffix = _common_suffix(recorded, candidate_path)
+            # The normalized LCS term is at most 1.0, so a candidate
+            # whose shared suffix cannot reach the incumbent strictly
+            # loses — and, with candidates visited in document order,
+            # skipping it cannot change the legacy tie-break either.
+            if suffix + 1.0 <= best_score:
+                EXTRACTION_STATS.candidates_pruned += 1
+                if _m_pruned is not None:
+                    _m_pruned.inc()
+                continue
+            longest = max(len(recorded), len(candidate_path))
+            if longest == 0:
+                score = 1.0
+            else:
+                lcs = _lcs_length_stripped(recorded, candidate_path, suffix)
+                score = suffix + lcs / longest
+            if score > best_score:
+                best, best_score = candidate, score
+        return best
+
+
+# ---------------------------------------------------------------------------
+# extraction entry points
+
+
+def extract_price_element(
+    root: Element,
+    path: TagsPath,
+    use_fast_extract: bool = True,
+    index: Optional[ExtractionIndex] = None,
+) -> Optional[Element]:
+    """Locate the element the Tags Path points at in a (variant) page.
+
+    With ``use_fast_extract=False`` this runs the legacy per-candidate
+    re-walk + full LCS; the fast path builds (or reuses, via ``index``)
+    an :class:`ExtractionIndex` and is result-identical by property
+    test.
+    """
+    if use_fast_extract:
+        if index is None:
+            index = ExtractionIndex.from_root(root)
+        return index.extract(path)
     candidates = [e for e in iter_elements(root) if e.signature() == path.target]
     if not candidates:
         return None
@@ -148,13 +413,58 @@ def extract_price_element(root: Element, path: TagsPath) -> Optional[Element]:
     return best
 
 
-def extract_price_text(html: str, path: TagsPath) -> Optional[str]:
-    """Parse a fetched page and pull out the price string, if locatable."""
+_MEMO_MISS = object()
+_extraction_memo: "OrderedDict[Tuple[str, TagsPath], Optional[str]]" = OrderedDict()
+
+
+def clear_extraction_memo() -> None:
+    """Forget memoized (page, path) → text extractions (benches, tests)."""
+    _extraction_memo.clear()
+
+
+def extract_price_text(
+    html: str, path: TagsPath, use_fast_extract: bool = True
+) -> Optional[str]:
+    """Parse a fetched page and pull out the price string, if locatable.
+
+    The fast path memoizes whole extractions keyed by the exact page
+    text and path: vantages that saw an identical page (the common case
+    — only a minority of checks actually differ) cost one dict probe
+    instead of a parse + match.
+    """
+    if use_fast_extract:
+        cached = _extraction_memo.get((html, path), _MEMO_MISS)
+        if cached is not _MEMO_MISS:
+            _extraction_memo.move_to_end((html, path))
+            EXTRACTION_STATS.memo_hits += 1
+            if _m_memo_hits is not None:
+                _m_memo_hits.inc()
+            return cached
+        index = ExtractionIndex()
+        try:
+            parse(html, observer=index)
+        except HTMLParseError:
+            index = None
+        EXTRACTION_STATS.pages_parsed += 1
+        if _m_pages is not None:
+            _m_pages.inc()
+        if index is None:
+            text = None
+        else:
+            element = index.extract(path)
+            if element is None:
+                text = None
+            else:
+                text = element.text().strip() or None
+        _extraction_memo[(html, path)] = text
+        if len(_extraction_memo) > EXTRACTION_MEMO_MAX:
+            _extraction_memo.popitem(last=False)
+        return text
     try:
         root = parse(html)
     except HTMLParseError:
         return None
-    element = extract_price_element(root, path)
+    element = extract_price_element(root, path, use_fast_extract=False)
     if element is None:
         return None
     text = element.text().strip()

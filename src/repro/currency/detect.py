@@ -30,6 +30,7 @@ from __future__ import annotations
 import enum
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional, Tuple
 
 from repro.currency.codes import (
@@ -74,6 +75,52 @@ _WS_RE = re.compile(r"\s+")
 _LETTER_RUN_RE = re.compile(r"[A-Za-z]+")
 _INJECTION_RE = re.compile(r"[<>;{}\\]|script", re.IGNORECASE)
 
+# -- notation tables compiled once at import --------------------------------
+#
+# The detector used to re-sort each notation dict and probe the text with
+# ``str.find`` per notation on every call.  Each tier now compiles to one
+# zero-width overlapping-alternation regex ``(?=(n1|n2|…))`` with the
+# alternatives in the tier's priority order (longest first, dict order on
+# ties — exactly what the per-call ``sorted`` produced) plus a rank table.
+# One scan collects every notation occurrence (the lookahead makes matches
+# overlap-safe); the minimum-rank capture is the tier's winner.  At the
+# true winner's position the alternation could only prefer a *higher*
+# priority notation — which would itself be present and contradict the
+# winner being the highest-priority notation in the text — so the scan
+# returns exactly the notation the legacy priority loop found.
+
+
+def _compile_tier(notations) -> Tuple["re.Pattern[str]", dict]:
+    ordered = sorted(notations, key=len, reverse=True)
+    pattern = re.compile(
+        "(?=(" + "|".join(re.escape(n) for n in ordered) + "))"
+    )
+    return pattern, {n: i for i, n in enumerate(ordered)}
+
+
+_CUSTOM_RE, _CUSTOM_RANK = _compile_tier(CUSTOM_NOTATIONS)
+_UNIQUE_RE, _UNIQUE_RANK = _compile_tier(UNIQUE_SYMBOLS)
+_AMBIGUOUS_RE, _AMBIGUOUS_RANK = _compile_tier(AMBIGUOUS_SYMBOLS)
+
+#: an ISO token is a maximal letter run of exactly three letters — the
+#: lookarounds reject runs that continue on either side, so this visits
+#: the same tokens, in the same order, as filtering ``_LETTER_RUN_RE``
+#: matches down to ``len == 3``.
+_ISO_RE = re.compile(r"(?<![A-Za-z])[A-Za-z]{3}(?![A-Za-z])")
+
+
+def _tier_find(text: str, pattern, rank) -> Optional[str]:
+    """Highest-priority notation of one tier present in ``text``."""
+    best = None
+    best_rank = len(rank)
+    for match in pattern.finditer(text):
+        r = rank[match.group(1)]
+        if r < best_rank:
+            best, best_rank = match.group(1), r
+            if r == 0:
+                break
+    return best
+
 
 def _normalize(text: str) -> str:
     """Part 1: drop newlines and collapse repeated whitespace."""
@@ -93,41 +140,44 @@ def _validate(text: str) -> None:
 
 def _detect_currency(text: str) -> Tuple[Optional[str], Confidence, Tuple[str, ...], str]:
     """Part 2: return (code, confidence, candidates, text_without_token)."""
-    # (a) 3-letter ISO notation.  Letter runs handle both "654 USD" and
-    # the concatenated "EUR654" (the paper's part-3 retry folds in here).
-    for match in _LETTER_RUN_RE.finditer(text):
+    # (a) 3-letter ISO notation.  Exact-length letter runs handle both
+    # "654 USD" and the concatenated "EUR654" (the paper's part-3 retry
+    # folds in here).
+    for match in _ISO_RE.finditer(text):
         token = match.group(0).upper()
-        if len(token) == 3 and token in CURRENCIES:
+        if token in CURRENCIES:
             remainder = text[: match.start()] + " " + text[match.end():]
             return token, Confidence.HIGH, (token,), remainder
 
     # (b) custom retailer notation, longest first so "US$" wins over "$".
-    for notation in sorted(CUSTOM_NOTATIONS, key=len, reverse=True):
+    notation = _tier_find(text, _CUSTOM_RE, _CUSTOM_RANK)
+    if notation is not None:
         idx = text.find(notation)
-        if idx >= 0:
-            code = CUSTOM_NOTATIONS[notation]
-            remainder = text[:idx] + " " + text[idx + len(notation):]
-            return code, Confidence.HIGH, (code,), remainder
+        code = CUSTOM_NOTATIONS[notation]
+        remainder = text[:idx] + " " + text[idx + len(notation):]
+        return code, Confidence.HIGH, (code,), remainder
 
     # (c) bare symbols — unambiguous ones first, then ambiguous ones.
-    for symbol in sorted(UNIQUE_SYMBOLS, key=len, reverse=True):
+    symbol = _tier_find(text, _UNIQUE_RE, _UNIQUE_RANK)
+    if symbol is not None:
         idx = text.find(symbol)
-        if idx >= 0:
-            code = UNIQUE_SYMBOLS[symbol]
-            remainder = text[:idx] + " " + text[idx + len(symbol):]
-            return code, Confidence.HIGH, (code,), remainder
-    for symbol in sorted(AMBIGUOUS_SYMBOLS, key=len, reverse=True):
+        code = UNIQUE_SYMBOLS[symbol]
+        remainder = text[:idx] + " " + text[idx + len(symbol):]
+        return code, Confidence.HIGH, (code,), remainder
+    symbol = _tier_find(text, _AMBIGUOUS_RE, _AMBIGUOUS_RANK)
+    if symbol is not None:
         idx = text.find(symbol)
-        if idx >= 0:
-            candidates = AMBIGUOUS_SYMBOLS[symbol]
-            remainder = text[:idx] + " " + text[idx + len(symbol):]
-            confidence = Confidence.HIGH if len(candidates) == 1 else Confidence.LOW
-            return candidates[0], confidence, candidates, remainder
+        candidates = AMBIGUOUS_SYMBOLS[symbol]
+        remainder = text[:idx] + " " + text[idx + len(symbol):]
+        confidence = Confidence.HIGH if len(candidates) == 1 else Confidence.LOW
+        return candidates[0], confidence, candidates, remainder
 
     return None, Confidence.UNKNOWN, (), text
 
 
 _GROUP_SEP_RE = re.compile(r"(?<=\d)[\s'](?=\d)")
+_AMOUNT_RE = re.compile(r"\d[\d.,]*")
+_LETTER_DIGIT_SPLIT_RE = re.compile(r"(?<=[A-Za-z])(?=\d)|(?<=\d)(?=[A-Za-z])")
 
 
 def parse_amount(text: str) -> Optional[float]:
@@ -138,7 +188,7 @@ def parse_amount(text: str) -> Optional[float]:
     guessed (two or fewer trailing digits → decimal; otherwise grouping).
     """
     text = _GROUP_SEP_RE.sub("", text)
-    match = re.search(r"\d[\d.,]*", text)
+    match = _AMOUNT_RE.search(text)
     if match is None:
         return None
     token = match.group(0).rstrip(".,")
@@ -164,8 +214,15 @@ def parse_amount(text: str) -> Optional[float]:
         return None
 
 
+@lru_cache(maxsize=4096)
 def detect_price(text: str) -> DetectedPrice:
-    """Run the full 3-part detection algorithm on a selected string."""
+    """Run the full 3-part detection algorithm on a selected string.
+
+    Pure function of its input, so results are memoized: a sweep that
+    checks the same product from many vantages detects each distinct
+    price string once.  (:class:`DetectedPrice` is frozen, so sharing
+    the instance is safe; rejections raise and are never cached.)
+    """
     normalized = _normalize(text)
     _validate(normalized)
     code, confidence, candidates, remainder = _detect_currency(normalized)
@@ -173,7 +230,7 @@ def detect_price(text: str) -> DetectedPrice:
     if amount is None:
         # Concatenated letters/digits retry (part 3 of the paper): split
         # the single word into letter words and digit words.
-        split = re.sub(r"(?<=[A-Za-z])(?=\d)|(?<=\d)(?=[A-Za-z])", " ", normalized)
+        split = _LETTER_DIGIT_SPLIT_RE.sub(" ", normalized)
         code, confidence, candidates, remainder = _detect_currency(split)
         amount = parse_amount(remainder)
     return DetectedPrice(

@@ -104,13 +104,35 @@ _TAG_RE = re.compile(r"^<\s*(/)?\s*([a-zA-Z][a-zA-Z0-9-]*)((?:\s+[^>]*?)?)\s*(/)
 _ATTR_RE = re.compile(r'([a-zA-Z][a-zA-Z0-9_:-]*)\s*=\s*"([^"]*)"')
 
 
-def parse(html: str) -> Element:
+class ParseObserver:
+    """Receives enter/exit events while :func:`parse` builds the tree.
+
+    ``enter`` fires at each element's open tag (pre-order, the same
+    order :func:`iter_elements` yields); ``exit`` fires at its closing
+    tag — after every descendant's exit — and never fires for
+    :data:`VOID_TAGS`.  A self-closed non-void tag gets ``enter``
+    followed immediately by ``exit``.  This lets callers build
+    per-document indexes (e.g. the Tags-Path extraction index) in the
+    same single pass as the parse instead of re-walking the tree.
+    """
+
+    def enter(self, element: Element) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def exit(self, element: Element) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+def parse(html: str, observer: Optional[ParseObserver] = None) -> Element:
     """Parse HTML text into an :class:`Element` tree.
 
     Returns the single root element (conventionally ``<html>``).  The
     parser tolerates a doctype prelude and surrounding whitespace; any
     structural error (unbalanced tags, text outside the root) raises
-    :class:`HTMLParseError`.
+    :class:`HTMLParseError`.  An optional :class:`ParseObserver` sees
+    every element enter/exit during the parse itself; on a parse error
+    the observer may have seen a prefix of the document and its state
+    must be discarded.
     """
     root: Optional[Element] = None
     stack: List[Element] = []
@@ -130,6 +152,8 @@ def parse(html: str) -> Element:
                         f"closing </{tag}> does not match open <{opened}>"
                     )
                 element = stack.pop()
+                if observer is not None:
+                    observer.exit(element)
                 if not stack:
                     root = element
             else:
@@ -139,10 +163,15 @@ def parse(html: str) -> Element:
                     stack[-1].append(element)
                 elif root is not None:
                     raise HTMLParseError("multiple root elements")
+                if observer is not None:
+                    observer.enter(element)
                 if tag not in VOID_TAGS and not self_closing:
                     stack.append(element)
-                elif not stack and root is None:
-                    root = element
+                else:
+                    if observer is not None and tag not in VOID_TAGS:
+                        observer.exit(element)
+                    if not stack and root is None:
+                        root = element
         else:
             # One text token may span several rendered lines; split them
             # back into the per-line text nodes the serializer emitted so

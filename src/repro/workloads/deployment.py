@@ -102,6 +102,10 @@ class DeploymentConfig:
     #: backlog imbalance (in jobs) that triggers a work steal between
     #: Measurement servers; None disables stealing entirely
     queue_steal_threshold: Optional[int] = 16
+    #: single-pass Tags-Path extraction with the whole-page memo
+    #: (False = the legacy per-candidate re-walk; rows are identical
+    #: either way, pinned by the extraction equivalence tests)
+    use_fast_extract: bool = True
     #: messaging backend between components: "sim" (deterministic,
     #: in-process — the Tier-1 default), "socket" (real asyncio TCP on
     #: the loopback; the row-identity property holds, tested), or
@@ -220,7 +224,7 @@ class DeploymentConfig:
             )
         for name in (
             "enable_doppelgangers", "pipelined", "telemetry",
-            "supervised", "job_queue",
+            "supervised", "job_queue", "use_fast_extract",
         ):
             if not isinstance(getattr(self, name), bool):
                 raise InvalidConfig(
@@ -450,6 +454,7 @@ class LiveDeployment:
             queue_depth=cfg.queue_depth,
             queue_steal_threshold=cfg.queue_steal_threshold,
             transport=cfg.transport,
+            use_fast_extract=cfg.use_fast_extract,
         )
         self.population = Population(
             self.sheriff, self.content_web,

@@ -5,7 +5,8 @@ import random
 import pytest
 
 from repro.core.tagspath import (
-        TagsPathError,
+    MAX_PATH_ENTRIES,
+    TagsPathError,
     build_tags_path,
     extract_price_element,
     extract_price_text,
@@ -138,3 +139,75 @@ class TestExtractionOnVariantStorePages:
             assert text is not None
             detected = detect_price(text)
             assert detected.amount == pytest.approx(remote.displayed_amount)
+
+
+class TestDeepPageTruncation:
+    """Paths beyond MAX_PATH_ENTRIES keep both ends, not just the head.
+
+    Regression test: truncating to ``closings[:MAX_PATH_ENTRIES]`` kept
+    only the bottom-of-document entries, so on a deep page every price
+    candidate's path collapsed to the same ``html, body, filler…``
+    prefix and the document-order tie-break picked the *first* price on
+    the page regardless of which one was recorded.  Keeping head + tail
+    preserves the discriminative entries nearest the target.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _deep_recursion(self):
+        # render/iter_elements recurse per nesting level; give the
+        # 450-deep synthetic page headroom (parse itself is iterative)
+        import sys
+
+        before = sys.getrecursionlimit()
+        sys.setrecursionlimit(before + 3000)
+        try:
+            yield
+        finally:
+            sys.setrecursionlimit(before)
+
+    def _deep_page(self, n_fillers=450):
+        filler = Element("div", {"class": "filler"}, ["pad"])
+        for _ in range(n_fillers - 1):
+            filler = Element("div", {"class": "filler"}, [filler])
+        doc = Element("html", children=[
+            Element("body", children=[
+                Element("div", {"class": "A"}, [
+                    Element("div", {"class": "ctx1"}, [
+                        Element("span", {"class": "price"}, ["$1.00"]),
+                    ]),
+                ]),
+                Element("div", {"class": "B"}, [
+                    Element("div", {"class": "ctx2"}, [
+                        Element("span", {"class": "price"}, ["$2.00"]),
+                    ]),
+                ]),
+                filler,
+            ]),
+        ])
+        decoy, wanted = find_all(doc, tag="span", cls="price")
+        return doc, decoy, wanted
+
+    def test_truncated_path_keeps_both_ends(self):
+        doc, _, wanted = self._deep_page()
+        path = build_tags_path(doc, wanted)
+        assert len(path.entries) == MAX_PATH_ENTRIES
+        # head: the bottom-of-document entries the paper starts from
+        assert path.entries[0] == "html"
+        assert path.entries[1] == "body"
+        # tail: the discriminative entries adjacent to the target
+        assert path.entries[-1] == "div.ctx2"
+        assert path.entries[-2] == "div.B"
+
+    def test_second_price_still_wins_on_deep_page(self):
+        doc, decoy, wanted = self._deep_page()
+        path = build_tags_path(doc, wanted)
+        html = render(doc)
+        for use_fast_extract in (False, True):
+            found = extract_price_element(
+                parse(html), path, use_fast_extract=use_fast_extract
+            )
+            assert found is not None
+            assert found.text() == "$2.00"
+            assert found.signature() == wanted.signature()
+        assert extract_price_text(html, path) == "$2.00"
+        assert extract_price_text(html, path, use_fast_extract=False) == "$2.00"

@@ -217,3 +217,111 @@ class TestContinentalStyle:
     def test_unknown_style_rejected(self):
         with pytest.raises(ValueError):
             format_price(1.0, "EUR", style="victorian")
+
+
+class TestSeparatorAndRetryMix:
+    """Continental separators combined with glued ISO codes (Fig. 2)."""
+
+    @pytest.mark.parametrize("text, code, amount", [
+        ("1.234,56", None, 1234.56),     # continental, no currency
+        ("18 215", None, 18215.0),       # space grouping, no currency
+        ("EUR654", "EUR", 654.0),        # glued prefix code
+        ("654EUR", "EUR", 654.0),        # glued suffix code
+        ("EUR1.234,56", "EUR", 1234.56),
+        ("1.234,56EUR", "EUR", 1234.56),
+        ("18 215 Kč", "CZK", 18215.0),
+        ("CZK18 215", "CZK", 18215.0),
+        ("usd1,234.56", "USD", 1234.56),
+    ])
+    def test_mixed(self, text, code, amount):
+        result = detect_price(text)
+        assert result.currency == code
+        assert result.amount == pytest.approx(amount)
+
+    def test_memoized_result_shared(self):
+        """detect_price is cached: identical text → the same instance."""
+        detect_price.cache_clear()
+        a = detect_price("US$ 17.50")
+        b = detect_price("US$ 17.50")
+        assert a is b
+
+    def test_rejections_not_cached(self):
+        detect_price.cache_clear()
+        with pytest.raises(CurrencyDetectionError):
+            detect_price("no digits here")
+        with pytest.raises(CurrencyDetectionError):
+            detect_price("no digits here")
+        assert detect_price.cache_info().currsize == 0
+
+
+def _legacy_detect_currency(text):
+    """The pre-compiled-table detection loop, kept verbatim as the
+    executable reference for the equivalence property below."""
+    from repro.currency.codes import AMBIGUOUS_SYMBOLS, UNIQUE_SYMBOLS
+    from repro.currency.detect import _LETTER_RUN_RE
+
+    for match in _LETTER_RUN_RE.finditer(text):
+        token = match.group(0)
+        if len(token) != 3:
+            continue
+        upper = token.upper()
+        if upper in CURRENCIES:
+            remainder = text[: match.start()] + " " + text[match.end():]
+            return upper, Confidence.HIGH, (upper,), remainder
+
+    for notation in sorted(CUSTOM_NOTATIONS, key=len, reverse=True):
+        idx = text.find(notation)
+        if idx != -1:
+            code = CUSTOM_NOTATIONS[notation]
+            remainder = text[:idx] + " " + text[idx + len(notation):]
+            return code, Confidence.HIGH, (code,), remainder
+
+    for symbol in sorted(UNIQUE_SYMBOLS, key=len, reverse=True):
+        idx = text.find(symbol)
+        if idx != -1:
+            code = UNIQUE_SYMBOLS[symbol]
+            remainder = text[:idx] + " " + text[idx + len(symbol):]
+            return code, Confidence.HIGH, (code,), remainder
+
+    for symbol in sorted(AMBIGUOUS_SYMBOLS, key=len, reverse=True):
+        idx = text.find(symbol)
+        if idx != -1:
+            candidates = AMBIGUOUS_SYMBOLS[symbol]
+            remainder = text[:idx] + " " + text[idx + len(symbol):]
+            confidence = (
+                Confidence.HIGH if len(candidates) == 1 else Confidence.LOW
+            )
+            return candidates[0], confidence, candidates, remainder
+
+    return None, Confidence.UNKNOWN, (), text
+
+
+class TestCompiledTierEquivalence:
+    """The compiled alternation tables find exactly what the legacy
+    priority loops found — code, confidence, candidates, remainder."""
+
+    _ADVERSARIAL = (
+        "RM1US$", "CAU$S", "AUS$4", "US$C$1", "NT$MX$2",
+        "kr1 Kč", "R$S$1", "zł£7", "EURUSD1", "XEUR2", "2EURX",
+    )
+
+    @pytest.mark.parametrize("text", _ADVERSARIAL)
+    def test_adversarial_overlaps(self, text):
+        from repro.currency.detect import _detect_currency
+
+        assert _detect_currency(text) == _legacy_detect_currency(text)
+
+    @given(text=st.lists(
+        st.sampled_from(
+            list("0123456789 .,abcXYZ$€£¥") + [
+                "US$", "C$", "AU$", "NT$", "MX$", "R$", "kr", "Kč",
+                "zł", "EUR", "USD", "JPY", "SEK",
+            ]
+        ),
+        min_size=0, max_size=8,
+    ).map("".join))
+    @settings(max_examples=300, deadline=None)
+    def test_random_texts(self, text):
+        from repro.currency.detect import _detect_currency
+
+        assert _detect_currency(text) == _legacy_detect_currency(text)

@@ -1,0 +1,63 @@
+"""Tests for the extraction-engine benchmark workload."""
+
+from repro.workloads.parsebench import (
+    ParseBenchConfig,
+    build_corpus,
+    run_parsebench,
+)
+
+
+def _micro_config():
+    return ParseBenchConfig(
+        n_layouts=2,
+        products_per_layout=1,
+        n_vantages=4,
+        catalog_size=4,
+        repeats=1,
+    )
+
+
+class TestCorpus:
+    def test_shape_and_duplicates(self):
+        config = _micro_config()
+        corpus = build_corpus(config)
+        assert len(corpus) == config.n_layouts * config.products_per_layout
+        for check in corpus:
+            assert len(check.pages) == config.n_vantages
+            # duplicate_fraction leaves only a minority of pages distinct
+            assert len(set(check.pages)) < config.n_vantages
+
+    def test_deterministic_under_seed(self):
+        pages_a = [c.pages for c in build_corpus(_micro_config())]
+        pages_b = [c.pages for c in build_corpus(_micro_config())]
+        assert pages_a == pages_b
+
+
+class TestParseBench:
+    def test_report_shape_and_lockstep(self):
+        report = run_parsebench(_micro_config())
+        assert report["lockstep_ok"] is True
+        extraction = report["extraction"]
+        assert extraction["recorded_paths"] == 2
+        assert extraction["page_path_pairs"] == 8
+        assert extraction["legacy_s"] > 0
+        assert extraction["fast_s"] > 0
+        assert extraction["speedup"] == report["gate_speedup"]
+        stats = extraction["stats"]
+        # the timed fast pass parses each distinct page exactly once
+        assert stats["pages_parsed"] < extraction["page_path_pairs"]
+        assert stats["memo_hits"] > 0
+        currency = report["currency"]
+        assert currency["n_texts"] == 400
+        assert currency["cold_s"] > 0 and currency["warm_s"] > 0
+        detector = report["detector"]
+        assert detector["reports_identical"] is True
+        assert detector["n_rows"] == 240
+
+    def test_smoke_scale_is_reduced(self):
+        smoke = ParseBenchConfig.smoke_scale()
+        full = ParseBenchConfig()
+        assert smoke.n_layouts < full.n_layouts
+        assert smoke.n_vantages < full.n_vantages
+        assert smoke.repeats < full.repeats
+        assert smoke.seed == full.seed
